@@ -1,0 +1,86 @@
+"""Design-choice ablations called out in DESIGN.md:
+
+* ε (rank-stabilisation threshold) sweep — how the choice of ε moves Ê.
+* υ (profiling speedup threshold) sweep — how the choice of υ moves K̂.
+
+Both are cheap: the ε sweep reuses one training run's rank trajectories, and
+the υ sweep re-evaluates the deterministic roofline profile.
+"""
+
+import numpy as np
+import pytest
+
+from common import report, run_once
+from repro.core import RankTracker, profile_layer_stacks
+from repro.core.rank_tracker import LayerRankHistory
+from repro.data import DataLoader, make_vision_task
+from repro.models import resnet18
+from repro.optim import SGD
+from repro.profiling import V100
+from repro.train import Trainer
+from repro.utils import seed_everything
+
+EPOCHS = 8
+EPSILONS = (0.02, 0.1, 0.5, 2.0)
+UPSILONS = (1.1, 1.5, 2.0, 3.0)
+
+
+def _rank_histories():
+    seed_everything(0)
+    train_ds, _, spec = make_vision_task("cifar10_small")
+    loader = DataLoader(train_ds, batch_size=64, shuffle=True)
+    model = resnet18(num_classes=spec.num_classes, width_mult=0.25)
+    tracker = RankTracker(model, model.factorization_candidates())
+    trainer = Trainer(model, SGD(model.parameters(), lr=0.2, momentum=0.9, weight_decay=5e-4), loader)
+    for _ in range(EPOCHS):
+        trainer.fit(1)
+        tracker.update(model)
+    return tracker
+
+
+def _switch_epoch(tracker: RankTracker, epsilon: float) -> int:
+    """First epoch at which all layer derivatives fall below ``epsilon``."""
+    num_epochs = tracker.epochs_recorded
+    for epoch in range(2, num_epochs + 1):
+        converged = True
+        for history in tracker.histories.values():
+            truncated = LayerRankHistory(history.path, history.full_rank, history.xi,
+                                         history.stable_ranks[:epoch])
+            if truncated.derivative(window=2) > epsilon:
+                converged = False
+                break
+        if converged:
+            return epoch
+    return num_epochs
+
+
+def test_ablation_epsilon_controls_switch_epoch(benchmark):
+    tracker = run_once(benchmark, _rank_histories)
+    switch_epochs = {eps: _switch_epoch(tracker, eps) for eps in EPSILONS}
+    report("ablation_epsilon",
+           "\n".join(f"epsilon={eps:<5} -> E_hat={epoch}" for eps, epoch in switch_epochs.items()))
+    values = [switch_epochs[eps] for eps in EPSILONS]
+    # A stricter (smaller) ε waits at least as long before switching.
+    assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+def test_ablation_upsilon_controls_k_hat(benchmark):
+    def sweep():
+        seed_everything(0)
+        model = resnet18(num_classes=10, width_mult=1.0)
+        x = np.random.default_rng(0).standard_normal((2, 3, 32, 32)).astype(np.float32)
+        y = np.zeros(2, dtype=np.int64)
+        k_hats = {}
+        for upsilon in UPSILONS:
+            result = profile_layer_stacks(model, model.layer_stack_paths(), (x, y),
+                                          mode="roofline", device=V100, batch_scale=512.0,
+                                          speedup_threshold=upsilon)
+            k_hats[upsilon] = result.k_hat
+        return k_hats
+
+    k_hats = run_once(benchmark, sweep)
+    report("ablation_upsilon",
+           "\n".join(f"upsilon={u:<4} -> K_hat={k}" for u, k in k_hats.items()))
+    values = [k_hats[u] for u in UPSILONS]
+    # A higher speedup requirement keeps at least as many layers full rank.
+    assert all(b >= a for a, b in zip(values, values[1:]))

@@ -1,0 +1,56 @@
+"""Figure 4: per-stack iteration time and the K̂ decision (Algorithm 2).
+
+Runs the roofline-based stack profiler on a *full-width* ResNet-18 at the
+paper's batch size (1024 via batch scaling) and prints the per-stack
+full-rank/factorized times and speedups.  Checks the paper's qualitative
+result: the first convolution stack does not gain a meaningful speedup (it is
+excluded, giving K̂ > 1) while the deeper stacks exceed the υ = 1.5 threshold.
+"""
+
+import numpy as np
+
+from common import report, run_once
+from repro.core import profile_layer_stacks
+from repro.models import resnet18, vgg19
+from repro.profiling import V100
+from repro.utils import seed_everything
+
+BATCH_SCALE = 512.0      # probe batch of 2 → effective batch 1024 (the paper's setting)
+
+
+def _profile(model_name: str):
+    seed_everything(0)
+    model = resnet18(num_classes=10, width_mult=1.0) if model_name == "resnet18" \
+        else vgg19(num_classes=10, width_mult=1.0)
+    x = np.random.default_rng(0).standard_normal((2, 3, 32, 32)).astype(np.float32)
+    y = np.zeros(2, dtype=np.int64)
+    return profile_layer_stacks(model, model.layer_stack_paths(), (x, y),
+                                mode="roofline", device=V100, batch_scale=BATCH_SCALE)
+
+
+def test_fig4_resnet18_stack_profiling(benchmark):
+    result = run_once(benchmark, lambda: _profile("resnet18"))
+    lines = ["ResNet-18 per-stack iteration time (roofline, V100, batch 1024)",
+             f"{'stack':10s} {'full (ms)':>12s} {'factorized (ms)':>16s} {'speedup':>9s}"]
+    for profile in result.stack_profiles:
+        lines.append(f"{profile.stack_name:10s} {1e3 * profile.full_rank_time:12.3f} "
+                     f"{1e3 * profile.factorized_time:16.3f} {profile.speedup:8.2f}x")
+    lines.append(f"factorize: {result.factorize_stacks}   keep full-rank: {result.skip_stacks}   "
+                 f"K̂ = {result.k_hat}")
+    report("fig4_stack_profiling_resnet18", "\n".join(lines))
+
+    table = result.speedup_table()
+    # Paper shape (1.1×, 1.7×, 1.9×, 2.6×): first stack below the υ=1.5 bar, rest above.
+    assert table["layer1"] < 1.5
+    assert all(table[f"layer{i}"] > 1.5 for i in (2, 3, 4))
+    assert result.k_hat > 1
+
+
+def test_fig4_vgg19_stack_profiling(benchmark):
+    result = run_once(benchmark, lambda: _profile("vgg19"))
+    lines = [f"{p.stack_name}: speedup {p.speedup:.2f}x" for p in result.stack_profiles]
+    lines.append(f"K̂ = {result.k_hat}")
+    report("fig4_stack_profiling_vgg19", "\n".join(lines))
+    table = result.speedup_table()
+    assert table["stack1"] < 1.5            # the 64-channel stack is not worth factorizing
+    assert table["stack5"] > 1.5            # the 512-channel stack is

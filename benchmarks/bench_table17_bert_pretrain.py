@@ -1,0 +1,72 @@
+"""Table 17: BERT masked-language-model pre-training, vanilla vs Cuttlefish.
+
+Pre-trains a small BERT on the synthetic MLM corpus with and without the
+Cuttlefish switch (attention + feed-forward layers factorized after the
+warm-up).  Shape checks matching Table 17: the Cuttlefish model has markedly
+fewer parameters (the paper: 249M vs 345M) while its final MLM loss stays
+within a small margin of the vanilla model's (1.60 vs 1.58).
+"""
+
+import numpy as np
+
+from common import report, run_once
+from repro.core import CuttlefishConfig, train_cuttlefish
+from repro.data import DataLoader, make_mlm_corpus
+from repro.models import BertForMaskedLM, bert_micro
+from repro.optim import AdamW
+from repro.tensor import functional as F, no_grad
+from repro.train import Trainer, mlm_loss
+from repro.utils import seed_everything
+
+EPOCHS = 4
+
+
+def _mlm_loss_fn(spec):
+    def loss_fn(model, batch):
+        inputs, labels = batch
+        logits = model(inputs)
+        return F.cross_entropy(logits.reshape((-1, spec.vocab_size)), labels.reshape(-1),
+                               ignore_index=-100)
+    return loss_fn
+
+
+def _evaluate(model, val_ds):
+    loader = DataLoader(val_ds, batch_size=64)
+    losses = []
+    model.eval()
+    with no_grad():
+        for inputs, labels in loader:
+            losses.append(mlm_loss(model(inputs).data, labels))
+    return float(np.mean(losses))
+
+
+def _run(use_cuttlefish: bool):
+    seed_everything(0)
+    train_ds, val_ds, spec = make_mlm_corpus()
+    train_loader = DataLoader(train_ds, batch_size=32, shuffle=True)
+    model = BertForMaskedLM(bert_micro(vocab_size=spec.vocab_size, max_seq_len=spec.seq_len))
+    optimizer = AdamW(model.parameters(), lr=1e-3, weight_decay=0.01)
+    loss_fn = _mlm_loss_fn(spec)
+    if use_cuttlefish:
+        config = CuttlefishConfig(min_full_rank_epochs=1, max_full_rank_epochs=2,
+                                  profile_mode="none", rank_ratio_override=0.5)
+        trainer, _ = train_cuttlefish(model, optimizer, train_loader, epochs=EPOCHS,
+                                      config=config, loss_fn=loss_fn,
+                                      forward_fn=lambda m, b: m(b[0]))
+    else:
+        trainer = Trainer(model, optimizer, train_loader, loss_fn=loss_fn)
+        trainer.fit(EPOCHS)
+    return model.num_parameters(), _evaluate(model, val_ds)
+
+
+def test_table17_bert_pretraining(benchmark):
+    results = run_once(benchmark, lambda: {"vanilla": _run(False), "cuttlefish": _run(True)})
+    lines = [f"{'model':12s} {'params':>10s} {'MLM loss':>10s}"]
+    for name, (params, loss) in results.items():
+        lines.append(f"{name:12s} {params:10d} {loss:10.4f}")
+    report("table17_bert_pretrain", "\n".join(lines))
+
+    vanilla, cuttle = results["vanilla"], results["cuttlefish"]
+    # Table 17's shape: fewer parameters, MLM loss within a small margin.
+    assert cuttle[0] < vanilla[0]
+    assert cuttle[1] <= vanilla[1] * 1.25

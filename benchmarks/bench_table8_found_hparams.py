@@ -1,0 +1,43 @@
+"""Tables 8-10: the hyper-parameters ŝ = (Ê, K̂) Cuttlefish finds per task.
+
+Runs Cuttlefish on the ResNet-18 and VGG-19 stand-ins and prints the switch
+epoch Ê (as a fraction of total training), the K̂ implied by paper-scale
+profiling and the mean selected rank ratio — the quantities Tables 8-10
+report.  Shape checks: Ê lands strictly inside the training run (neither 0
+nor the last epoch) and K̂ > 1 for the CNNs (the first stack is never worth
+factorizing on the paper's hardware).
+"""
+
+import numpy as np
+import pytest
+
+from common import cifar_config, report, run_once
+from repro.train.experiments import reference_profiling, run_vision_method
+
+MODELS = ["resnet18", "vgg19"]
+EPOCHS = 8
+
+
+def _found_hparams(model: str):
+    config = cifar_config("cifar10_small", model, epochs=EPOCHS)
+    row = run_vision_method("cuttlefish", config)
+    return row
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_table8_found_hyperparameters(benchmark, model):
+    row = run_once(benchmark, lambda: _found_hparams(model))
+    e_hat = row.extra["switch_epoch"]
+    k_hat = row.extra["k_hat"]
+    report(f"table8_found_hparams_{model}",
+           f"model={model}\n"
+           f"E_hat = {e_hat:.0f} / {EPOCHS} epochs ({100 * e_hat / EPOCHS:.0f}% of training)\n"
+           f"K_hat = {k_hat:.0f}\n"
+           f"compression = {row.extra['compression']:.2f}x\n"
+           f"params = {row.params}")
+
+    # Ê is strictly inside the run: the paper's point that neither E=0 nor E=T is right.
+    assert 0 < e_hat < EPOCHS
+    # K̂ > 1 for CNNs: profiling on the paper-scale reference excludes the first stack.
+    assert k_hat > 1
+    assert row.extra["compression"] >= 1.0

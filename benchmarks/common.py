@@ -1,0 +1,72 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+compute budget (synthetic data, narrow models) and prints the corresponding
+rows/series.  Absolute numbers differ from the paper — the substrate is a
+numpy simulator, not an AWS GPU fleet — but the *shape* of each result (who
+wins, by roughly what factor, where crossovers fall) is asserted in
+EXPERIMENTS.md and, where cheap, directly in the benchmark body.
+
+Conventions
+-----------
+* each benchmark runs its workload exactly once via ``run_once`` (pytest-benchmark
+  would otherwise repeat multi-minute training runs);
+* results are printed and also appended to ``benchmarks/output/<name>.txt`` so
+  they survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable
+
+from repro.train.experiments import ExperimentRow, VisionExperimentConfig, format_rows
+from repro.utils import seed_everything
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def run_once(benchmark, fn: Callable):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def report(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/output/."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(os.path.join(OUTPUT_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+def report_rows(name: str, rows: Iterable[ExperimentRow]) -> None:
+    report(name, format_rows(list(rows)))
+
+
+# ----------------------------------------------------------------------------- #
+# Reduced-scale budgets for the comparison tables.
+# ----------------------------------------------------------------------------- #
+def cifar_config(task: str, model: str, epochs: int = 10) -> VisionExperimentConfig:
+    """Budget for Table 1 / Table 19 style comparisons (CIFAR/SVHN on ResNet/VGG).
+
+    The batch size, learning rate and weight decay are scaled for the reduced
+    step count of the CPU budget: the paper's ~15k SGD steps shrink to ~100
+    here, so per-step weight decay is proportionally stronger to reproduce the
+    spectral decay that drives stable-rank convergence (see DESIGN.md §6).
+    """
+    seed_everything(0)
+    return VisionExperimentConfig(
+        task=task, model=model, width_mult=0.125, epochs=epochs, batch_size=32,
+        peak_lr=0.3, warmup_epochs=2, weight_decay=5e-3,
+    )
+
+
+def imagenet_config(model: str, epochs: int = 6) -> VisionExperimentConfig:
+    """Budget for Table 2 / Table 18 style comparisons (ImageNet-like CNNs)."""
+    seed_everything(0)
+    return VisionExperimentConfig(
+        task="imagenet_small", model=model, width_mult=0.0625, epochs=epochs, batch_size=32,
+        peak_lr=0.25, warmup_epochs=1, weight_decay=3e-3, label_smoothing=0.1,
+        paper_batch_size=256, paper_steps_per_epoch=5005,
+    )

@@ -1,0 +1,42 @@
+"""Reproduce a miniature version of the paper's Table 1 comparison.
+
+Runs full-rank training, Pufferfish (manually tuned E/K/ρ), SI&FD (spectral
+initialisation + Frobenius decay, trained factorized from scratch) and
+Cuttlefish on the synthetic CIFAR-10 stand-in and prints a comparison table:
+parameters, accuracy, measured CPU time, and the end-to-end GPU time projected
+by the roofline model at the paper's batch size.
+
+Run with:  python examples/compare_baselines.py
+"""
+
+from repro.train.experiments import VisionExperimentConfig, format_rows, run_vision_method
+
+
+def main():
+    config = VisionExperimentConfig(
+        task="cifar10_small",
+        model="resnet18",
+        width_mult=0.25,
+        epochs=10,
+        batch_size=64,
+        peak_lr=0.2,
+        weight_decay=5e-4,
+    )
+
+    methods = ["full_rank", "pufferfish", "si_fd", "cuttlefish"]
+    rows = []
+    for method in methods:
+        print(f"running {method} ...")
+        rows.append(run_vision_method(method, config))
+
+    print("\nMiniature Table 1 (synthetic CIFAR-10 stand-in, ResNet-18 at 1/4 width):")
+    print(format_rows(rows))
+    print(
+        "\nReading guide: the factorized methods should be several times smaller than\n"
+        "full-rank with comparable accuracy; 'proj_gpu_h' projects the end-to-end time\n"
+        "at the paper's scale, where Cuttlefish and Pufferfish beat full-rank training."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Visualise the phenomenon Cuttlefish is built on: stable ranks stabilise early.
+
+Trains a small ResNet-18 while tracking every candidate layer's stable rank
+and prints (i) a per-epoch text plot of three representative layers and
+(ii) the epoch at which the ε-stabilisation rule would switch to low-rank
+training — the paper's Figure 2 as a terminal plot.
+
+Run with:  python examples/rank_dynamics.py
+"""
+
+from repro.core import RankTracker
+from repro.data import DataLoader, make_vision_task
+from repro.models import resnet18
+from repro.optim import SGD, build_paper_cifar_schedule
+from repro.train import Trainer
+from repro.utils import seed_everything
+
+
+def sparkline(values, width=40, vmax=1.0):
+    """Render a sequence of ratios in [0, vmax] as a row of block characters."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    return "".join(blocks[min(int(v / vmax * (len(blocks) - 1)), len(blocks) - 1)] for v in values)
+
+
+def main():
+    seed_everything(0)
+    epochs = 12
+    train_ds, _, spec = make_vision_task("cifar10_small")
+    loader = DataLoader(train_ds, batch_size=64, shuffle=True)
+    model = resnet18(num_classes=spec.num_classes, width_mult=0.25)
+    optimizer = SGD(model.parameters(), lr=0.2, momentum=0.9, weight_decay=5e-4)
+    scheduler = build_paper_cifar_schedule(optimizer, epochs, 0.2, start_lr=0.05)
+    tracker = RankTracker(model, model.factorization_candidates(), epsilon=0.1)
+    trainer = Trainer(model, optimizer, loader, scheduler=scheduler)
+
+    stabilised_at = None
+    for epoch in range(epochs):
+        trainer.fit(1)
+        tracker.update(model)
+        if stabilised_at is None and tracker.has_converged():
+            stabilised_at = epoch + 1
+
+    print(f"stable-rank ratio trajectories over {epochs} epochs "
+          f"(each column = one epoch, higher block = higher rank ratio)\n")
+    paths = tracker.candidate_paths
+    for path in (paths[0], paths[len(paths) // 2], paths[-1]):
+        history = tracker.histories[path]
+        print(f"{path:24s} |{sparkline(history.rank_ratios)}|  "
+              f"{history.rank_ratios[0]:.2f} → {history.rank_ratios[-1]:.2f}")
+    print(f"\nall layers stabilised (|dϱ/dt| ≤ ε) at epoch: {stabilised_at}")
+    print("this is the epoch Ê at which Cuttlefish would switch to low-rank training.")
+
+
+if __name__ == "__main__":
+    main()

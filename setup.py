@@ -1,0 +1,6 @@
+"""Setup shim so that ``pip install -e .`` works in fully offline environments
+(where the ``wheel`` package needed for PEP 660 editable wheels is absent)."""
+
+from setuptools import setup
+
+setup()

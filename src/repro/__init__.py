@@ -1,0 +1,22 @@
+"""repro — a from-scratch reproduction of Cuttlefish (MLSys 2023).
+
+The package is organised as:
+
+* :mod:`repro.tensor` / :mod:`repro.nn` / :mod:`repro.optim` — a numpy-based
+  training substrate (autograd, layers, optimizers) replacing PyTorch.
+* :mod:`repro.data` — synthetic stand-ins for CIFAR/SVHN/ImageNet/GLUE.
+* :mod:`repro.models` — ResNet, VGG, DeiT, ResMLP, BERT architectures.
+* :mod:`repro.core` — Cuttlefish itself: stable-rank tracking, automatic
+  (E, K, R) selection, factorized layers, the Cuttlefish trainer.
+* :mod:`repro.baselines` — Pufferfish, SI&FD, IMP, LC compression, XNOR-Net,
+  GraSP, EB-Train and distillation baselines.
+* :mod:`repro.train` — generic training loops, metrics, experiment configs.
+* :mod:`repro.profiling` — FLOPs/parameter counting and a roofline cost model.
+"""
+
+__version__ = "1.0.0"
+
+from repro.tensor import Tensor, no_grad
+from repro.utils import seed_everything
+
+__all__ = ["Tensor", "no_grad", "seed_everything", "__version__"]

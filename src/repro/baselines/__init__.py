@@ -1,0 +1,68 @@
+"""Baseline methods the paper compares Cuttlefish against."""
+
+from repro.baselines.pufferfish import (
+    PufferfishCallback,
+    PufferfishConfig,
+    PufferfishReport,
+    train_pufferfish,
+)
+from repro.baselines.si_fd import SIFDConfig, SIFDReport, build_si_fd_model, train_si_fd
+from repro.baselines.lc_compression import LCCallback, LCConfig, LCReport, optimal_rank, train_lc_compression
+from repro.baselines.imp import IMPConfig, IMPReport, MaskManager, prunable_parameters, train_imp
+from repro.baselines.xnor import (
+    BinarizedConv2d,
+    BinarizedLinear,
+    binarize_activations,
+    binarize_with_ste,
+    convert_to_xnor,
+    effective_parameter_fraction,
+)
+from repro.baselines.grasp import GraSPConfig, GraSPReport, compute_grasp_masks, train_grasp
+from repro.baselines.early_bird import EarlyBirdCallback, EarlyBirdConfig, EarlyBirdReport, train_early_bird
+from repro.baselines.distillation import (
+    DistillationConfig,
+    build_student,
+    make_distillation_loss,
+    soft_cross_entropy,
+    train_distilled_student,
+)
+
+__all__ = [
+    "PufferfishCallback",
+    "PufferfishConfig",
+    "PufferfishReport",
+    "train_pufferfish",
+    "SIFDConfig",
+    "SIFDReport",
+    "build_si_fd_model",
+    "train_si_fd",
+    "LCCallback",
+    "LCConfig",
+    "LCReport",
+    "optimal_rank",
+    "train_lc_compression",
+    "IMPConfig",
+    "IMPReport",
+    "MaskManager",
+    "prunable_parameters",
+    "train_imp",
+    "BinarizedConv2d",
+    "BinarizedLinear",
+    "binarize_activations",
+    "binarize_with_ste",
+    "convert_to_xnor",
+    "effective_parameter_fraction",
+    "GraSPConfig",
+    "GraSPReport",
+    "compute_grasp_masks",
+    "train_grasp",
+    "EarlyBirdCallback",
+    "EarlyBirdConfig",
+    "EarlyBirdReport",
+    "train_early_bird",
+    "DistillationConfig",
+    "build_student",
+    "make_distillation_loss",
+    "soft_cross_entropy",
+    "train_distilled_student",
+]

@@ -1,0 +1,102 @@
+"""Knowledge-distillation baselines for the GLUE comparison (Table 4).
+
+DistilBERT (Sanh et al., 2019) and TinyBERT (Jiao et al., 2020) compress BERT
+by training a *shallower/narrower student* to match the teacher's output
+distribution.  Here both are modelled by the same mechanism — a student BERT
+(half the depth for the DistilBERT-style student, half depth and 3/4 width for
+the TinyBERT-style student) fine-tuned with a soft-target KL term added to the
+task loss — which is what the accuracy/size comparison in Table 4 exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.models.bert import BertForSequenceClassification, BertModel
+from repro.tensor import Tensor, functional as F
+from repro.train.trainer import Trainer
+from repro.utils import get_rng
+
+
+@dataclass
+class DistillationConfig:
+    temperature: float = 2.0
+    alpha: float = 0.5          # weight of the distillation term vs the hard-label loss
+    depth_fraction: float = 0.5
+    width_fraction: float = 1.0
+
+
+def build_student(teacher: BertForSequenceClassification, config: DistillationConfig,
+                  rng: Optional[np.random.Generator] = None) -> BertForSequenceClassification:
+    """Create a smaller student with the same vocabulary and task head shape."""
+    backbone = teacher.backbone
+    rng = rng or get_rng(offset=4_242)
+    student_dim = max(int(backbone.embed_dim * config.width_fraction), 8)
+    num_heads = backbone.blocks[0].attn.num_heads
+    # Keep the head count valid for the narrower width.
+    while student_dim % num_heads:
+        num_heads -= 1
+    student_backbone = BertModel(
+        vocab_size=backbone.vocab_size,
+        max_seq_len=backbone.max_seq_len,
+        embed_dim=student_dim,
+        depth=max(int(len(backbone.blocks) * config.depth_fraction), 1),
+        num_heads=max(num_heads, 1),
+        rng=rng,
+    )
+    return BertForSequenceClassification(student_backbone, num_classes=teacher.num_classes, rng=rng)
+
+
+def soft_cross_entropy(student_logits: Tensor, teacher_logits: np.ndarray, temperature: float) -> Tensor:
+    """KL-style soft-target loss between student and (detached) teacher logits."""
+    teacher_scaled = teacher_logits / temperature
+    teacher_probs = np.exp(teacher_scaled - teacher_scaled.max(axis=1, keepdims=True))
+    teacher_probs /= teacher_probs.sum(axis=1, keepdims=True)
+    student_log_probs = F.log_softmax(student_logits * (1.0 / temperature), axis=-1)
+    return -(student_log_probs * Tensor(teacher_probs.astype(np.float32))).sum() * (
+        temperature * temperature / student_logits.shape[0]
+    )
+
+
+def make_distillation_loss(teacher: nn.Module, config: DistillationConfig, forward_fn=None):
+    """Build a Trainer loss function combining hard-label CE and soft distillation."""
+
+    def loss_fn(student: nn.Module, batch):
+        inputs, labels = batch[0], batch[-1]
+        mask = batch[1] if len(batch) > 2 else None
+        teacher.eval()
+        from repro.tensor import no_grad
+        with no_grad():
+            teacher_logits = (
+                forward_fn(teacher, batch) if forward_fn is not None
+                else teacher(inputs, attn_mask=mask)
+            ).data
+        student_logits = (
+            forward_fn(student, batch) if forward_fn is not None
+            else student(inputs, attn_mask=mask)
+        )
+        hard = F.cross_entropy(student_logits, labels)
+        soft = soft_cross_entropy(student_logits, teacher_logits, config.temperature)
+        return hard * (1.0 - config.alpha) + soft * config.alpha
+
+    return loss_fn
+
+
+def train_distilled_student(teacher: BertForSequenceClassification, optimizer_factory,
+                            train_loader, val_loader=None, epochs: int = 3,
+                            config: Optional[DistillationConfig] = None, forward_fn=None,
+                            max_batches_per_epoch: Optional[int] = None):
+    """Distil ``teacher`` into a smaller student; returns (trainer, student)."""
+    config = config or DistillationConfig()
+    student = build_student(teacher, config)
+    optimizer = optimizer_factory(student)
+    loss_fn = make_distillation_loss(teacher, config, forward_fn=forward_fn)
+    eval_forward = forward_fn or (lambda model, batch: model(batch[0], attn_mask=batch[1] if len(batch) > 2 else None))
+    trainer = Trainer(student, optimizer, train_loader, val_loader, loss_fn=loss_fn,
+                      forward_fn=eval_forward, max_batches_per_epoch=max_batches_per_epoch)
+    trainer.fit(epochs)
+    return trainer, student

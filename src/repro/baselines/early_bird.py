@@ -1,0 +1,154 @@
+"""Early-Bird ticket training (EB Train, You et al., 2020).
+
+EB Train discovers a *structured* (channel-level) pruning mask early in
+training: channels are ranked by the magnitude of their BatchNorm scale γ, a
+candidate mask keeping the top (1 − prune_ratio) fraction is drawn every
+epoch, and the "early-bird ticket" is declared as soon as the Hamming distance
+between consecutive candidate masks falls below a threshold.  From then on the
+pruned channels are zeroed (their BN scale, bias and the corresponding
+convolution filters) and training continues on the slimmed network.
+
+The implementation keeps the network shape fixed and enforces the channel
+mask on weights and gradients — numerically equivalent to physically removing
+the channels, which is what the reported "# params" column counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.train.trainer import Callback, Trainer
+from repro.utils import get_logger
+
+logger = get_logger("baselines.early_bird")
+
+
+@dataclass
+class EarlyBirdConfig:
+    prune_ratio: float = 0.3            # fraction of channels removed network-wide
+    mask_distance_threshold: float = 0.1  # Hamming distance that declares the ticket stable
+    min_epochs: int = 1
+    bn_l1_coefficient: float = 1e-4     # sparsity-inducing L1 on BN scales while searching
+
+
+@dataclass
+class EarlyBirdReport:
+    ticket_epoch: Optional[int] = None
+    channel_masks: Dict[str, np.ndarray] = field(default_factory=dict)
+    pruned_channels: int = 0
+    total_channels: int = 0
+    effective_parameters: int = 0
+    total_parameters: int = 0
+
+    @property
+    def channel_sparsity(self) -> float:
+        return self.pruned_channels / max(self.total_channels, 1)
+
+
+def _bn_modules(model: nn.Module) -> Dict[str, nn.BatchNorm2d]:
+    return {name: m for name, m in model.named_modules() if isinstance(m, nn.BatchNorm2d) and name}
+
+
+def _draw_candidate_mask(model: nn.Module, prune_ratio: float) -> Dict[str, np.ndarray]:
+    """Global threshold on |γ| across all BN layers → per-layer channel masks."""
+    bns = _bn_modules(model)
+    scales = np.concatenate([np.abs(bn.weight.data) for bn in bns.values()])
+    if scales.size == 0:
+        return {}
+    threshold = np.quantile(scales, prune_ratio)
+    return {name: (np.abs(bn.weight.data) > threshold).astype(np.float32) for name, bn in bns.items()}
+
+
+def _mask_distance(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray]) -> float:
+    total, differing = 0, 0
+    for name in a:
+        total += a[name].size
+        differing += int(np.sum(a[name] != b[name]))
+    return differing / max(total, 1)
+
+
+class EarlyBirdCallback(Callback):
+    """Searches for the early-bird ticket and enforces it once found."""
+
+    def __init__(self, config: Optional[EarlyBirdConfig] = None):
+        self.config = config or EarlyBirdConfig()
+        self.report = EarlyBirdReport()
+        self._previous_mask: Optional[Dict[str, np.ndarray]] = None
+
+    def on_train_begin(self, trainer: Trainer) -> None:
+        self.report.total_parameters = trainer.model.num_parameters()
+        trainer.grad_hook = self._grad_hook
+        self._model = trainer.model
+
+    # L1 on BN scales during the search phase; mask enforcement afterwards.
+    def _grad_hook(self, model: nn.Module) -> None:
+        if self.report.ticket_epoch is None:
+            for bn in _bn_modules(model).values():
+                if bn.weight.grad is not None:
+                    bn.weight.grad += self.config.bn_l1_coefficient * np.sign(bn.weight.data)
+            return
+        for name, mask in self.report.channel_masks.items():
+            bn = model.get_submodule(name)
+            if bn.weight.grad is not None:
+                bn.weight.grad *= mask
+            if bn.bias.grad is not None:
+                bn.bias.grad *= mask
+
+    def on_epoch_end(self, trainer: Trainer, epoch: int, logs: Dict[str, float]) -> None:
+        if self.report.ticket_epoch is not None:
+            return
+        candidate = _draw_candidate_mask(trainer.model, self.config.prune_ratio)
+        if not candidate:
+            return
+        if self._previous_mask is not None and epoch + 1 >= self.config.min_epochs:
+            distance = _mask_distance(candidate, self._previous_mask)
+            logs["eb_mask_distance"] = distance
+            if distance <= self.config.mask_distance_threshold:
+                self._declare_ticket(trainer.model, candidate, epoch)
+        self._previous_mask = candidate
+
+    def _declare_ticket(self, model: nn.Module, masks: Dict[str, np.ndarray], epoch: int) -> None:
+        self.report.ticket_epoch = epoch + 1
+        self.report.channel_masks = masks
+        self.report.total_channels = int(sum(m.size for m in masks.values()))
+        self.report.pruned_channels = int(sum((m == 0).sum() for m in masks.values()))
+        for name, mask in masks.items():
+            bn = model.get_submodule(name)
+            bn.weight.data *= mask
+            bn.bias.data *= mask
+        # Effective parameter count: every pruned channel removes its BN pair and,
+        # approximately, one convolution filter upstream.
+        removed = 0
+        for name, mask in masks.items():
+            pruned = int((mask == 0).sum())
+            removed += 2 * pruned
+            conv = self._upstream_conv(model, name)
+            if conv is not None:
+                removed += pruned * conv.in_channels * conv.kernel_size[0] * conv.kernel_size[1]
+        self.report.effective_parameters = self.report.total_parameters - removed
+        logger.info("Early-bird ticket at epoch %d: %.1f%% channels pruned",
+                    epoch + 1, 100 * self.report.channel_sparsity)
+
+    @staticmethod
+    def _upstream_conv(model: nn.Module, bn_path: str) -> Optional[nn.Conv2d]:
+        """Best-effort lookup of the convolution feeding a BatchNorm layer."""
+        parts = bn_path.split(".")
+        parent = model.get_submodule(".".join(parts[:-1])) if len(parts) > 1 else model
+        convs = [m for m in parent.children() if isinstance(m, nn.Conv2d)]
+        return convs[0] if convs else None
+
+
+def train_early_bird(model, optimizer, train_loader, val_loader=None, epochs: int = 10,
+                     config: Optional[EarlyBirdConfig] = None, scheduler=None, loss_fn=None,
+                     forward_fn=None, max_batches_per_epoch: Optional[int] = None):
+    """EB Train: search for the early-bird ticket, prune, keep training."""
+    callback = EarlyBirdCallback(config)
+    trainer = Trainer(model, optimizer, train_loader, val_loader, loss_fn=loss_fn,
+                      forward_fn=forward_fn, scheduler=scheduler, callbacks=[callback],
+                      max_batches_per_epoch=max_batches_per_epoch)
+    trainer.fit(epochs)
+    return trainer, callback.report

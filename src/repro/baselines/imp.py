@@ -1,0 +1,143 @@
+"""Iterative Magnitude Pruning with weight rewinding (Frankle et al., 2019).
+
+Each pruning round trains for the full schedule, prunes the smallest-magnitude
+20% of the *remaining* prunable weights (unstructured, global threshold per
+layer), and rewinds the surviving weights to their values at a small rewind
+epoch (epoch 6 in the paper) before retraining.  The mask is enforced both on
+the weights and on their gradients.
+
+Because IMP retrains the network once per pruning level it is far more
+expensive than full-rank training — the end-to-end runtime columns of Table 1
+(6.55 h vs 0.82 h for ResNet-18) follow directly from the number of rounds.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.train.trainer import Trainer
+from repro.utils import get_logger
+
+logger = get_logger("baselines.imp")
+
+
+@dataclass
+class IMPConfig:
+    prune_fraction: float = 0.2        # fraction of remaining weights pruned per round
+    rounds: int = 3
+    rewind_epoch: int = 1              # epoch whose weights are restored after each pruning
+    epochs_per_round: int = 10
+
+
+@dataclass
+class IMPReport:
+    sparsity_per_round: List[float] = field(default_factory=list)
+    val_accuracy_per_round: List[float] = field(default_factory=list)
+    remaining_parameters: int = 0
+    total_parameters: int = 0
+    total_seconds: float = 0.0
+
+    @property
+    def final_sparsity(self) -> float:
+        return self.sparsity_per_round[-1] if self.sparsity_per_round else 0.0
+
+    @property
+    def effective_parameters(self) -> int:
+        """Unpruned weight count — the paper reports this as the IMP model size."""
+        return self.remaining_parameters
+
+
+def prunable_parameters(model: nn.Module) -> Dict[str, nn.Parameter]:
+    """Conv/Linear weights (not biases, not norm scales) are prunable."""
+    params: Dict[str, nn.Parameter] = {}
+    for name, module in model.named_modules():
+        if isinstance(module, (nn.Conv2d, nn.Linear)) and name:
+            params[f"{name}.weight"] = module.weight
+    return params
+
+
+class MaskManager:
+    """Holds the binary masks and enforces them on weights and gradients."""
+
+    def __init__(self, model: nn.Module):
+        self.masks: Dict[str, np.ndarray] = {
+            name: np.ones_like(param.data) for name, param in prunable_parameters(model).items()
+        }
+
+    def sparsity(self) -> float:
+        total = sum(mask.size for mask in self.masks.values())
+        kept = sum(mask.sum() for mask in self.masks.values())
+        return 1.0 - kept / max(total, 1)
+
+    def remaining(self) -> int:
+        return int(sum(mask.sum() for mask in self.masks.values()))
+
+    def prune_by_magnitude(self, model: nn.Module, fraction: float) -> None:
+        """Prune ``fraction`` of the currently surviving weights, per layer."""
+        for name, param in prunable_parameters(model).items():
+            mask = self.masks[name]
+            alive = param.data[mask > 0]
+            if alive.size == 0:
+                continue
+            threshold = np.quantile(np.abs(alive), fraction)
+            mask[np.abs(param.data) <= threshold] = 0.0
+            self.masks[name] = mask
+
+    def apply_to_weights(self, model: nn.Module) -> None:
+        for name, param in prunable_parameters(model).items():
+            param.data *= self.masks[name]
+
+    def grad_hook(self, model: nn.Module) -> None:
+        for name, param in prunable_parameters(model).items():
+            if param.grad is not None:
+                param.grad *= self.masks[name]
+
+
+def train_imp(model, optimizer_factory, train_loader, val_loader=None,
+              config: Optional[IMPConfig] = None, scheduler_factory=None, loss_fn=None,
+              forward_fn=None, max_batches_per_epoch: Optional[int] = None):
+    """Run IMP with rewinding; returns (model, report).
+
+    ``optimizer_factory(model)`` must build a fresh optimizer for each round
+    (IMP restarts optimisation after every pruning).
+    """
+    config = config or IMPConfig()
+    masks = MaskManager(model)
+    report = IMPReport(total_parameters=model.num_parameters())
+    rewind_state: Optional[Dict[str, np.ndarray]] = None
+
+    for round_index in range(config.rounds):
+        optimizer = optimizer_factory(model)
+        scheduler = scheduler_factory(optimizer) if scheduler_factory else None
+        trainer = Trainer(model, optimizer, train_loader, val_loader, loss_fn=loss_fn,
+                          forward_fn=forward_fn, scheduler=scheduler, grad_hook=masks.grad_hook,
+                          max_batches_per_epoch=max_batches_per_epoch)
+        masks.apply_to_weights(model)
+        for epoch in range(config.epochs_per_round):
+            trainer.fit(1)
+            if rewind_state is None and epoch + 1 == config.rewind_epoch:
+                rewind_state = copy.deepcopy(model.state_dict())
+        report.total_seconds += trainer.total_train_seconds
+        val = trainer.evaluate() if val_loader is not None else {}
+        report.val_accuracy_per_round.append(val.get("accuracy", float("nan")))
+
+        if round_index < config.rounds - 1:
+            masks.prune_by_magnitude(model, config.prune_fraction)
+            if rewind_state is not None:
+                model.load_state_dict(rewind_state)
+            masks.apply_to_weights(model)
+        report.sparsity_per_round.append(masks.sparsity())
+        logger.info("IMP round %d: sparsity %.3f, val acc %.4f",
+                    round_index, masks.sparsity(), report.val_accuracy_per_round[-1])
+
+    report.remaining_parameters = (
+        report.total_parameters
+        - sum(m.size for m in masks.masks.values())
+        + masks.remaining()
+    )
+    return model, report

@@ -1,0 +1,152 @@
+"""LC model compression baseline (Idelbayev & Carreira-Perpiñán, 2020).
+
+LC ("learning-compression") learns each layer's rank jointly with the weights
+via alternating optimisation:
+
+* **L step** — ordinary SGD on the task loss, with a quadratic penalty pulling
+  each weight towards its current low-rank projection;
+* **C step** — for each layer, pick the rank minimising the rank-penalised
+  projection error  ‖W − W_r‖_F² + λ·r·(m + n)  and set the compression target
+  to that projection.
+
+After the final C step the model is factorized at the learned ranks.  This is
+a faithful (if simplified) instantiation of the alternating scheme the paper
+compares against; like the original, it is markedly more expensive than
+Cuttlefish because every C step computes a full SVD of every layer, and the
+L step carries the extra penalty term throughout training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.core.factorize import factorize_model, svd_factorize
+from repro.core.stable_rank import full_rank_of, singular_values, weight_to_matrix
+from repro.train.trainer import Callback, Trainer
+from repro.utils import get_logger
+
+logger = get_logger("baselines.lc")
+
+
+@dataclass
+class LCConfig:
+    rank_penalty: float = 1e-4      # λ in the rank-penalised projection objective
+    mu: float = 1e-3                # strength of the L-step quadratic pull towards the projection
+    c_step_every: int = 1           # run a C step every this many epochs
+    min_rank: int = 1
+    factorize_at_end: bool = True
+
+
+@dataclass
+class LCReport:
+    learned_ranks: Dict[str, int] = field(default_factory=dict)
+    factorized_paths: List[str] = field(default_factory=list)
+    params_before: int = 0
+    params_after: int = 0
+    c_steps: int = 0
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.params_before / max(self.params_after, 1)
+
+
+def optimal_rank(matrix: np.ndarray, rank_penalty: float, min_rank: int = 1) -> int:
+    """Rank minimising ‖W − W_r‖_F² + λ·r·(m + n) (closed form from singular values)."""
+    sigma = singular_values(matrix)
+    m, n = matrix.shape
+    per_rank_cost = rank_penalty * (m + n)
+    # Residual energy after keeping r singular values.
+    tail = np.concatenate([np.cumsum((sigma ** 2)[::-1])[::-1], [0.0]])
+    objectives = [tail[r] + per_rank_cost * r for r in range(len(sigma) + 1)]
+    best = int(np.argmin(objectives))
+    return max(min_rank, min(best if best > 0 else min_rank, len(sigma)))
+
+
+class LCCallback(Callback):
+    """Alternating optimisation driver for LC compression."""
+
+    def __init__(self, config: LCConfig, candidate_paths: Optional[Sequence[str]] = None):
+        self.config = config
+        self.candidate_paths = list(candidate_paths) if candidate_paths is not None else None
+        self.report = LCReport()
+        self._targets: Dict[str, np.ndarray] = {}
+
+    def on_train_begin(self, trainer: Trainer) -> None:
+        model = trainer.model
+        if self.candidate_paths is None:
+            if not hasattr(model, "factorization_candidates"):
+                raise ValueError("model does not define factorization_candidates(); pass candidate_paths")
+            self.candidate_paths = model.factorization_candidates()
+        self.report.params_before = model.num_parameters()
+        trainer.grad_hook = self._l_step_pull
+
+    # ------------------------------------------------------------------ #
+    # L step: quadratic pull of each weight towards its low-rank target
+    # ------------------------------------------------------------------ #
+    def _l_step_pull(self, model: nn.Module) -> None:
+        if not self._targets:
+            return
+        for path, target in self._targets.items():
+            module = model.get_submodule(path)
+            weight = module.weight
+            current = weight_to_matrix(module)
+            pull = self.config.mu * (current - target)
+            grad = self._matrix_to_weight_grad(module, pull)
+            if weight.grad is None:
+                weight.grad = grad
+            else:
+                weight.grad = weight.grad + grad
+
+    @staticmethod
+    def _matrix_to_weight_grad(module: nn.Module, matrix_grad: np.ndarray) -> np.ndarray:
+        if isinstance(module, nn.Conv2d):
+            out_c, in_c, kh, kw = module.weight.shape
+            return matrix_grad.reshape(in_c, kh, kw, out_c).transpose(3, 0, 1, 2).astype(np.float32)
+        return matrix_grad.astype(np.float32)
+
+    # ------------------------------------------------------------------ #
+    # C step: rank-penalised projection of every candidate layer
+    # ------------------------------------------------------------------ #
+    def on_epoch_end(self, trainer: Trainer, epoch: int, logs: Dict[str, float]) -> None:
+        if (epoch + 1) % self.config.c_step_every:
+            return
+        model = trainer.model
+        for path in self.candidate_paths:
+            module = model.get_submodule(path)
+            matrix = weight_to_matrix(module)
+            if not np.all(np.isfinite(matrix)):
+                logger.warning("skipping C step for %s: non-finite weights", path)
+                continue
+            rank = optimal_rank(matrix, self.config.rank_penalty, self.config.min_rank)
+            u, vt = svd_factorize(matrix, rank)
+            self._targets[path] = (u @ vt).astype(np.float32)
+            self.report.learned_ranks[path] = rank
+        self.report.c_steps += 1
+
+    def on_train_end(self, trainer: Trainer) -> None:
+        if not self.config.factorize_at_end or not self.report.learned_ranks:
+            self.report.params_after = trainer.model.num_parameters()
+            return
+        self.report.factorized_paths = factorize_model(trainer.model, self.report.learned_ranks)
+        trainer.rebuild_optimizer_params()
+        self.report.params_after = trainer.model.num_parameters()
+        logger.info("LC compression learned ranks for %d layers (%.2fx smaller)",
+                    len(self.report.learned_ranks), self.report.compression_ratio)
+
+
+def train_lc_compression(model, optimizer, train_loader, val_loader=None, epochs: int = 10,
+                         config: Optional[LCConfig] = None, scheduler=None,
+                         candidate_paths: Optional[Sequence[str]] = None, loss_fn=None,
+                         forward_fn=None, max_batches_per_epoch: Optional[int] = None):
+    """Train with LC alternating compression; returns (trainer, report)."""
+    config = config or LCConfig()
+    callback = LCCallback(config, candidate_paths=candidate_paths)
+    trainer = Trainer(model, optimizer, train_loader, val_loader, loss_fn=loss_fn,
+                      forward_fn=forward_fn, scheduler=scheduler, callbacks=[callback],
+                      max_batches_per_epoch=max_batches_per_epoch)
+    trainer.fit(epochs)
+    return trainer, callback.report

@@ -1,0 +1,106 @@
+"""Pufferfish baseline (Wang et al., 2021a).
+
+Pufferfish is the manually-tuned predecessor of Cuttlefish: the user picks
+
+* ``full_rank_epochs`` (E) — how long to warm up at full rank,
+* ``num_unfactorized`` (K) — how many leading candidate layers stay full rank,
+* ``rank_ratio`` (ρ) — one global ratio applied to every factorized layer.
+
+At epoch E the selected layers are SVD-factorized at rank ρ·full_rank and
+training continues on the hybrid network, exactly like Cuttlefish's switch but
+with every hyper-parameter fixed in advance.  The paper uses ρ = 1/4 and
+E = 80 as the Pufferfish defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro import nn
+from repro.core.factorize import factorize_model
+from repro.core.stable_rank import full_rank_of
+from repro.train.trainer import Callback, Trainer
+from repro.utils import get_logger
+
+logger = get_logger("baselines.pufferfish")
+
+
+@dataclass
+class PufferfishConfig:
+    """Manually tuned factorization hyper-parameters s = (E, K, R)."""
+
+    full_rank_epochs: int = 80
+    num_unfactorized: int = 1     # K counts the always-full-rank leading candidate layers
+    rank_ratio: float = 0.25
+    extra_bn: bool = False
+
+
+@dataclass
+class PufferfishReport:
+    switch_epoch: Optional[int] = None
+    selected_ranks: Dict[str, int] = field(default_factory=dict)
+    factorized_paths: List[str] = field(default_factory=list)
+    params_before: int = 0
+    params_after: int = 0
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.params_before / max(self.params_after, 1)
+
+
+class PufferfishCallback(Callback):
+    """Trainer callback that performs the fixed-schedule factorization."""
+
+    def __init__(self, config: PufferfishConfig, candidate_paths: Optional[Sequence[str]] = None):
+        self.config = config
+        self.candidate_paths = list(candidate_paths) if candidate_paths is not None else None
+        self.report = PufferfishReport()
+
+    def on_train_begin(self, trainer: Trainer) -> None:
+        if self.candidate_paths is None:
+            model = trainer.model
+            if not hasattr(model, "factorization_candidates"):
+                raise ValueError("model does not define factorization_candidates(); pass candidate_paths")
+            self.candidate_paths = model.factorization_candidates()
+        self.report.params_before = trainer.model.num_parameters()
+
+    def on_epoch_end(self, trainer: Trainer, epoch: int, logs: Dict[str, float]) -> None:
+        if self.report.switch_epoch is not None:
+            return
+        if epoch + 1 < self.config.full_rank_epochs:
+            return
+        self._factorize(trainer, epoch)
+
+    def _factorize(self, trainer: Trainer, epoch: int) -> None:
+        model = trainer.model
+        # Skip the first K candidate layers (hybrid architecture).
+        skip = max(self.config.num_unfactorized - 1, 0)
+        selected = self.candidate_paths[skip:]
+        ranks = {}
+        for path in selected:
+            module = model.get_submodule(path)
+            ranks[path] = max(1, int(round(full_rank_of(module) * self.config.rank_ratio)))
+        factorized = factorize_model(model, ranks, extra_bn=self.config.extra_bn)
+        trainer.rebuild_optimizer_params()
+        self.report.switch_epoch = epoch + 1
+        self.report.selected_ranks = ranks
+        self.report.factorized_paths = factorized
+        self.report.params_after = model.num_parameters()
+        logger.info("Pufferfish switch at epoch %d: %d layers factorized at ratio %.3g",
+                    epoch + 1, len(factorized), self.config.rank_ratio)
+
+
+def train_pufferfish(model, optimizer, train_loader, val_loader=None, epochs: int = 10,
+                     config: Optional[PufferfishConfig] = None, scheduler=None,
+                     candidate_paths: Optional[Sequence[str]] = None, loss_fn=None,
+                     forward_fn=None, label_smoothing: float = 0.0,
+                     max_batches_per_epoch: Optional[int] = None):
+    """Train with the Pufferfish fixed schedule; returns (trainer, report)."""
+    config = config or PufferfishConfig()
+    callback = PufferfishCallback(config, candidate_paths=candidate_paths)
+    trainer = Trainer(model, optimizer, train_loader, val_loader, loss_fn=loss_fn,
+                      forward_fn=forward_fn, scheduler=scheduler, callbacks=[callback],
+                      label_smoothing=label_smoothing, max_batches_per_epoch=max_batches_per_epoch)
+    trainer.fit(epochs)
+    return trainer, callback.report

@@ -1,0 +1,97 @@
+"""XNOR-Net style binarized training (Rastegari et al., 2016).
+
+Weights (and optionally activations) are binarized to sign(x) scaled by the
+mean absolute value, with the straight-through estimator passing gradients to
+the underlying real-valued weights.  As in the paper's experiments this is a
+*simulation* — the arithmetic still runs in FP32, so there is no speedup; the
+method is included for the accuracy/compression comparison of Table 1 (the
+paper reports a 3.125% effective size because every 32-bit weight becomes
+1 bit).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor, functional as F
+
+
+EFFECTIVE_COMPRESSION = 1.0 / 32.0   # 1-bit weights vs FP32
+
+
+def binarize_with_ste(weight: Tensor) -> Tensor:
+    """Binarized view of ``weight`` whose gradient flows straight through.
+
+    Forward value: sign(w) · mean(|w|).  Backward: identity into ``weight``
+    (the straight-through estimator).
+    """
+    alpha = float(np.mean(np.abs(weight.data)))
+    binary = np.sign(weight.data).astype(np.float32)
+    binary[binary == 0] = 1.0
+    # value = w + (binary*alpha - w).detach()  → forward is the binarized weight,
+    # gradient w.r.t. the expression is exactly the gradient w.r.t. w.
+    correction = Tensor(binary * alpha - weight.data)
+    return weight + correction
+
+
+class BinarizedConv2d(nn.Conv2d):
+    """Conv2d whose weights are binarized on the fly (XNOR-Net weight path)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        weight = binarize_with_ste(self.weight)
+        return F.conv2d(x, weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+class BinarizedLinear(nn.Linear):
+    """Linear layer with binarized weights."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        weight = binarize_with_ste(self.weight)
+        return F.linear(x, weight, self.bias)
+
+
+def binarize_activations(x: Tensor) -> Tensor:
+    """Sign binarization of activations with straight-through gradient."""
+    binary = np.sign(x.data).astype(np.float32)
+    binary[binary == 0] = 1.0
+    return x + Tensor(binary - x.data)
+
+
+def convert_to_xnor(model: nn.Module, skip_paths: Optional[List[str]] = None) -> List[str]:
+    """Replace Conv2d/Linear layers by their binarized counterparts, in place.
+
+    The first and last layers are conventionally left full precision in
+    XNOR-Net; callers pass them via ``skip_paths``.  Returns the converted
+    module paths.
+    """
+    skip = set(skip_paths or [])
+    converted: List[str] = []
+    for name, module in list(model.named_modules()):
+        if not name or name in skip:
+            continue
+        if type(module) is nn.Conv2d:
+            replacement = BinarizedConv2d(module.in_channels, module.out_channels, module.kernel_size,
+                                          stride=module.stride, padding=module.padding,
+                                          bias=module.bias is not None)
+            replacement.weight.data = module.weight.data.copy()
+            if module.bias is not None:
+                replacement.bias.data = module.bias.data.copy()
+            model.set_submodule(name, replacement)
+            converted.append(name)
+        elif type(module) is nn.Linear:
+            replacement = BinarizedLinear(module.in_features, module.out_features,
+                                          bias=module.bias is not None)
+            replacement.weight.data = module.weight.data.copy()
+            if module.bias is not None:
+                replacement.bias.data = module.bias.data.copy()
+            model.set_submodule(name, replacement)
+            converted.append(name)
+    return converted
+
+
+def effective_parameter_fraction() -> float:
+    """XNOR's effective compression: 1-bit weights out of 32 (Table 1 footnote)."""
+    return EFFECTIVE_COMPRESSION

@@ -1,0 +1,226 @@
+"""Command-line interface for the Cuttlefish reproduction.
+
+Four subcommands cover the workflows a downstream user needs without writing
+Python:
+
+* ``train``    — train one method (full-rank, Cuttlefish, or a baseline) on a
+  synthetic task and print its comparison-table row.
+* ``compare``  — run several methods on the same task/budget and print the
+  paper-style comparison table (Table 1 / 2 / 19 format).
+* ``profile``  — run Algorithm 2 (the K̂ decision) on a paper-scale model under
+  the GPU roofline and print the per-stack speedup table (Figure 4).
+* ``rank-trace`` — train briefly while recording per-layer stable ranks and
+  print the trajectory table behind Figures 2/3.
+
+Examples
+--------
+::
+
+    repro-cuttlefish train --method cuttlefish --task cifar10_small --model resnet18
+    repro-cuttlefish compare --methods full_rank pufferfish cuttlefish --epochs 8
+    repro-cuttlefish profile --model resnet18 --device v100 --batch-size 1024
+    repro-cuttlefish rank-trace --model vgg19 --epochs 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core import CuttlefishConfig, RankTracker, profile_layer_stacks
+from repro.data import DataLoader, make_vision_task
+from repro.models import available_models, build_model
+from repro.optim import SGD, build_paper_cifar_schedule
+from repro.profiling import get_device
+from repro.train.experiments import (
+    ExperimentRow,
+    VisionExperimentConfig,
+    format_rows,
+    run_vision_method,
+)
+from repro.train.trainer import Trainer
+from repro.utils import get_rng, seed_everything
+
+KNOWN_METHODS = (
+    "full_rank", "cuttlefish", "pufferfish", "si_fd", "imp",
+    "xnor", "lc", "grasp", "early_bird",
+)
+
+
+# --------------------------------------------------------------------------- #
+# Argument parsing
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cuttlefish",
+        description="Cuttlefish (MLSys 2023) reproduction — automated low-rank training.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_budget_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--task", default="cifar10_small",
+                       help="synthetic task name (see repro.data.VISION_TASKS)")
+        p.add_argument("--model", default="resnet18", choices=available_models())
+        p.add_argument("--epochs", type=int, default=10)
+        p.add_argument("--batch-size", type=int, default=32)
+        p.add_argument("--width-mult", type=float, default=0.125,
+                       help="channel-width multiplier for the reduced-scale model")
+        p.add_argument("--lr", type=float, default=0.3)
+        p.add_argument("--weight-decay", type=float, default=5e-3)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--max-batches", type=int, default=None,
+                       help="cap the number of batches per epoch (smoke tests)")
+        p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    train = sub.add_parser("train", help="train one method and print its result row")
+    add_budget_args(train)
+    train.add_argument("--method", default="cuttlefish", choices=KNOWN_METHODS)
+
+    compare = sub.add_parser("compare", help="run several methods on the same budget")
+    add_budget_args(compare)
+    compare.add_argument("--methods", nargs="+", default=["full_rank", "cuttlefish"],
+                         choices=KNOWN_METHODS)
+
+    profile = sub.add_parser("profile", help="Algorithm 2: per-stack speedup table (Figure 4)")
+    profile.add_argument("--model", default="resnet18", choices=available_models())
+    profile.add_argument("--num-classes", type=int, default=10)
+    profile.add_argument("--device", default="v100", help="v100 | t4 | a100 | cpu")
+    profile.add_argument("--batch-size", type=int, default=1024,
+                         help="batch size at which the roofline is evaluated")
+    profile.add_argument("--rank-ratio", type=float, default=0.25, help="probe rank ratio ρ̄")
+    profile.add_argument("--speedup-threshold", type=float, default=1.5, help="υ")
+    profile.add_argument("--image-size", type=int, default=32)
+    profile.add_argument("--json", action="store_true")
+
+    trace = sub.add_parser("rank-trace", help="per-layer stable-rank trajectories (Figure 2/3)")
+    trace.add_argument("--task", default="cifar10_small")
+    trace.add_argument("--model", default="resnet18", choices=available_models())
+    trace.add_argument("--epochs", type=int, default=6)
+    trace.add_argument("--batch-size", type=int, default=32)
+    trace.add_argument("--width-mult", type=float, default=0.125)
+    trace.add_argument("--lr", type=float, default=0.3)
+    trace.add_argument("--weight-decay", type=float, default=5e-3)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--json", action="store_true")
+    return parser
+
+
+def _experiment_config(args: argparse.Namespace) -> VisionExperimentConfig:
+    return VisionExperimentConfig(
+        task=args.task,
+        model=args.model,
+        width_mult=args.width_mult,
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        peak_lr=args.lr,
+        weight_decay=args.weight_decay,
+        seed=args.seed,
+        max_batches_per_epoch=args.max_batches,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Subcommand implementations
+# --------------------------------------------------------------------------- #
+def _emit_rows(rows: List[ExperimentRow], as_json: bool, stream) -> None:
+    if as_json:
+        json.dump([row.as_dict() for row in rows], stream, indent=2, default=float)
+        stream.write("\n")
+    else:
+        stream.write(format_rows(rows) + "\n")
+
+
+def cmd_train(args: argparse.Namespace, stream=sys.stdout) -> int:
+    row = run_vision_method(args.method, _experiment_config(args))
+    _emit_rows([row], args.json, stream)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace, stream=sys.stdout) -> int:
+    rows = [run_vision_method(method, _experiment_config(args)) for method in args.methods]
+    _emit_rows(rows, args.json, stream)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace, stream=sys.stdout) -> int:
+    model = build_model(args.model, num_classes=args.num_classes, rng=get_rng(offset=1))
+    if not hasattr(model, "layer_stack_paths"):
+        stream.write(f"model {args.model!r} does not define layer stacks; nothing to profile\n")
+        return 1
+    probe = get_rng(offset=2).standard_normal((2, 3, args.image_size, args.image_size)).astype(np.float32)
+    labels = np.zeros(len(probe), dtype=np.int64)
+    result = profile_layer_stacks(
+        model, model.layer_stack_paths(), (probe, labels),
+        rank_ratio=args.rank_ratio,
+        speedup_threshold=args.speedup_threshold,
+        mode="roofline",
+        device=get_device(args.device),
+        batch_scale=args.batch_size / len(probe),
+    )
+    if args.json:
+        payload = {
+            "k_hat": result.k_hat,
+            "factorize_stacks": result.factorize_stacks,
+            "skip_stacks": result.skip_stacks,
+            "speedups": result.speedup_table(),
+        }
+        json.dump(payload, stream, indent=2, default=float)
+        stream.write("\n")
+        return 0
+    stream.write(f"{'stack':>12}  {'full-rank':>12}  {'factorized':>12}  {'speedup':>8}  decision\n")
+    for stack in result.stack_profiles:
+        decision = "factorize" if stack.stack_name in result.factorize_stacks else "keep full-rank"
+        stream.write(f"{stack.stack_name:>12}  {1e3 * stack.full_rank_time:12.4f}  "
+                     f"{1e3 * stack.factorized_time:12.4f}  {stack.speedup:8.2f}  {decision}\n")
+    stream.write(f"K̂ = {result.k_hat}\n")
+    return 0
+
+
+def cmd_rank_trace(args: argparse.Namespace, stream=sys.stdout) -> int:
+    seed_everything(args.seed)
+    train_ds, _, spec = make_vision_task(args.task)
+    loader = DataLoader(train_ds, batch_size=args.batch_size, shuffle=True)
+    model = build_model(args.model, num_classes=spec.num_classes,
+                        width_mult=args.width_mult, rng=get_rng(offset=args.seed + 1))
+    optimizer = SGD(model.parameters(), lr=args.lr, momentum=0.9, weight_decay=args.weight_decay)
+    scheduler = build_paper_cifar_schedule(optimizer, args.epochs, args.lr,
+                                           start_lr=args.lr / 8, warmup_epochs=2)
+    tracker = RankTracker(model, model.factorization_candidates())
+    trainer = Trainer(model, optimizer, loader, scheduler=scheduler)
+    for _ in range(args.epochs):
+        trainer.train_epoch()
+        tracker.update(model)
+        scheduler.step()
+
+    table = tracker.rank_ratio_table()
+    if args.json:
+        json.dump(table, stream, indent=2, default=float)
+        stream.write("\n")
+        return 0
+    epochs = range(1, tracker.epochs_recorded + 1)
+    stream.write(f"{'layer':>28}  " + "  ".join(f"ep{e:>2d}" for e in epochs) + "\n")
+    for path, ratios in table.items():
+        stream.write(f"{path:>28}  " + "  ".join(f"{r:4.2f}" for r in ratios) + "\n")
+    return 0
+
+
+COMMANDS = {
+    "train": cmd_train,
+    "compare": cmd_compare,
+    "profile": cmd_profile,
+    "rank-trace": cmd_rank_trace,
+}
+
+
+def main(argv: Optional[List[str]] = None, stream=sys.stdout) -> int:
+    """Entry point used by the ``repro-cuttlefish`` console script and tests."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args, stream=stream)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,303 @@
+"""Cuttlefish — automated low-rank training (Algorithm 1 of the paper).
+
+The public surface has three layers:
+
+* :class:`CuttlefishConfig` — every knob of the method, with the paper's
+  defaults (ε = 0.1, υ = 1.5, probe ratio ρ̄ = 1/4, scaled stable rank).
+* :class:`CuttlefishManager` — a framework-agnostic state machine.  Feed it
+  the model once per epoch (``observe_epoch``); it tracks stable ranks,
+  decides when to switch, factorizes the model in place and reports what it
+  selected (Ê, K̂, R).
+* :class:`CuttlefishCallback` — glue that plugs the manager into
+  :class:`repro.train.Trainer`: rebuilds optimizer state after the switch,
+  optionally decays the learning rate, and installs the Frobenius-decay
+  gradient hook.
+
+``train_cuttlefish`` is a one-call convenience wrapper used by the examples
+and benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.core.factorize import factorize_model, hybrid_parameter_count
+from repro.core.frobenius_decay import FrobeniusDecay
+from repro.core.profiler import ProfilingResult, profile_layer_stacks
+from repro.core.rank_tracker import RankTracker
+from repro.profiling.roofline import DeviceSpec, V100
+from repro.train.trainer import Callback, Trainer
+from repro.utils import get_logger
+
+logger = get_logger("core.cuttlefish")
+
+
+@dataclass
+class CuttlefishConfig:
+    """Hyper-parameters of the Cuttlefish procedure (all have paper defaults)."""
+
+    # Ê selection (Section 3.4)
+    epsilon: float = 0.1                  # rank-stabilisation threshold on dϱ/dt
+    derivative_window: int = 2            # epochs over which the derivative is averaged
+    min_full_rank_epochs: int = 2         # never switch before this many epochs
+    max_full_rank_epochs: Optional[int] = None  # force the switch at this epoch if set
+
+    # R selection (Section 3.3)
+    rank_mode: str = "scaled_stable"      # stable | scaled_stable | accumulative | scaled_stable_or_accumulative
+    accumulative_p: float = 0.8
+    rank_ratio_override: Optional[float] = None  # fixed global ratio (used by ablations)
+
+    # K selection (Section 3.5, Algorithm 2)
+    profile_mode: str = "roofline"        # roofline | wallclock | none
+    profile_rank_ratio: float = 0.25      # ρ̄
+    profile_iterations: int = 3           # τ
+    speedup_threshold: float = 1.5        # υ
+    profile_device: DeviceSpec = V100
+    profile_batch_scale: float = 1.0      # roofline only: pretend the batch is this much larger
+    contiguous_prefix: bool = True        # CNNs: once a stack is worth it, factorize all deeper stacks
+
+    # Factorized training options (Section 4.1)
+    extra_bn: bool = False
+    frobenius_decay: Optional[float] = None   # λ, or None to disable
+    lr_decay_on_switch: float = 1.0           # multiply base LR by this at the switch (DeiT: 1/3)
+    skip_non_reducing: bool = True
+
+
+@dataclass
+class CuttlefishReport:
+    """What Cuttlefish selected during a run — the paper's ŝ = (Ê, K̂, R)."""
+
+    switch_epoch: Optional[int] = None            # Ê
+    k_hat: Optional[int] = None                   # K̂
+    selected_ranks: Dict[str, int] = field(default_factory=dict)   # R
+    factorized_paths: List[str] = field(default_factory=list)
+    skipped_paths: List[str] = field(default_factory=list)
+    profiling: Optional[ProfilingResult] = None
+    params_before: int = 0
+    params_after: int = 0
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.params_after == 0:
+            return 1.0
+        return self.params_before / self.params_after
+
+    def rank_ratio_of(self, full_ranks: Dict[str, int]) -> Dict[str, float]:
+        return {p: self.selected_ranks[p] / full_ranks[p] for p in self.selected_ranks if p in full_ranks}
+
+
+class CuttlefishManager:
+    """Framework-agnostic implementation of Algorithm 1's control flow."""
+
+    def __init__(
+        self,
+        model: nn.Module,
+        config: Optional[CuttlefishConfig] = None,
+        candidate_paths: Optional[Sequence[str]] = None,
+        stack_paths: Optional[Dict[str, List[str]]] = None,
+    ):
+        self.config = config or CuttlefishConfig()
+        if candidate_paths is None:
+            if not hasattr(model, "factorization_candidates"):
+                raise ValueError("model does not define factorization_candidates(); pass candidate_paths")
+            candidate_paths = model.factorization_candidates()
+        self.candidate_paths: List[str] = list(candidate_paths)
+        if stack_paths is None and hasattr(model, "layer_stack_paths"):
+            stack_paths = model.layer_stack_paths()
+        self.stack_paths = stack_paths or {}
+
+        self.report = CuttlefishReport(params_before=model.num_parameters())
+        self.tracker = RankTracker(
+            model,
+            self.candidate_paths,
+            epsilon=self.config.epsilon,
+            derivative_window=self.config.derivative_window,
+            min_epochs=self.config.min_full_rank_epochs,
+            rank_mode=self.config.rank_mode,
+            accumulative_p=self.config.accumulative_p,
+        )
+        self.switched = False
+        self._excluded_by_profiling: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # K̂ — profiling (Algorithm 2)
+    # ------------------------------------------------------------------ #
+    def run_profiling(self, model: nn.Module, example_batch, loss_fn=None, forward_fn=None) -> Optional[ProfilingResult]:
+        """Decide which layer stacks are worth factorizing; prune the candidate set."""
+        if self.report.profiling is not None:
+            # A decision was already supplied (e.g. from a paper-scale reference model).
+            return self.report.profiling
+        if self.config.profile_mode == "none" or not self.stack_paths:
+            if self.report.k_hat is None:
+                self.report.k_hat = 1
+            return None
+        result = profile_layer_stacks(
+            model,
+            self.stack_paths,
+            example_batch,
+            rank_ratio=self.config.profile_rank_ratio,
+            speedup_threshold=self.config.speedup_threshold,
+            iterations=self.config.profile_iterations,
+            mode=self.config.profile_mode,
+            device=self.config.profile_device,
+            loss_fn=loss_fn,
+            forward_fn=forward_fn,
+            contiguous_prefix=self.config.contiguous_prefix,
+            batch_scale=self.config.profile_batch_scale,
+        )
+        self.apply_profiling_result(result)
+        return result
+
+    def apply_profiling_result(self, result: ProfilingResult) -> None:
+        """Adopt an (possibly externally computed) Algorithm-2 decision.
+
+        This is also the hook used when the K decision is made on a
+        paper-scale reference model (same architecture, full width) while the
+        actual training runs on a reduced-width model: the stack names match,
+        so the skipped layer paths carry over directly.
+        """
+        self._excluded_by_profiling = [p for p in result.skipped_layer_paths if p in self.candidate_paths]
+        if self._excluded_by_profiling:
+            remaining = [p for p in self.candidate_paths if p not in set(self._excluded_by_profiling)]
+            self.candidate_paths = remaining
+            self.tracker.histories = {
+                path: history for path, history in self.tracker.histories.items() if path in set(remaining)
+            }
+            self.tracker.candidate_paths = remaining
+        self.report.profiling = result
+        self.report.k_hat = result.k_hat
+        self.report.skipped_paths = list(result.skipped_layer_paths)
+        logger.info("profiling: factorize stacks %s, keep full-rank %s (K̂=%d)",
+                    result.factorize_stacks, result.skip_stacks, result.k_hat)
+
+    # ------------------------------------------------------------------ #
+    # Ê and R — per-epoch observation (Algorithm 1 main loop)
+    # ------------------------------------------------------------------ #
+    def observe_epoch(self, model: nn.Module, epoch: int) -> bool:
+        """Record ranks for this epoch; switch to low-rank training if stabilised.
+
+        Returns True if the switch happened at this call (the model has been
+        factorized in place).
+        """
+        if self.switched or not self.candidate_paths:
+            return False
+        self.tracker.update(model)
+        forced = (
+            self.config.max_full_rank_epochs is not None
+            and epoch + 1 >= self.config.max_full_rank_epochs
+        )
+        if epoch + 1 < self.config.min_full_rank_epochs:
+            return False
+        if not forced and not self.tracker.has_converged():
+            return False
+        self._switch(model, epoch)
+        return True
+
+    def _select_ranks(self, model: nn.Module) -> Dict[str, int]:
+        if self.config.rank_ratio_override is not None:
+            ranks = {}
+            for path, history in self.tracker.histories.items():
+                ranks[path] = max(1, int(round(history.full_rank * self.config.rank_ratio_override)))
+            return ranks
+        return self.tracker.select_ranks(model)
+
+    def _switch(self, model: nn.Module, epoch: int) -> None:
+        ranks = self._select_ranks(model)
+        factorized = factorize_model(
+            model, ranks, extra_bn=self.config.extra_bn,
+            skip_non_reducing=self.config.skip_non_reducing,
+        )
+        self.switched = True
+        self.report.switch_epoch = epoch + 1            # Ê counts full-rank epochs completed
+        self.report.selected_ranks = ranks
+        self.report.factorized_paths = factorized
+        self.report.params_after = model.num_parameters()
+        if self.report.k_hat is None:
+            self.report.k_hat = 1
+        logger.info(
+            "Cuttlefish switch at epoch %d: factorized %d layers, params %.3gM → %.3gM (%.2fx)",
+            self.report.switch_epoch, len(factorized),
+            self.report.params_before / 1e6, self.report.params_after / 1e6,
+            self.report.compression_ratio,
+        )
+
+    # ------------------------------------------------------------------ #
+    def full_ranks(self) -> Dict[str, int]:
+        return {path: history.full_rank for path, history in self.tracker.histories.items()}
+
+
+class CuttlefishCallback(Callback):
+    """Trainer callback wiring a :class:`CuttlefishManager` into the training loop."""
+
+    def __init__(self, manager: CuttlefishManager, profile_batch=None,
+                 loss_fn=None, forward_fn=None):
+        self.manager = manager
+        self.profile_batch = profile_batch
+        self.loss_fn = loss_fn
+        self.forward_fn = forward_fn
+        self._frobenius: Optional[FrobeniusDecay] = None
+
+    def on_train_begin(self, trainer: Trainer) -> None:
+        batch = self.profile_batch
+        if batch is None:
+            batch = next(iter(trainer.train_loader))
+        self.manager.run_profiling(trainer.model, batch, loss_fn=self.loss_fn, forward_fn=self.forward_fn)
+
+    def on_epoch_end(self, trainer: Trainer, epoch: int, logs: Dict[str, float]) -> None:
+        switched = self.manager.observe_epoch(trainer.model, epoch)
+        if not switched:
+            return
+        trainer.rebuild_optimizer_params()
+        config = self.manager.config
+        if config.lr_decay_on_switch != 1.0 and trainer.scheduler is not None:
+            trainer.scheduler.scale_base_lr(config.lr_decay_on_switch)
+        if config.frobenius_decay is not None:
+            self._frobenius = FrobeniusDecay(config.frobenius_decay)
+            self._frobenius.configure_optimizer(trainer.optimizer, trainer.model)
+            trainer.grad_hook = self._frobenius
+        logs["cuttlefish_switch_epoch"] = float(self.manager.report.switch_epoch or -1)
+
+
+def train_cuttlefish(
+    model: nn.Module,
+    optimizer,
+    train_loader,
+    val_loader=None,
+    epochs: int = 10,
+    config: Optional[CuttlefishConfig] = None,
+    scheduler=None,
+    loss_fn=None,
+    forward_fn=None,
+    candidate_paths: Optional[Sequence[str]] = None,
+    stack_paths: Optional[Dict[str, List[str]]] = None,
+    label_smoothing: float = 0.0,
+    verbose: bool = False,
+    max_batches_per_epoch: Optional[int] = None,
+):
+    """Train ``model`` end-to-end with Cuttlefish; returns (trainer, manager).
+
+    This is the "no tuning" entry point used in the examples: the caller
+    provides exactly what full-rank training would need (model, optimizer,
+    data, epoch count) and Cuttlefish selects (Ê, K̂, R) on the fly.
+    """
+    manager = CuttlefishManager(model, config=config, candidate_paths=candidate_paths,
+                                stack_paths=stack_paths)
+    callback = CuttlefishCallback(manager, loss_fn=loss_fn, forward_fn=forward_fn)
+    trainer = Trainer(
+        model,
+        optimizer,
+        train_loader,
+        val_loader,
+        loss_fn=loss_fn,
+        forward_fn=forward_fn,
+        scheduler=scheduler,
+        callbacks=[callback],
+        label_smoothing=label_smoothing,
+        max_batches_per_epoch=max_batches_per_epoch,
+    )
+    trainer.fit(epochs, verbose=verbose)
+    return trainer, manager

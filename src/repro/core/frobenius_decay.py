@@ -1,0 +1,96 @@
+"""Frobenius decay for factorized layers (Section 4.1, "Cuttlefish with FD").
+
+Ordinary weight decay on a factorized pair penalises ‖U‖_F² + ‖Vᵀ‖_F², which
+is not the same as penalising the effective weight.  Frobenius decay instead
+regularises ‖U Vᵀ‖_F², whose gradients are
+
+    ∇_U  (λ/2)‖U Vᵀ‖_F² = λ · U (Vᵀ V)        (computed as (U Vᵀ) V)
+    ∇_Vᵀ (λ/2)‖U Vᵀ‖_F² = λ · (Uᵀ U) Vᵀ       (computed as Uᵀ (U Vᵀ))
+
+The shared product U Vᵀ is computed once per layer per step, mirroring the
+paper's optimisation.  The decay is applied as a gradient hook after
+``backward`` so the autograd graph never sees it — this keeps its cost
+negligible, exactly like the fused implementation described in the paper.
+When Frobenius decay is active the optimizer's plain L2 decay must be disabled
+for the factorized parameters (handled by :meth:`FrobeniusDecay.configure_optimizer`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.core.low_rank_layers import LowRankConv2d, LowRankLinear, is_low_rank
+
+
+class FrobeniusDecay:
+    """Gradient hook adding λ-weighted Frobenius decay to every factorized layer."""
+
+    def __init__(self, coefficient: float = 1e-4):
+        self.coefficient = float(coefficient)
+
+    # ------------------------------------------------------------------ #
+    def configure_optimizer(self, optimizer, model: nn.Module) -> None:
+        """Exclude factorized parameters from the optimizer's plain L2 decay."""
+        if not hasattr(optimizer, "exclude_from_weight_decay"):
+            return
+        factor_params = []
+        for module in model.modules():
+            if is_low_rank(module):
+                factor_params.extend(module.factor_parameters())
+        optimizer.exclude_from_weight_decay(factor_params)
+
+    # ------------------------------------------------------------------ #
+    def __call__(self, model: nn.Module) -> None:
+        """Add the Frobenius-decay gradient to every factorized layer in ``model``."""
+        if self.coefficient == 0.0:
+            return
+        for module in model.modules():
+            if isinstance(module, LowRankLinear):
+                self._apply_linear(module)
+            elif isinstance(module, LowRankConv2d):
+                self._apply_conv(module)
+
+    # ------------------------------------------------------------------ #
+    def _apply_linear(self, module: LowRankLinear) -> None:
+        u = module.u.data.astype(np.float64)       # (in, r)
+        vt = module.vt.data.astype(np.float64)     # (r, out)
+        product = u @ vt                            # shared term U Vᵀ, computed once
+        grad_u = self.coefficient * (product @ vt.T)
+        grad_vt = self.coefficient * (u.T @ product)
+        self._accumulate(module.u, grad_u)
+        self._accumulate(module.vt, grad_vt)
+
+    def _apply_conv(self, module: LowRankConv2d) -> None:
+        rank = module.rank
+        in_c = module.in_channels
+        kh, kw = module.kernel_size
+        u = module.u_weight.data.transpose(1, 2, 3, 0).reshape(in_c * kh * kw, rank).astype(np.float64)
+        vt = module.v_weight.data.reshape(module.out_channels, rank).T.astype(np.float64)
+        product = u @ vt
+        grad_u = self.coefficient * (product @ vt.T)          # (in·k², r)
+        grad_vt = self.coefficient * (u.T @ product)           # (r, out)
+        grad_u_weight = grad_u.reshape(in_c, kh, kw, rank).transpose(3, 0, 1, 2)
+        grad_v_weight = grad_vt.T.reshape(module.out_channels, rank, 1, 1)
+        self._accumulate(module.u_weight, grad_u_weight)
+        self._accumulate(module.v_weight, grad_v_weight)
+
+    @staticmethod
+    def _accumulate(param, grad: np.ndarray) -> None:
+        grad = grad.astype(np.float32)
+        if param.grad is None:
+            param.grad = grad
+        else:
+            param.grad = param.grad + grad
+
+
+def frobenius_penalty(model: nn.Module, coefficient: float) -> float:
+    """The scalar value (λ/2)·Σ‖U Vᵀ‖_F² — useful for logging/tests."""
+    total = 0.0
+    for module in model.modules():
+        if is_low_rank(module):
+            product = module.composed_weight().astype(np.float64)
+            total += float(np.sum(product ** 2))
+    return 0.5 * coefficient * total

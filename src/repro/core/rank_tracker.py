@@ -1,0 +1,148 @@
+"""Per-layer stable-rank tracking and the Ê stopping rule (Section 3.4).
+
+The tracker records, once per epoch, the stable rank of every candidate
+layer.  The full-rank → low-rank switch happens at the first epoch where the
+(normalised) derivative of every layer's rank trajectory falls below the
+stabilisation threshold ε — i.e. all trajectories have flattened out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.core.stable_rank import (
+    full_rank_of,
+    initial_scale_factor,
+    module_rank_estimate,
+    singular_values,
+    stable_rank,
+    weight_to_matrix,
+)
+
+
+@dataclass
+class LayerRankHistory:
+    """Rank trajectory ϱ of a single layer."""
+
+    path: str
+    full_rank: int
+    xi: float = 1.0
+    stable_ranks: List[float] = field(default_factory=list)
+
+    @property
+    def rank_ratios(self) -> List[float]:
+        """Stable rank / full rank per epoch (the ρ values plotted in Figures 2/3)."""
+        return [r / self.full_rank for r in self.stable_ranks]
+
+    def derivative(self, window: int = 2) -> float:
+        """Mean absolute per-epoch change of the stable-rank trajectory over a window.
+
+        The paper's stopping rule compares this against ε = 0.1 in *rank units*
+        (dϱ/dt ≤ ε), i.e. the stable rank of every layer must be changing by
+        less than a tenth of a rank per epoch.
+        """
+        ranks = self.stable_ranks
+        if len(ranks) < 2:
+            return float("inf")
+        window = min(window, len(ranks) - 1)
+        diffs = np.abs(np.diff(ranks[-(window + 1):]))
+        return float(diffs.mean())
+
+
+class RankTracker:
+    """Tracks stable ranks of the candidate layers over training epochs."""
+
+    def __init__(
+        self,
+        model: nn.Module,
+        candidate_paths: List[str],
+        epsilon: float = 0.1,
+        derivative_window: int = 2,
+        min_epochs: int = 2,
+        rank_mode: str = "scaled_stable",
+        accumulative_p: float = 0.8,
+    ):
+        self.candidate_paths = list(candidate_paths)
+        self.epsilon = float(epsilon)
+        self.derivative_window = int(derivative_window)
+        self.min_epochs = int(min_epochs)
+        self.rank_mode = rank_mode
+        self.accumulative_p = accumulative_p
+
+        self.histories: Dict[str, LayerRankHistory] = {}
+        for path in self.candidate_paths:
+            module = model.get_submodule(path)
+            matrix = weight_to_matrix(module)
+            sigma0 = singular_values(matrix)
+            fr = full_rank_of(matrix)
+            self.histories[path] = LayerRankHistory(
+                path=path,
+                full_rank=fr,
+                xi=initial_scale_factor(sigma0, fr),
+            )
+
+    # ------------------------------------------------------------------ #
+    # Per-epoch update
+    # ------------------------------------------------------------------ #
+    def update(self, model: nn.Module) -> Dict[str, float]:
+        """Record the current stable rank of every candidate layer.
+
+        Returns the mapping path → stable rank recorded this epoch.  The
+        stopping rule's derivative test operates on these unscaled stable
+        ranks, matching the paper's ε = 0.1 threshold in rank units.
+        """
+        recorded: Dict[str, float] = {}
+        for path, history in self.histories.items():
+            module = model.get_submodule(path)
+            sigma = singular_values(weight_to_matrix(module))
+            value = stable_rank(sigma)
+            history.stable_ranks.append(value)
+            recorded[path] = value
+        return recorded
+
+    @property
+    def epochs_recorded(self) -> int:
+        if not self.histories:
+            return 0
+        return len(next(iter(self.histories.values())).stable_ranks)
+
+    # ------------------------------------------------------------------ #
+    # Stopping rule and rank selection
+    # ------------------------------------------------------------------ #
+    def has_converged(self) -> bool:
+        """True when every layer's stable-rank derivative is below ε (Algorithm 1)."""
+        if self.epochs_recorded < max(self.min_epochs, 2):
+            return False
+        return all(
+            history.derivative(self.derivative_window) <= self.epsilon
+            for history in self.histories.values()
+        )
+
+    def select_ranks(self, model: nn.Module) -> Dict[str, int]:
+        """Rank per layer using the configured estimation mode (Section 3.3)."""
+        ranks: Dict[str, int] = {}
+        for path, history in self.histories.items():
+            module = model.get_submodule(path)
+            estimate = module_rank_estimate(
+                module, xi=history.xi, mode=self.rank_mode, accumulative_p=self.accumulative_p
+            )
+            ranks[path] = int(max(1, min(round(estimate), history.full_rank)))
+        return ranks
+
+    # ------------------------------------------------------------------ #
+    # Reporting helpers (Figures 2, 3, 10-17)
+    # ------------------------------------------------------------------ #
+    def rank_ratio_table(self) -> Dict[str, List[float]]:
+        """path → per-epoch rank ratios, the data behind the paper's heat maps."""
+        return {path: history.rank_ratios for path, history in self.histories.items()}
+
+    def rank_ratio_matrix(self) -> np.ndarray:
+        """(num_layers, num_epochs) matrix of rank ratios in candidate order."""
+        rows = [self.histories[path].rank_ratios for path in self.candidate_paths]
+        if not rows:
+            return np.zeros((0, 0))
+        return np.asarray(rows, dtype=np.float64)

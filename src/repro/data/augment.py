@@ -1,0 +1,89 @@
+"""Image augmentation transforms (numpy, CHW layout).
+
+These reproduce the standard CIFAR/SVHN/ImageNet pipelines the paper trains
+with: channel-wise normalisation, random horizontal flip and random crop with
+reflection padding.  Transforms are plain callables composed with
+:class:`Compose` and applied per-sample inside a ``Dataset``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.utils import get_rng
+
+# Channel statistics used by the paper for CIFAR/SVHN/ImageNet.
+IMAGENET_MEAN = np.array([0.485, 0.456, 0.406], dtype=np.float32)
+IMAGENET_STD = np.array([0.229, 0.224, 0.225], dtype=np.float32)
+
+
+class Compose:
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: Sequence[Callable[[np.ndarray], np.ndarray]]):
+        self.transforms = list(transforms)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            image = transform(image)
+        return image
+
+
+class Normalize:
+    """Per-channel standardisation of a CHW image."""
+
+    def __init__(self, mean=IMAGENET_MEAN, std=IMAGENET_STD):
+        self.mean = np.asarray(mean, dtype=np.float32).reshape(-1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float32).reshape(-1, 1, 1)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        channels = image.shape[0]
+        mean = self.mean[:channels]
+        std = self.std[:channels]
+        return (image - mean) / std
+
+
+class RandomHorizontalFlip:
+    """Flip the image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5, seed_offset: int = 101):
+        self.p = p
+        self._rng = get_rng(offset=seed_offset)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self._rng.random() < self.p:
+            return image[:, :, ::-1].copy()
+        return image
+
+
+class RandomCrop:
+    """Pad by ``padding`` pixels (reflect) and take a random crop of the original size."""
+
+    def __init__(self, size: int, padding: int = 4, seed_offset: int = 103):
+        self.size = size
+        self.padding = padding
+        self._rng = get_rng(offset=seed_offset)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        pad = self.padding
+        padded = np.pad(image, ((0, 0), (pad, pad), (pad, pad)), mode="reflect")
+        max_offset = padded.shape[1] - self.size
+        top = int(self._rng.integers(0, max_offset + 1))
+        left = int(self._rng.integers(0, max_offset + 1))
+        return padded[:, top:top + self.size, left:left + self.size].copy()
+
+
+def standard_train_transform(image_size: int, flip: bool = True, crop_padding: int = 2) -> Compose:
+    """The CIFAR-style training pipeline: random crop + flip + normalise."""
+    transforms: List[Callable] = [RandomCrop(image_size, padding=crop_padding)]
+    if flip:
+        transforms.append(RandomHorizontalFlip())
+    transforms.append(Normalize())
+    return Compose(transforms)
+
+
+def standard_eval_transform() -> Compose:
+    """Evaluation pipeline: normalisation only."""
+    return Compose([Normalize()])

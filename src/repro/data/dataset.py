@@ -1,0 +1,118 @@
+"""Dataset and DataLoader abstractions.
+
+These mirror the minimal ``torch.utils.data`` surface the paper's training
+scripts use: map-style datasets indexed by integers and a shuffling,
+mini-batching loader.  Everything stays in numpy; batches are stacked arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils import get_rng
+
+
+class Dataset:
+    """Map-style dataset: implements ``__len__`` and ``__getitem__``."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int):
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """Dataset over parallel numpy arrays (e.g. images and labels)."""
+
+    def __init__(self, *arrays: np.ndarray, transform: Optional[Callable] = None):
+        if not arrays:
+            raise ValueError("ArrayDataset needs at least one array")
+        lengths = {len(a) for a in arrays}
+        if len(lengths) != 1:
+            raise ValueError(f"arrays have mismatched lengths: {sorted(lengths)}")
+        self.arrays = arrays
+        self.transform = transform
+
+    def __len__(self) -> int:
+        return len(self.arrays[0])
+
+    def __getitem__(self, index: int):
+        items = tuple(a[index] for a in self.arrays)
+        if self.transform is not None:
+            items = (self.transform(items[0]),) + items[1:]
+        return items if len(items) > 1 else items[0]
+
+
+class Subset(Dataset):
+    """View over a subset of another dataset's indices."""
+
+    def __init__(self, dataset: Dataset, indices: Sequence[int]):
+        self.dataset = dataset
+        self.indices = list(indices)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int):
+        return self.dataset[self.indices[index]]
+
+
+def _default_collate(samples: List) -> Tuple[np.ndarray, ...]:
+    """Stack a list of per-sample tuples into a tuple of batched arrays."""
+    if isinstance(samples[0], tuple):
+        num_fields = len(samples[0])
+        return tuple(np.stack([s[i] for s in samples]) for i in range(num_fields))
+    return (np.stack(samples),)
+
+
+class DataLoader:
+    """Mini-batch iterator with optional shuffling.
+
+    Iterating yields tuples of stacked numpy arrays.  The loader draws its
+    shuffling permutation from a generator derived from the library root seed
+    so that epochs are reproducible.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        collate_fn: Optional[Callable] = None,
+        seed_offset: int = 7,
+    ):
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.collate_fn = collate_fn or _default_collate
+        self._rng = get_rng(offset=seed_offset)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, ...]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                break
+            samples = [self.dataset[int(i)] for i in idx]
+            yield self.collate_fn(samples)
+
+
+def train_val_split(dataset: Dataset, val_fraction: float = 0.1, seed_offset: int = 11) -> Tuple[Subset, Subset]:
+    """Deterministically split a dataset into train/validation subsets."""
+    n = len(dataset)
+    rng = get_rng(offset=seed_offset)
+    order = rng.permutation(n)
+    n_val = int(round(n * val_fraction))
+    return Subset(dataset, order[n_val:]), Subset(dataset, order[:n_val])

@@ -1,0 +1,289 @@
+"""Synthetic stand-ins for the paper's datasets.
+
+The paper evaluates on CIFAR-10/100, SVHN, ImageNet, the GLUE benchmark and a
+Wikipedia/BookCorpus MLM pre-training corpus.  None of these can be downloaded
+in this offline environment, so this module synthesises tasks that exercise the
+same code paths and, crucially, reproduce the *structural* properties
+Cuttlefish relies on:
+
+* class-conditional signal of controllable intrinsic rank (so layer weights
+  become approximately low-rank during training and their stable ranks
+  stabilise);
+* a difficulty knob (more classes / lower signal-to-noise ⇒ higher converged
+  ranks, mirroring the CIFAR-100 > CIFAR-10 > SVHN ordering in the paper);
+* identical input/output shapes per task family so the unmodified model
+  definitions run on them.
+
+Every generator is deterministic given the library root seed plus the task
+name, so repeated benchmark runs see identical data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.data.augment import standard_eval_transform, standard_train_transform
+from repro.data.dataset import ArrayDataset
+from repro.utils import get_rng
+
+
+def _task_rng(name: str, extra: int = 0) -> np.random.Generator:
+    """Derive a per-task generator from the task name (stable across runs)."""
+    digest = int(hashlib.sha256(name.encode()).hexdigest()[:8], 16)
+    return get_rng(offset=digest + extra)
+
+
+# --------------------------------------------------------------------------- #
+# Vision tasks
+# --------------------------------------------------------------------------- #
+@dataclass
+class VisionTaskSpec:
+    """Configuration of a synthetic image-classification task."""
+
+    name: str
+    num_classes: int
+    image_size: int
+    channels: int = 3
+    n_train: int = 512
+    n_val: int = 256
+    intrinsic_rank: int = 4       # spatial rank of each class template
+    noise_std: float = 0.6        # per-pixel noise; higher = harder task
+    template_scale: float = 1.0
+    flip_augment: bool = True
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.num_classes} classes, {self.channels}x{self.image_size}x{self.image_size}, "
+            f"{self.n_train} train / {self.n_val} val, intrinsic rank {self.intrinsic_rank}, "
+            f"noise {self.noise_std}"
+        )
+
+
+# Paper dataset → synthetic analogue.  ``paper`` presets keep the paper's
+# resolution/class counts (expensive on CPU); ``small`` presets shrink them for
+# tests and CI while preserving relative difficulty ordering.
+VISION_TASKS: Dict[str, VisionTaskSpec] = {
+    "cifar10": VisionTaskSpec("cifar10", num_classes=10, image_size=32, n_train=2048, n_val=512,
+                              intrinsic_rank=4, noise_std=0.6),
+    "cifar100": VisionTaskSpec("cifar100", num_classes=100, image_size=32, n_train=2048, n_val=512,
+                               intrinsic_rank=8, noise_std=0.8),
+    "svhn": VisionTaskSpec("svhn", num_classes=10, image_size=32, n_train=2048, n_val=512,
+                           intrinsic_rank=3, noise_std=0.4),
+    "imagenet": VisionTaskSpec("imagenet", num_classes=64, image_size=32, n_train=4096, n_val=1024,
+                               intrinsic_rank=10, noise_std=0.9),
+    # CI-sized variants.
+    "cifar10_small": VisionTaskSpec("cifar10_small", num_classes=4, image_size=16, n_train=256, n_val=128,
+                                    intrinsic_rank=3, noise_std=0.5),
+    "cifar100_small": VisionTaskSpec("cifar100_small", num_classes=8, image_size=16, n_train=256, n_val=128,
+                                     intrinsic_rank=5, noise_std=0.7),
+    "svhn_small": VisionTaskSpec("svhn_small", num_classes=4, image_size=16, n_train=256, n_val=128,
+                                 intrinsic_rank=2, noise_std=0.35),
+    "imagenet_small": VisionTaskSpec("imagenet_small", num_classes=8, image_size=16, n_train=384, n_val=128,
+                                     intrinsic_rank=6, noise_std=0.8),
+}
+
+
+def _make_class_templates(spec: VisionTaskSpec, rng: np.random.Generator) -> np.ndarray:
+    """Build one low-rank spatial template per class.
+
+    Each template is a sum of ``intrinsic_rank`` rank-one spatial patterns per
+    channel, which gives the class signal a controllable intrinsic
+    dimensionality — the property that makes trained layer weights
+    approximately low rank.
+    """
+    size = spec.image_size
+    templates = np.zeros((spec.num_classes, spec.channels, size, size), dtype=np.float32)
+    for cls in range(spec.num_classes):
+        for ch in range(spec.channels):
+            left = rng.standard_normal((size, spec.intrinsic_rank))
+            right = rng.standard_normal((spec.intrinsic_rank, size))
+            pattern = left @ right / np.sqrt(spec.intrinsic_rank)
+            templates[cls, ch] = pattern
+    # Normalise template energy so tasks with different ranks stay comparable.
+    templates *= spec.template_scale / (np.abs(templates).mean() + 1e-8)
+    return templates * 0.25
+
+
+def _sample_images(spec: VisionTaskSpec, templates: np.ndarray, labels: np.ndarray,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Draw images: class template + smooth per-sample deformation + pixel noise."""
+    n = len(labels)
+    size = spec.image_size
+    images = templates[labels].copy()
+    # Per-sample low-frequency deformation (keeps samples within the class manifold).
+    coeffs = rng.standard_normal((n, spec.channels, 2, size)).astype(np.float32) * 0.1
+    rows = np.linspace(0, np.pi, size, dtype=np.float32)
+    basis = np.stack([np.sin(rows), np.cos(rows)], axis=0)        # (2, size)
+    deform = np.einsum("ncks,kh->nchs", coeffs, basis)            # (n, c, size, size)
+    images += deform
+    images += rng.standard_normal(images.shape).astype(np.float32) * spec.noise_std
+    # Map to [0, 1]-ish range like real pixel data before normalisation.
+    images = 0.5 + 0.25 * images
+    return images.astype(np.float32)
+
+
+def make_vision_task(
+    name: str,
+    augment: bool = True,
+    overrides: Optional[dict] = None,
+) -> Tuple[ArrayDataset, ArrayDataset, VisionTaskSpec]:
+    """Create (train_dataset, val_dataset, spec) for a named synthetic vision task."""
+    if name not in VISION_TASKS:
+        raise KeyError(f"unknown vision task {name!r}; available: {sorted(VISION_TASKS)}")
+    spec = VISION_TASKS[name]
+    if overrides:
+        spec = VisionTaskSpec(**{**spec.__dict__, **overrides})
+    rng = _task_rng(spec.name)
+    templates = _make_class_templates(spec, rng)
+
+    train_labels = rng.integers(0, spec.num_classes, size=spec.n_train)
+    val_labels = rng.integers(0, spec.num_classes, size=spec.n_val)
+    train_images = _sample_images(spec, templates, train_labels, rng)
+    val_images = _sample_images(spec, templates, val_labels, rng)
+
+    train_transform = (
+        standard_train_transform(spec.image_size, flip=spec.flip_augment) if augment
+        else standard_eval_transform()
+    )
+    val_transform = standard_eval_transform()
+    train_ds = ArrayDataset(train_images, train_labels.astype(np.int64), transform=train_transform)
+    val_ds = ArrayDataset(val_images, val_labels.astype(np.int64), transform=val_transform)
+    return train_ds, val_ds, spec
+
+
+# --------------------------------------------------------------------------- #
+# NLP tasks (GLUE-style fine-tuning and MLM pre-training)
+# --------------------------------------------------------------------------- #
+@dataclass
+class TextTaskSpec:
+    """Configuration of a synthetic sequence-classification task."""
+
+    name: str
+    num_classes: int              # 1 ⇒ regression (STS-B style)
+    vocab_size: int = 200
+    seq_len: int = 24
+    n_train: int = 512
+    n_val: int = 256
+    class_token_groups: int = 6   # tokens per class signature
+    signal_density: float = 0.3   # fraction of positions carrying class signal
+    is_regression: bool = False
+    metric: str = "accuracy"      # accuracy | f1 | spearman | matthews
+
+
+# GLUE task inventory matching Table 4 of the paper (WNLI excluded, as in the paper).
+GLUE_TASKS: Dict[str, TextTaskSpec] = {
+    "mnli": TextTaskSpec("mnli", num_classes=3, n_train=768, n_val=256, metric="accuracy"),
+    "qnli": TextTaskSpec("qnli", num_classes=2, metric="accuracy"),
+    "qqp": TextTaskSpec("qqp", num_classes=2, metric="f1"),
+    "rte": TextTaskSpec("rte", num_classes=2, n_train=256, n_val=128, signal_density=0.2, metric="accuracy"),
+    "sst2": TextTaskSpec("sst2", num_classes=2, metric="accuracy"),
+    "mrpc": TextTaskSpec("mrpc", num_classes=2, n_train=384, n_val=128, metric="f1"),
+    "cola": TextTaskSpec("cola", num_classes=2, signal_density=0.15, metric="matthews"),
+    "stsb": TextTaskSpec("stsb", num_classes=1, is_regression=True, metric="spearman"),
+}
+
+
+def make_text_task(name: str, overrides: Optional[dict] = None) -> Tuple[ArrayDataset, ArrayDataset, TextTaskSpec]:
+    """Create a synthetic GLUE-style task: token id sequences plus label.
+
+    Each class owns a small set of "signature" tokens; a sample is generated by
+    sprinkling signature tokens into a background of random tokens with density
+    ``signal_density``.  Regression tasks (STS-B) derive the target from the
+    fraction of signature tokens present, giving a continuous label.
+    """
+    if name not in GLUE_TASKS:
+        raise KeyError(f"unknown text task {name!r}; available: {sorted(GLUE_TASKS)}")
+    spec = GLUE_TASKS[name]
+    if overrides:
+        spec = TextTaskSpec(**{**spec.__dict__, **overrides})
+    rng = _task_rng("glue-" + spec.name)
+
+    num_signatures = max(spec.num_classes, 2)
+    signature_tokens = rng.choice(
+        np.arange(4, spec.vocab_size), size=(num_signatures, spec.class_token_groups), replace=False
+    )
+
+    def _generate(n: int, extra: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        sample_rng = _task_rng("glue-" + spec.name, extra=extra)
+        tokens = sample_rng.integers(4, spec.vocab_size, size=(n, spec.seq_len))
+        lengths = sample_rng.integers(spec.seq_len // 2, spec.seq_len + 1, size=n)
+        mask = np.arange(spec.seq_len)[None, :] < lengths[:, None]
+        if spec.is_regression:
+            strength = sample_rng.random(n)
+            labels = strength.astype(np.float32)
+            class_idx = np.zeros(n, dtype=int)
+        else:
+            class_idx = sample_rng.integers(0, spec.num_classes, size=n)
+            labels = class_idx.astype(np.int64)
+            strength = np.full(n, spec.signal_density)
+        for i in range(n):
+            n_signal = int(round(strength[i] * lengths[i]))
+            if n_signal <= 0:
+                continue
+            positions = sample_rng.choice(lengths[i], size=min(n_signal, lengths[i]), replace=False)
+            tokens[i, positions] = sample_rng.choice(signature_tokens[class_idx[i]], size=len(positions))
+        tokens[~mask] = 0  # PAD id
+        if spec.is_regression:
+            labels = (strength * 5.0).astype(np.float32)  # STS-B style 0-5 score
+        return tokens.astype(np.int64), mask.astype(np.float32), labels
+
+    train = _generate(spec.n_train, extra=1)
+    val = _generate(spec.n_val, extra=2)
+    return ArrayDataset(*train), ArrayDataset(*val), spec
+
+
+@dataclass
+class MLMCorpusSpec:
+    """Configuration of the synthetic masked-language-model pre-training corpus."""
+
+    name: str = "wiki_books_synth"
+    vocab_size: int = 256
+    seq_len: int = 32
+    n_train: int = 1024
+    n_val: int = 256
+    mask_prob: float = 0.15
+    markov_order_rank: int = 8    # rank of the token transition matrix
+    mask_token_id: int = 3
+    pad_token_id: int = 0
+
+
+def make_mlm_corpus(spec: Optional[MLMCorpusSpec] = None) -> Tuple[ArrayDataset, ArrayDataset, MLMCorpusSpec]:
+    """Create a synthetic MLM corpus (inputs, labels) for BERT pre-training.
+
+    Sequences are drawn from a low-rank Markov chain so that masked tokens are
+    genuinely predictable from context; labels are -100 at unmasked positions
+    (the standard "ignore" convention).
+    """
+    spec = spec or MLMCorpusSpec()
+    rng = _task_rng("mlm-" + spec.name)
+    v = spec.vocab_size
+    # Low-rank transition matrix ⇒ context carries predictive signal.
+    left = rng.random((v, spec.markov_order_rank))
+    right = rng.random((spec.markov_order_rank, v))
+    transition = left @ right
+    transition /= transition.sum(axis=1, keepdims=True)
+
+    def _generate(n: int, extra: int) -> Tuple[np.ndarray, np.ndarray]:
+        sample_rng = _task_rng("mlm-" + spec.name, extra=extra)
+        sequences = np.zeros((n, spec.seq_len), dtype=np.int64)
+        sequences[:, 0] = sample_rng.integers(4, v, size=n)
+        for t in range(1, spec.seq_len):
+            prev = sequences[:, t - 1]
+            probs = transition[prev]
+            cumulative = probs.cumsum(axis=1)
+            draws = sample_rng.random((n, 1))
+            sequences[:, t] = (draws < cumulative).argmax(axis=1)
+        sequences = np.clip(sequences, 4, v - 1)
+        mask = sample_rng.random((n, spec.seq_len)) < spec.mask_prob
+        labels = np.where(mask, sequences, -100)
+        inputs = sequences.copy()
+        inputs[mask] = spec.mask_token_id
+        return inputs, labels
+
+    train = _generate(spec.n_train, extra=1)
+    val = _generate(spec.n_val, extra=2)
+    return ArrayDataset(*train), ArrayDataset(*val), spec

@@ -1,0 +1,45 @@
+"""Model architectures evaluated in the paper."""
+
+from repro.models.mlp import MLP
+from repro.models.resnet import BasicBlock, Bottleneck, ResNet, resnet18, resnet50, wide_resnet50_2
+from repro.models.vgg import VGG19, vgg19
+from repro.models.deit import VisionTransformer, deit_base, deit_micro, deit_small, deit_tiny
+from repro.models.resmlp import ResMLP, resmlp_micro, resmlp_s24, resmlp_s36
+from repro.models.bert import (
+    BertForMaskedLM,
+    BertForSequenceClassification,
+    BertModel,
+    bert_base,
+    bert_micro,
+    bert_mini,
+)
+from repro.models.registry import available_models, build_model
+
+__all__ = [
+    "MLP",
+    "BasicBlock",
+    "Bottleneck",
+    "ResNet",
+    "resnet18",
+    "resnet50",
+    "wide_resnet50_2",
+    "VGG19",
+    "vgg19",
+    "VisionTransformer",
+    "deit_base",
+    "deit_micro",
+    "deit_small",
+    "deit_tiny",
+    "ResMLP",
+    "resmlp_micro",
+    "resmlp_s24",
+    "resmlp_s36",
+    "BertForMaskedLM",
+    "BertForSequenceClassification",
+    "BertModel",
+    "bert_base",
+    "bert_micro",
+    "bert_mini",
+    "available_models",
+    "build_model",
+]

@@ -1,0 +1,189 @@
+"""BERT-style Transformer encoder for GLUE fine-tuning and MLM pre-training.
+
+The model mirrors the structure the paper fine-tunes: token + position
+embeddings, a stack of post-norm Transformer encoder blocks, a pooler over the
+[CLS] token, and task heads (sequence classification / regression, or a
+masked-language-model head).  ``bert_base`` reproduces the published
+dimensions; ``bert_micro``/``bert_mini`` are CPU-sized variants.
+
+Per §C.2 of the paper, during factorized fine-tuning the attention
+projections are factorized while the feed-forward (fc1/fc2) layers are frozen
+(mirroring the LoRA-style treatment the authors adopt); this behaviour is
+implemented by the GLUE experiment configs, not hard-coded here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor
+from repro.utils import get_rng
+
+
+class BertEncoderBlock(nn.Module):
+    """Post-norm Transformer encoder block (BERT layout)."""
+
+    def __init__(self, dim: int, num_heads: int, mlp_ratio: float = 4.0, dropout: float = 0.0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        hidden = int(dim * mlp_ratio)
+        self.attn = nn.MultiHeadAttention(dim, num_heads, dropout=dropout, rng=rng)
+        self.norm1 = nn.LayerNorm(dim)
+        self.fc1 = nn.Linear(dim, hidden, rng=rng)
+        self.act = nn.GELU()
+        self.fc2 = nn.Linear(hidden, dim, rng=rng)
+        self.norm2 = nn.LayerNorm(dim)
+        self.dropout = nn.Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, attn_mask: Optional[np.ndarray] = None) -> Tensor:
+        x = self.norm1(x + self.attn(x, attn_mask=attn_mask))
+        mlp_out = self.fc2(self.dropout(self.act(self.fc1(x))))
+        return self.norm2(x + mlp_out)
+
+
+class BertModel(nn.Module):
+    """BERT encoder backbone producing per-token hidden states."""
+
+    def __init__(
+        self,
+        vocab_size: int = 256,
+        max_seq_len: int = 64,
+        embed_dim: int = 128,
+        depth: int = 4,
+        num_heads: int = 4,
+        mlp_ratio: float = 4.0,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or get_rng(offset=31)
+        self.vocab_size = vocab_size
+        self.embed_dim = embed_dim
+        self.max_seq_len = max_seq_len
+        self.token_embed = nn.Embedding(vocab_size, embed_dim, rng=rng)
+        self.pos_embed = nn.Embedding(max_seq_len, embed_dim, rng=rng)
+        self.embed_norm = nn.LayerNorm(embed_dim)
+        self.blocks = nn.ModuleList(
+            [BertEncoderBlock(embed_dim, num_heads, mlp_ratio, dropout, rng=rng) for _ in range(depth)]
+        )
+
+    def forward(self, token_ids: np.ndarray, attn_mask: Optional[np.ndarray] = None) -> Tensor:
+        token_ids = np.asarray(token_ids)
+        seq_len = token_ids.shape[1]
+        if seq_len > self.max_seq_len:
+            raise ValueError(f"sequence length {seq_len} exceeds max_seq_len {self.max_seq_len}")
+        positions = np.arange(seq_len)[None, :].repeat(token_ids.shape[0], axis=0)
+        hidden = self.token_embed(token_ids) + self.pos_embed(positions)
+        hidden = self.embed_norm(hidden)
+        for block in self.blocks:
+            hidden = block(hidden, attn_mask=attn_mask)
+        return hidden
+
+    def factorization_candidates(self) -> List[str]:
+        """Attention projections of every block; embeddings excluded."""
+        candidates = []
+        for name, module in self.named_modules():
+            if not name or not isinstance(module, nn.Linear):
+                continue
+            if ".attn." in name:
+                candidates.append(name)
+        return candidates
+
+    def feed_forward_paths(self) -> List[str]:
+        """fc1/fc2 paths — frozen (not updated) during factorized fine-tuning (§C.2)."""
+        paths = []
+        for name, module in self.named_modules():
+            if name and isinstance(module, nn.Linear) and (name.endswith("fc1") or name.endswith("fc2")):
+                paths.append(name)
+        return paths
+
+    def layer_stack_paths(self) -> Dict[str, List[str]]:
+        stacks: Dict[str, List[str]] = {}
+        for i, _ in enumerate(self.blocks):
+            prefix = f"blocks.{i}"
+            stacks[f"block{i}"] = [
+                f"{prefix}.attn.q_proj", f"{prefix}.attn.k_proj",
+                f"{prefix}.attn.v_proj", f"{prefix}.attn.out_proj",
+                f"{prefix}.fc1", f"{prefix}.fc2",
+            ]
+        return stacks
+
+
+class BertForSequenceClassification(nn.Module):
+    """BERT backbone + [CLS] pooler + classification/regression head."""
+
+    def __init__(self, backbone: BertModel, num_classes: int, dropout: float = 0.1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or get_rng(offset=37)
+        self.backbone = backbone
+        self.num_classes = num_classes
+        self.pooler = nn.Linear(backbone.embed_dim, backbone.embed_dim, rng=rng)
+        self.dropout = nn.Dropout(dropout, rng=rng)
+        self.classifier = nn.Linear(backbone.embed_dim, num_classes, rng=rng)
+
+    def forward(self, token_ids: np.ndarray, attn_mask: Optional[np.ndarray] = None) -> Tensor:
+        hidden = self.backbone(token_ids, attn_mask=attn_mask)
+        cls = hidden[:, 0, :]
+        pooled = self.pooler(cls).tanh()
+        return self.classifier(self.dropout(pooled))
+
+    def factorization_candidates(self) -> List[str]:
+        return [f"backbone.{p}" for p in self.backbone.factorization_candidates()]
+
+    def feed_forward_paths(self) -> List[str]:
+        return [f"backbone.{p}" for p in self.backbone.feed_forward_paths()]
+
+    def layer_stack_paths(self) -> Dict[str, List[str]]:
+        return {
+            name: [f"backbone.{p}" for p in paths]
+            for name, paths in self.backbone.layer_stack_paths().items()
+        }
+
+
+class BertForMaskedLM(nn.Module):
+    """BERT backbone + masked-language-model head (used for Table 17)."""
+
+    def __init__(self, backbone: BertModel, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or get_rng(offset=41)
+        self.backbone = backbone
+        self.transform = nn.Linear(backbone.embed_dim, backbone.embed_dim, rng=rng)
+        self.norm = nn.LayerNorm(backbone.embed_dim)
+        self.decoder = nn.Linear(backbone.embed_dim, backbone.vocab_size, rng=rng)
+
+    def forward(self, token_ids: np.ndarray, attn_mask: Optional[np.ndarray] = None) -> Tensor:
+        hidden = self.backbone(token_ids, attn_mask=attn_mask)
+        hidden = self.norm(self.transform(hidden).gelu())
+        return self.decoder(hidden)
+
+    def factorization_candidates(self) -> List[str]:
+        candidates = [f"backbone.{p}" for p in self.backbone.factorization_candidates()]
+        candidates += [f"backbone.{p}" for p in self.backbone.feed_forward_paths()]
+        return candidates
+
+    def layer_stack_paths(self) -> Dict[str, List[str]]:
+        return {
+            name: [f"backbone.{p}" for p in paths]
+            for name, paths in self.backbone.layer_stack_paths().items()
+        }
+
+
+def bert_base(vocab_size: int = 30522, max_seq_len: int = 128, **kwargs) -> BertModel:
+    """BERT-base dimensions (108M parameters at paper scale)."""
+    return BertModel(vocab_size=vocab_size, max_seq_len=max_seq_len,
+                     embed_dim=768, depth=12, num_heads=12, **kwargs)
+
+
+def bert_mini(vocab_size: int = 256, max_seq_len: int = 64, **kwargs) -> BertModel:
+    return BertModel(vocab_size=vocab_size, max_seq_len=max_seq_len,
+                     embed_dim=128, depth=4, num_heads=4, **kwargs)
+
+
+def bert_micro(vocab_size: int = 200, max_seq_len: int = 32, **kwargs) -> BertModel:
+    """CPU-sized BERT used for the synthetic GLUE/MLM experiments."""
+    return BertModel(vocab_size=vocab_size, max_seq_len=max_seq_len,
+                     embed_dim=64, depth=3, num_heads=4, **kwargs)

@@ -1,0 +1,149 @@
+"""DeiT-style Vision Transformer.
+
+Architecture follows DeiT (Touvron et al., 2021b) without distillation: a
+convolutional patch embedding, a learnable class token and positional
+embeddings, and a stack of pre-norm Transformer encoder blocks
+(multi-head self-attention + MLP).  The paper factorizes the attention
+projections and the MLP layers of every block but never the patch-embedding
+layer (K = 1 for transformers).
+
+``deit_base``/``deit_small``/``deit_tiny`` use the published dimensions;
+``deit_micro`` is the CPU-sized variant used by tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.tensor import Tensor
+from repro.utils import get_rng
+
+
+class TransformerEncoderBlock(nn.Module):
+    """Pre-norm Transformer block: LN → MHA → residual, LN → MLP → residual."""
+
+    def __init__(self, dim: int, num_heads: int, mlp_ratio: float = 4.0, dropout: float = 0.0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        hidden = int(dim * mlp_ratio)
+        self.norm1 = nn.LayerNorm(dim)
+        self.attn = nn.MultiHeadAttention(dim, num_heads, dropout=dropout, rng=rng)
+        self.norm2 = nn.LayerNorm(dim)
+        self.fc1 = nn.Linear(dim, hidden, rng=rng)
+        self.act = nn.GELU()
+        self.fc2 = nn.Linear(hidden, dim, rng=rng)
+        self.dropout = nn.Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, attn_mask: Optional[np.ndarray] = None) -> Tensor:
+        x = x + self.attn(self.norm1(x), attn_mask=attn_mask)
+        mlp_out = self.fc2(self.dropout(self.act(self.fc1(self.norm2(x)))))
+        return x + mlp_out
+
+
+class VisionTransformer(nn.Module):
+    """DeiT-style ViT classifier over NCHW images."""
+
+    def __init__(
+        self,
+        image_size: int = 32,
+        patch_size: int = 4,
+        in_channels: int = 3,
+        num_classes: int = 10,
+        embed_dim: int = 192,
+        depth: int = 12,
+        num_heads: int = 3,
+        mlp_ratio: float = 4.0,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if image_size % patch_size:
+            raise ValueError(f"image_size {image_size} not divisible by patch_size {patch_size}")
+        rng = rng or get_rng(offset=23)
+        self.embed_dim = embed_dim
+        self.patch_size = patch_size
+        self.num_patches = (image_size // patch_size) ** 2
+        self.patch_embed = nn.Conv2d(in_channels, embed_dim, patch_size, stride=patch_size, rng=rng)
+        self.cls_token = Parameter(nn.init.truncated_normal((1, 1, embed_dim), rng=rng))
+        self.pos_embed = Parameter(nn.init.truncated_normal((1, self.num_patches + 1, embed_dim), rng=rng))
+        self.blocks = nn.ModuleList(
+            [TransformerEncoderBlock(embed_dim, num_heads, mlp_ratio, dropout, rng=rng) for _ in range(depth)]
+        )
+        self.norm = nn.LayerNorm(embed_dim)
+        self.head = nn.Linear(embed_dim, num_classes, rng=rng)
+
+    def _embed(self, x: Tensor) -> Tensor:
+        """Image → sequence of patch tokens with a prepended class token."""
+        patches = self.patch_embed(x)                              # (N, D, H', W')
+        n, d, hp, wp = patches.shape
+        tokens = patches.reshape((n, d, hp * wp)).transpose((0, 2, 1))  # (N, P, D)
+        cls = self.cls_token * Tensor(np.ones((n, 1, 1), dtype=np.float32))
+        tokens = Tensor.concatenate([cls, tokens], axis=1)
+        return tokens + self.pos_embed
+
+    def forward(self, x) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        tokens = self._embed(x)
+        for block in self.blocks:
+            tokens = block(tokens)
+        tokens = self.norm(tokens)
+        cls_repr = tokens[:, 0, :]
+        return self.head(cls_repr)
+
+    # ------------------------------------------------------------------ #
+    # Structure exposed to Cuttlefish
+    # ------------------------------------------------------------------ #
+    def factorization_candidates(self) -> List[str]:
+        """All attention and MLP projections; embeddings and head are excluded.
+
+        Following §C.2 of the paper the per-head output projection
+        (``attn.out_proj``) is also excluded: at ρ = 1/2 a square (d × d)
+        projection gains nothing from factorization.
+        """
+        candidates = []
+        for name, module in self.named_modules():
+            if not name or not isinstance(module, nn.Linear):
+                continue
+            if name == "head" or name.endswith("out_proj"):
+                continue
+            candidates.append(name)
+        return candidates
+
+    def layer_stack_paths(self) -> Dict[str, List[str]]:
+        """One stack per encoder block (all blocks share shapes, like the paper notes)."""
+        stacks: Dict[str, List[str]] = {}
+        for i, _ in enumerate(self.blocks):
+            prefix = f"blocks.{i}"
+            stacks[f"block{i}"] = [
+                f"{prefix}.attn.q_proj", f"{prefix}.attn.k_proj", f"{prefix}.attn.v_proj",
+                f"{prefix}.attn.out_proj", f"{prefix}.fc1", f"{prefix}.fc2",
+            ]
+        return stacks
+
+
+def deit_base(image_size: int = 224, num_classes: int = 1000, **kwargs) -> VisionTransformer:
+    """DeiT-base: 86.6M parameters at paper scale."""
+    return VisionTransformer(image_size=image_size, patch_size=16, num_classes=num_classes,
+                             embed_dim=768, depth=12, num_heads=12, **kwargs)
+
+
+def deit_small(image_size: int = 224, num_classes: int = 1000, **kwargs) -> VisionTransformer:
+    return VisionTransformer(image_size=image_size, patch_size=16, num_classes=num_classes,
+                             embed_dim=384, depth=12, num_heads=6, **kwargs)
+
+
+def deit_tiny(image_size: int = 224, num_classes: int = 1000, **kwargs) -> VisionTransformer:
+    return VisionTransformer(image_size=image_size, patch_size=16, num_classes=num_classes,
+                             embed_dim=192, depth=12, num_heads=3, **kwargs)
+
+
+def deit_micro(image_size: int = 16, num_classes: int = 8, depth: int = 4,
+               embed_dim: int = 48, num_heads: int = 4, **kwargs) -> VisionTransformer:
+    """CPU-sized DeiT used for tests/benchmarks on the synthetic tasks."""
+    return VisionTransformer(image_size=image_size, patch_size=4, num_classes=num_classes,
+                             embed_dim=embed_dim, depth=depth, num_heads=num_heads, **kwargs)

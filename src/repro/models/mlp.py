@@ -1,0 +1,56 @@
+"""Simple multi-layer perceptron.
+
+Used for the two-hidden-layer FC example from the paper's introduction
+(the search-space cardinality argument), for unit tests, and as the smallest
+model exercising the full Cuttlefish pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor
+from repro.utils import get_rng
+
+
+class MLP(nn.Module):
+    """Fully connected classifier with ReLU activations."""
+
+    def __init__(self, in_features: int, hidden_sizes: Sequence[int], num_classes: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or get_rng(offset=43)
+        self.in_features = in_features
+        self.num_classes = num_classes
+        dims = [in_features] + list(hidden_sizes)
+        hidden_layers: List[nn.Module] = []
+        for d_in, d_out in zip(dims[:-1], dims[1:]):
+            hidden_layers.append(nn.Linear(d_in, d_out, rng=rng))
+            hidden_layers.append(nn.ReLU())
+        self.hidden = nn.Sequential(*hidden_layers)
+        self.classifier = nn.Linear(dims[-1], num_classes, rng=rng)
+
+    def forward(self, x) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        if x.ndim > 2:
+            x = x.reshape((x.shape[0], -1))
+        return self.classifier(self.hidden(x))
+
+    def factorization_candidates(self) -> List[str]:
+        """All hidden linear layers except the first; classifier excluded."""
+        paths = [
+            f"hidden.{name}" for name, module in self.hidden.named_modules()
+            if name and isinstance(module, nn.Linear)
+        ]
+        return paths[1:]
+
+    def layer_stack_paths(self) -> Dict[str, List[str]]:
+        paths = [
+            f"hidden.{name}" for name, module in self.hidden.named_modules()
+            if name and isinstance(module, nn.Linear)
+        ]
+        return {f"fc{i}": [p] for i, p in enumerate(paths)}

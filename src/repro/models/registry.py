@@ -1,0 +1,56 @@
+"""Model registry: build any architecture used in the paper by name.
+
+``build_model("resnet18", num_classes=10, width_mult=0.25)`` returns the model
+plus nothing else; experiment configs (``repro.train.experiments``) choose the
+width multiplier appropriate for the compute budget.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.models.bert import (
+    BertForMaskedLM,
+    BertForSequenceClassification,
+    bert_base,
+    bert_micro,
+    bert_mini,
+)
+from repro.models.deit import deit_base, deit_micro, deit_small, deit_tiny
+from repro.models.mlp import MLP
+from repro.models.resmlp import resmlp_micro, resmlp_s24, resmlp_s36
+from repro.models.resnet import resnet18, resnet50, wide_resnet50_2
+from repro.models.vgg import vgg19
+
+_REGISTRY: Dict[str, Callable] = {
+    "resnet18": resnet18,
+    "resnet50": resnet50,
+    "wide_resnet50_2": wide_resnet50_2,
+    "vgg19": vgg19,
+    "deit_base": deit_base,
+    "deit_small": deit_small,
+    "deit_tiny": deit_tiny,
+    "deit_micro": deit_micro,
+    "resmlp_s36": resmlp_s36,
+    "resmlp_s24": resmlp_s24,
+    "resmlp_micro": resmlp_micro,
+    "bert_base": bert_base,
+    "bert_mini": bert_mini,
+    "bert_micro": bert_micro,
+    "mlp": MLP,
+}
+
+
+def available_models() -> list:
+    """Names accepted by :func:`build_model`."""
+    return sorted(_REGISTRY)
+
+
+def build_model(name: str, **kwargs):
+    """Instantiate a registered architecture by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+    return _REGISTRY[name](**kwargs)
+
+
+__all__ = ["available_models", "build_model"]

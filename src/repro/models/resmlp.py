@@ -1,0 +1,134 @@
+"""ResMLP (Touvron et al., 2021a).
+
+Each block applies (i) an affine pre-norm, a *cross-patch* linear layer acting
+on the token dimension and a residual, then (ii) an affine pre-norm, a
+*cross-channel* two-layer MLP and a residual.  ResMLP-S36 at paper scale has
+36 blocks with embedding dimension 384; ``resmlp_micro`` is the CPU-sized
+variant used by tests and benchmarks.
+
+All linear layers except the patch embedding and the classifier head are
+candidates for factorization (the paper uses K = 1, ρ = 1/2 for ResMLP).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.tensor import Tensor
+from repro.utils import get_rng
+
+
+class Affine(nn.Module):
+    """Element-wise affine transform ``x * alpha + beta`` (ResMLP's norm-free trick)."""
+
+    def __init__(self, dim: int):
+        super().__init__()
+        self.alpha = Parameter(np.ones(dim, dtype=np.float32))
+        self.beta = Parameter(np.zeros(dim, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x * self.alpha + self.beta
+
+
+class ResMLPBlock(nn.Module):
+    """Cross-patch linear + cross-channel MLP with layer-scale residuals."""
+
+    def __init__(self, dim: int, num_patches: int, mlp_ratio: float = 4.0,
+                 init_scale: float = 0.1, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        hidden = int(dim * mlp_ratio)
+        self.norm1 = Affine(dim)
+        self.token_mix = nn.Linear(num_patches, num_patches, rng=rng)
+        self.scale1 = Parameter(np.full(dim, init_scale, dtype=np.float32))
+        self.norm2 = Affine(dim)
+        self.fc1 = nn.Linear(dim, hidden, rng=rng)
+        self.act = nn.GELU()
+        self.fc2 = nn.Linear(hidden, dim, rng=rng)
+        self.scale2 = Parameter(np.full(dim, init_scale, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        # Token mixing operates across the patch dimension: (N, P, D) → transpose → linear → transpose.
+        mixed = self.token_mix(self.norm1(x).transpose((0, 2, 1))).transpose((0, 2, 1))
+        x = x + mixed * self.scale1
+        channel = self.fc2(self.act(self.fc1(self.norm2(x))))
+        return x + channel * self.scale2
+
+
+class ResMLP(nn.Module):
+    """ResMLP image classifier."""
+
+    def __init__(
+        self,
+        image_size: int = 32,
+        patch_size: int = 4,
+        in_channels: int = 3,
+        num_classes: int = 10,
+        embed_dim: int = 384,
+        depth: int = 36,
+        mlp_ratio: float = 4.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if image_size % patch_size:
+            raise ValueError(f"image_size {image_size} not divisible by patch_size {patch_size}")
+        rng = rng or get_rng(offset=29)
+        self.embed_dim = embed_dim
+        self.num_patches = (image_size // patch_size) ** 2
+        self.patch_embed = nn.Conv2d(in_channels, embed_dim, patch_size, stride=patch_size, rng=rng)
+        self.blocks = nn.ModuleList(
+            [ResMLPBlock(embed_dim, self.num_patches, mlp_ratio, rng=rng) for _ in range(depth)]
+        )
+        self.norm = Affine(embed_dim)
+        self.head = nn.Linear(embed_dim, num_classes, rng=rng)
+
+    def forward(self, x) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        patches = self.patch_embed(x)
+        n, d, hp, wp = patches.shape
+        tokens = patches.reshape((n, d, hp * wp)).transpose((0, 2, 1))
+        for block in self.blocks:
+            tokens = block(tokens)
+        tokens = self.norm(tokens)
+        pooled = tokens.mean(axis=1)
+        return self.head(pooled)
+
+    def factorization_candidates(self) -> List[str]:
+        """All block linear layers; embedding and head excluded (K = 1)."""
+        candidates = []
+        for name, module in self.named_modules():
+            if not name or not isinstance(module, nn.Linear):
+                continue
+            if name == "head":
+                continue
+            candidates.append(name)
+        return candidates
+
+    def layer_stack_paths(self) -> Dict[str, List[str]]:
+        stacks: Dict[str, List[str]] = {}
+        for i, _ in enumerate(self.blocks):
+            prefix = f"blocks.{i}"
+            stacks[f"block{i}"] = [f"{prefix}.token_mix", f"{prefix}.fc1", f"{prefix}.fc2"]
+        return stacks
+
+
+def resmlp_s36(image_size: int = 224, num_classes: int = 1000, **kwargs) -> ResMLP:
+    """ResMLP-S36 at paper scale (44.7M parameters)."""
+    return ResMLP(image_size=image_size, patch_size=16, num_classes=num_classes,
+                  embed_dim=384, depth=36, **kwargs)
+
+
+def resmlp_s24(image_size: int = 224, num_classes: int = 1000, **kwargs) -> ResMLP:
+    return ResMLP(image_size=image_size, patch_size=16, num_classes=num_classes,
+                  embed_dim=384, depth=24, **kwargs)
+
+
+def resmlp_micro(image_size: int = 16, num_classes: int = 8, depth: int = 4,
+                 embed_dim: int = 48, **kwargs) -> ResMLP:
+    """CPU-sized ResMLP used for tests/benchmarks on the synthetic tasks."""
+    return ResMLP(image_size=image_size, patch_size=4, num_classes=num_classes,
+                  embed_dim=embed_dim, depth=depth, **kwargs)

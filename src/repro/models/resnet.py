@@ -1,0 +1,204 @@
+"""ResNet family: ResNet-18, ResNet-50 and WideResNet-50-2.
+
+The layer-stack structure (four stacks with strides 1, 2, 2, 2, BasicBlock for
+ResNet-18, Bottleneck for ResNet-50/WideResNet) follows the paper's Table 6.
+Two knobs adapt the architectures to a CPU budget without changing their
+structure:
+
+* ``width_mult`` scales every channel count (1.0 reproduces the paper widths);
+* ``small_input`` selects the CIFAR stem (3×3 stride-1 first conv, no max-pool)
+  versus the ImageNet stem (7×7 stride-2 conv + max-pool), exactly as the
+  paper does for CIFAR vs ImageNet training.
+
+``layer_stack_paths()`` exposes the module paths of each convolution stack so
+Cuttlefish's K-profiling (Algorithm 2) can factorize one stack at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor
+from repro.utils import get_rng
+
+
+def _scaled(channels: int, width_mult: float) -> int:
+    return max(int(round(channels * width_mult)), 4)
+
+
+class BasicBlock(nn.Module):
+    """Two 3×3 convolutions with an identity (or 1×1 projection) shortcut."""
+
+    expansion = 1
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels * self.expansion:
+            self.downsample = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels * self.expansion, 1, stride=stride, bias=False, rng=rng),
+                nn.BatchNorm2d(out_channels * self.expansion),
+            )
+        else:
+            self.downsample = nn.Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = self.downsample(x)
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        return (out + identity).relu()
+
+
+class Bottleneck(nn.Module):
+    """1×1 reduce → 3×3 → 1×1 expand bottleneck used by ResNet-50/WideResNet."""
+
+    expansion = 4
+
+    def __init__(self, in_channels: int, mid_channels: int, stride: int = 1,
+                 out_channels: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        out_channels = out_channels if out_channels is not None else mid_channels * self.expansion
+        self.conv1 = nn.Conv2d(in_channels, mid_channels, 1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(mid_channels)
+        self.conv2 = nn.Conv2d(mid_channels, mid_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(mid_channels)
+        self.conv3 = nn.Conv2d(mid_channels, out_channels, 1, bias=False, rng=rng)
+        self.bn3 = nn.BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                nn.BatchNorm2d(out_channels),
+            )
+        else:
+            self.downsample = nn.Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = self.downsample(x)
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out)).relu()
+        out = self.bn3(self.conv3(out))
+        return (out + identity).relu()
+
+
+class ResNet(nn.Module):
+    """Generic ResNet over NCHW images."""
+
+    def __init__(
+        self,
+        block,
+        layers: Sequence[int],
+        num_classes: int = 10,
+        width_mult: float = 1.0,
+        small_input: bool = True,
+        base_width: int = 64,
+        width_per_group: int = 64,
+        rng: Optional[np.random.Generator] = None,
+        in_channels: int = 3,
+    ):
+        super().__init__()
+        rng = rng or get_rng(offset=17)
+        self.block = block
+        self.num_classes = num_classes
+        widths = [_scaled(base_width * (2 ** i), width_mult) for i in range(4)]
+        mid_scale = width_per_group / 64.0
+
+        if small_input:
+            self.conv1 = nn.Conv2d(in_channels, widths[0], 3, stride=1, padding=1, bias=False, rng=rng)
+            self.maxpool = nn.Identity()
+        else:
+            self.conv1 = nn.Conv2d(in_channels, widths[0], 7, stride=2, padding=3, bias=False, rng=rng)
+            self.maxpool = nn.MaxPool2d(3, stride=2, padding=1)
+        self.bn1 = nn.BatchNorm2d(widths[0])
+
+        in_ch = widths[0]
+        stacks = []
+        for stack_index, (width, blocks) in enumerate(zip(widths, layers)):
+            stride = 1 if stack_index == 0 else 2
+            modules = []
+            for block_index in range(blocks):
+                block_stride = stride if block_index == 0 else 1
+                if block is Bottleneck:
+                    mid = _scaled(width * mid_scale, 1.0)
+                    out_ch = width * Bottleneck.expansion
+                    modules.append(Bottleneck(in_ch, mid, stride=block_stride, out_channels=out_ch, rng=rng))
+                    in_ch = out_ch
+                else:
+                    modules.append(BasicBlock(in_ch, width, stride=block_stride, rng=rng))
+                    in_ch = width
+            stacks.append(nn.Sequential(*modules))
+        self.layer1, self.layer2, self.layer3, self.layer4 = stacks
+
+        self.avgpool = nn.AdaptiveAvgPool2d(1)
+        self.fc = nn.Linear(in_ch, num_classes, rng=rng)
+        self._final_channels = in_ch
+
+    def forward(self, x) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.maxpool(out)
+        out = self.layer1(out)
+        out = self.layer2(out)
+        out = self.layer3(out)
+        out = self.layer4(out)
+        out = self.avgpool(out)
+        out = out.reshape((out.shape[0], -1))
+        return self.fc(out)
+
+    # ------------------------------------------------------------------ #
+    # Structure exposed to Cuttlefish
+    # ------------------------------------------------------------------ #
+    def layer_stack_paths(self) -> Dict[str, List[str]]:
+        """Map stack name → module paths of the conv/linear layers inside it."""
+        stacks: Dict[str, List[str]] = {}
+        for stack_name in ("layer1", "layer2", "layer3", "layer4"):
+            stack = getattr(self, stack_name)
+            paths = [
+                f"{stack_name}.{name}" for name, module in stack.named_modules()
+                if isinstance(module, (nn.Conv2d, nn.Linear)) and name
+            ]
+            stacks[stack_name] = paths
+        return stacks
+
+    def factorization_candidates(self) -> List[str]:
+        """Ordered module paths of all layers eligible for factorization.
+
+        Follows the paper's convention: the very first convolution and the
+        final classification layer are never factorized.
+        """
+        candidates = []
+        for name, module in self.named_modules():
+            if not name or name in ("conv1", "fc"):
+                continue
+            if isinstance(module, (nn.Conv2d, nn.Linear)):
+                candidates.append(name)
+        return candidates
+
+
+def resnet18(num_classes: int = 10, width_mult: float = 1.0, small_input: bool = True,
+             rng: Optional[np.random.Generator] = None, in_channels: int = 3) -> ResNet:
+    """ResNet-18 (BasicBlock ×[2,2,2,2]); paper's CIFAR/SVHN workhorse."""
+    return ResNet(BasicBlock, [2, 2, 2, 2], num_classes=num_classes, width_mult=width_mult,
+                  small_input=small_input, rng=rng, in_channels=in_channels)
+
+
+def resnet50(num_classes: int = 1000, width_mult: float = 1.0, small_input: bool = False,
+             rng: Optional[np.random.Generator] = None, in_channels: int = 3) -> ResNet:
+    """ResNet-50 (Bottleneck ×[3,4,6,3]); paper's ImageNet baseline."""
+    return ResNet(Bottleneck, [3, 4, 6, 3], num_classes=num_classes, width_mult=width_mult,
+                  small_input=small_input, rng=rng, in_channels=in_channels)
+
+
+def wide_resnet50_2(num_classes: int = 1000, width_mult: float = 1.0, small_input: bool = False,
+                    rng: Optional[np.random.Generator] = None, in_channels: int = 3) -> ResNet:
+    """WideResNet-50-2: ResNet-50 with doubled bottleneck width."""
+    return ResNet(Bottleneck, [3, 4, 6, 3], num_classes=num_classes, width_mult=width_mult,
+                  small_input=small_input, width_per_group=128, rng=rng, in_channels=in_channels)

@@ -1,0 +1,106 @@
+"""VGG-19-BN as used in the paper (Table 7).
+
+The paper's VGG-19 variant keeps the 16 convolution layers of the original
+network, drops the two hidden FC layers, replaces the final max-pool with an
+average pool and ends in a single linear classifier — 17 learnable layers in
+total.  Each convolution is followed by BatchNorm + ReLU.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor
+from repro.utils import get_rng
+
+# Channel plan of VGG-19: numbers are conv output channels, "M" is a max-pool.
+VGG19_PLAN = [64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M",
+              512, 512, 512, 512, "M", 512, 512, 512, 512, "A"]
+
+
+class _PoolIfPossible(nn.Module):
+    """Max-pool that becomes a no-op once the spatial extent is too small.
+
+    Keeps the full 5-stack VGG structure usable on the reduced-resolution
+    synthetic tasks (e.g. 16×16 inputs) without changing the layer inventory.
+    """
+
+    def __init__(self, kernel_size: int = 2, stride: int = 2):
+        super().__init__()
+        self.pool = nn.MaxPool2d(kernel_size, stride=stride)
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] < self.kernel_size or x.shape[-2] < self.kernel_size:
+            return x
+        return self.pool(x)
+
+
+class VGG19(nn.Module):
+    """VGG-19 with BatchNorm, matching the paper's 17-layer variant."""
+
+    def __init__(self, num_classes: int = 10, width_mult: float = 1.0,
+                 rng: Optional[np.random.Generator] = None, in_channels: int = 3):
+        super().__init__()
+        rng = rng or get_rng(offset=19)
+        self.num_classes = num_classes
+        layers: List[nn.Module] = []
+        channels = in_channels
+        self._conv_indices: List[int] = []
+        self._stack_boundaries: List[int] = []  # conv counts at each pooling boundary
+        conv_count = 0
+        for item in VGG19_PLAN:
+            if item == "M":
+                layers.append(_PoolIfPossible(2, stride=2))
+                self._stack_boundaries.append(conv_count)
+            elif item == "A":
+                # The paper replaces the final max-pool with average pooling;
+                # here global average pooling happens in ``forward`` so this is
+                # only a stack boundary marker.
+                self._stack_boundaries.append(conv_count)
+            else:
+                out_channels = max(int(round(item * width_mult)), 4)
+                self._conv_indices.append(len(layers))
+                layers.append(nn.Conv2d(channels, out_channels, 3, padding=1, bias=False, rng=rng))
+                layers.append(nn.BatchNorm2d(out_channels))
+                layers.append(nn.ReLU())
+                channels = out_channels
+                conv_count += 1
+        self.features = nn.Sequential(*layers)
+        self.classifier = nn.Linear(channels, num_classes, rng=rng)
+
+    def forward(self, x) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        out = self.features(x)
+        out = out.mean(axis=(2, 3))
+        return self.classifier(out)
+
+    # ------------------------------------------------------------------ #
+    # Structure exposed to Cuttlefish
+    # ------------------------------------------------------------------ #
+    def conv_layer_paths(self) -> List[str]:
+        """Module paths of the 16 convolution layers, in network order."""
+        return [f"features.{idx}" for idx in self._conv_indices]
+
+    def layer_stack_paths(self) -> Dict[str, List[str]]:
+        """Group convolution layers into the five pooling-delimited stacks."""
+        paths = self.conv_layer_paths()
+        stacks: Dict[str, List[str]] = {}
+        start = 0
+        for stack_id, end in enumerate(self._stack_boundaries, start=1):
+            stacks[f"stack{stack_id}"] = paths[start:end]
+            start = end
+        return stacks
+
+    def factorization_candidates(self) -> List[str]:
+        """All conv layers except the very first; the classifier is never factorized."""
+        return self.conv_layer_paths()[1:]
+
+
+def vgg19(num_classes: int = 10, width_mult: float = 1.0,
+          rng: Optional[np.random.Generator] = None, in_channels: int = 3) -> VGG19:
+    return VGG19(num_classes=num_classes, width_mult=width_mult, rng=rng, in_channels=in_channels)

@@ -1,0 +1,79 @@
+"""Multi-head self-attention, the attention building block for DeiT and BERT.
+
+The projections are ordinary :class:`repro.nn.Linear` layers so that
+Cuttlefish's factorization machinery can treat them exactly like any other
+dense weight (the paper factorizes W_Q, W_K, W_V and optionally the output
+projection W_O of every attention layer).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.tensor import Tensor, functional as F
+
+
+class MultiHeadAttention(Module):
+    """Standard scaled dot-product multi-head self-attention.
+
+    Parameters
+    ----------
+    embed_dim:
+        Model (hidden) dimension ``d``.
+    num_heads:
+        Number of attention heads ``p``; ``d`` must be divisible by ``p``.
+    dropout:
+        Dropout probability applied to the attention weights.
+    """
+
+    def __init__(self, embed_dim: int, num_heads: int, dropout: float = 0.0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if embed_dim % num_heads:
+            raise ValueError(f"embed_dim {embed_dim} not divisible by num_heads {num_heads}")
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        self.q_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.k_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.v_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.out_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.attn_dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        """(N, L, D) → (N, heads, L, head_dim)."""
+        n, length, _ = x.shape
+        return x.reshape((n, length, self.num_heads, self.head_dim)).transpose((0, 2, 1, 3))
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        """(N, heads, L, head_dim) → (N, L, D)."""
+        n, heads, length, head_dim = x.shape
+        return x.transpose((0, 2, 1, 3)).reshape((n, length, heads * head_dim))
+
+    def forward(self, x: Tensor, attn_mask: Optional[np.ndarray] = None) -> Tensor:
+        """Self-attention over a sequence ``x`` of shape (N, L, D).
+
+        ``attn_mask`` is an optional boolean array of shape (N, L) where True
+        marks valid tokens; padded positions receive zero attention weight.
+        """
+        q = self._split_heads(self.q_proj(x))
+        k = self._split_heads(self.k_proj(x))
+        v = self._split_heads(self.v_proj(x))
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = q.matmul(k.transpose((0, 1, 3, 2))) * scale  # (N, heads, L, L)
+        if attn_mask is not None:
+            mask = np.asarray(attn_mask, dtype=bool)
+            bias = np.where(mask[:, None, None, :], 0.0, -1e9).astype(np.float32)
+            scores = scores + Tensor(bias)
+        weights = F.softmax(scores, axis=-1)
+        weights = self.attn_dropout(weights)
+        context = weights.matmul(v)                            # (N, heads, L, head_dim)
+        return self.out_proj(self._merge_heads(context))
+
+    def extra_repr(self) -> str:
+        return f"embed_dim={self.embed_dim}, num_heads={self.num_heads}"

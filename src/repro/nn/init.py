@@ -1,0 +1,99 @@
+"""Weight initialisation schemes.
+
+Includes the standard Kaiming/Xavier initialisers used by the full-rank
+architectures and the *spectral initialisation* of Khodak et al. (2020) used
+by the SI&FD baseline, where a factorized pair (U, Vᵀ) is initialised from the
+truncated SVD of a conventionally-initialised full-rank weight.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import DEFAULT_DTYPE
+from repro.utils import get_rng
+
+
+def _fan_in_fan_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute fan-in/fan-out for linear (out, in) or conv (out, in, kh, kw) weights."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+    elif len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        fan_in = fan_out = int(np.prod(shape)) // max(shape[0], 1)
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He-normal initialisation appropriate for ReLU networks."""
+    rng = rng or get_rng()
+    fan_in, _ = _fan_in_fan_out(shape)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return (rng.standard_normal(shape) * std).astype(DEFAULT_DTYPE)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    rng = rng or get_rng()
+    fan_in, _ = _fan_in_fan_out(shape)
+    bound = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    rng = rng or get_rng()
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    std = np.sqrt(2.0 / max(fan_in + fan_out, 1))
+    return (rng.standard_normal(shape) * std).astype(DEFAULT_DTYPE)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    rng = rng or get_rng()
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=DEFAULT_DTYPE)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=DEFAULT_DTYPE)
+
+
+def truncated_normal(
+    shape: Tuple[int, ...], std: float = 0.02, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Normal samples clipped to ±2 std, as used for transformer embeddings."""
+    rng = rng or get_rng()
+    samples = rng.standard_normal(shape) * std
+    return np.clip(samples, -2 * std, 2 * std).astype(DEFAULT_DTYPE)
+
+
+def spectral_init(
+    full_shape: Tuple[int, int],
+    rank: int,
+    rng: Optional[np.random.Generator] = None,
+    base_init=kaiming_normal,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Spectral initialisation of a factorized pair (Khodak et al., 2020).
+
+    A full-rank matrix of ``full_shape = (m, n)`` is drawn from ``base_init``,
+    its rank-``rank`` truncated SVD ``W ≈ U Σ Vᵀ`` is computed and the factors
+    ``U Σ^{1/2}`` (shape ``(m, rank)``) and ``Σ^{1/2} Vᵀ`` (shape ``(rank, n)``)
+    are returned.  This approximates the behaviour of the base initialiser when
+    the factors are multiplied back together.
+    """
+    m, n = full_shape
+    rank = int(min(rank, m, n))
+    full = base_init((m, n), rng=rng).astype(np.float64)
+    u, s, vt = np.linalg.svd(full, full_matrices=False)
+    root = np.sqrt(s[:rank])
+    u_factor = (u[:, :rank] * root[None, :]).astype(DEFAULT_DTYPE)
+    v_factor = (root[:, None] * vt[:rank, :]).astype(DEFAULT_DTYPE)
+    return u_factor, v_factor

@@ -1,0 +1,255 @@
+"""Standard neural-network layers: Linear, Conv2d, pooling, activations, dropout.
+
+These are the full-rank building blocks of the paper's architectures.  Their
+factorized (low-rank) counterparts live in :mod:`repro.core.low_rank_layers`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.nn import init as init_mod
+from repro.nn.module import Buffer, Module, Parameter
+from repro.tensor import Tensor, functional as F
+from repro.utils import get_rng
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W.T + b`` with ``W`` of shape ``(out, in)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng or get_rng()
+        self.weight = Parameter(init_mod.kaiming_uniform((out_features, in_features), rng=rng))
+        self.bias = Parameter(init_mod.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def extra_repr(self) -> str:
+        return f"in_features={self.in_features}, out_features={self.out_features}"
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW inputs, weight shape ``(out, in, kh, kw)``."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: IntPair,
+        stride: IntPair = 1,
+        padding: IntPair = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        kh, kw = (kernel_size, kernel_size) if isinstance(kernel_size, int) else kernel_size
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        rng = rng or get_rng()
+        self.weight = Parameter(init_mod.kaiming_normal((out_channels, in_channels, kh, kw), rng=rng))
+        self.bias = Parameter(init_mod.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}"
+        )
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.gelu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape((x.shape[0], -1))
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: IntPair, stride: Optional[IntPair] = None, padding: IntPair = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: IntPair, stride: Optional[IntPair] = None, padding: IntPair = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class AdaptiveAvgPool2d(Module):
+    def __init__(self, output_size: IntPair = 1):
+        super().__init__()
+        self.output_size = output_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.adaptive_avg_pool2d(x, self.output_size)
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.p = p
+        self._rng = rng or get_rng(offset=9_001)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self._rng)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"
+
+
+class Embedding(Module):
+    """Lookup table mapping integer token ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        rng = rng or get_rng()
+        self.weight = Parameter(init_mod.truncated_normal((num_embeddings, embedding_dim), rng=rng))
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        token_ids = np.asarray(token_ids)
+        return self.weight[token_ids]
+
+    def extra_repr(self) -> str:
+        return f"num_embeddings={self.num_embeddings}, embedding_dim={self.embedding_dim}"
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over the channel dimension of NCHW tensors."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init_mod.ones((num_features,)))
+        self.bias = Parameter(init_mod.zeros((num_features,)))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = (0, 2, 3)
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+            with_momentum = self.momentum
+            self.running_mean.data = (
+                (1 - with_momentum) * self.running_mean.data + with_momentum * mean.data.reshape(-1)
+            )
+            self.running_var.data = (
+                (1 - with_momentum) * self.running_var.data + with_momentum * var.data.reshape(-1)
+            )
+        else:
+            mean = Tensor(self.running_mean.data.reshape(1, -1, 1, 1))
+            var = Tensor(self.running_var.data.reshape(1, -1, 1, 1))
+        x_hat = (x - mean) / ((var + self.eps) ** 0.5)
+        gamma = self.weight.reshape((1, -1, 1, 1))
+        beta = self.bias.reshape((1, -1, 1, 1))
+        return x_hat * gamma + beta
+
+    def extra_repr(self) -> str:
+        return f"num_features={self.num_features}"
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over feature dimension of (N, C) tensors."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init_mod.ones((num_features,)))
+        self.bias = Parameter(init_mod.zeros((num_features,)))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mean = x.mean(axis=0, keepdims=True)
+            var = x.var(axis=0, keepdims=True)
+            self.running_mean.data = (
+                (1 - self.momentum) * self.running_mean.data + self.momentum * mean.data.reshape(-1)
+            )
+            self.running_var.data = (
+                (1 - self.momentum) * self.running_var.data + self.momentum * var.data.reshape(-1)
+            )
+        else:
+            mean = Tensor(self.running_mean.data.reshape(1, -1))
+            var = Tensor(self.running_var.data.reshape(1, -1))
+        x_hat = (x - mean) / ((var + self.eps) ** 0.5)
+        return x_hat * self.weight + self.bias
+
+    def extra_repr(self) -> str:
+        return f"num_features={self.num_features}"
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.weight = Parameter(init_mod.ones((normalized_shape,)))
+        self.bias = Parameter(init_mod.zeros((normalized_shape,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        x_hat = (x - mean) / ((var + self.eps) ** 0.5)
+        return x_hat * self.weight + self.bias
+
+    def extra_repr(self) -> str:
+        return f"normalized_shape={self.normalized_shape}"

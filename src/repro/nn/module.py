@@ -1,0 +1,287 @@
+"""Module/Parameter system mirroring the subset of ``torch.nn`` used here.
+
+A :class:`Module` owns named :class:`Parameter` tensors and child modules,
+supports recursive traversal (``parameters``, ``named_modules``), train/eval
+mode switching, ``state_dict``/``load_state_dict`` and in-place child
+replacement — the latter is what lets Cuttlefish swap a full-rank layer for
+its factorized counterpart mid-training.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable parameter of a :class:`Module`."""
+
+    def __init__(self, data, requires_grad: bool = True):
+        super().__init__(data, requires_grad=requires_grad)
+
+
+class Buffer(Tensor):
+    """A persistent, non-trainable tensor (e.g. BatchNorm running statistics)."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=False)
+
+
+class Module:
+    """Base class for all neural-network layers and models."""
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------ #
+    # Attribute plumbing
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        params = self.__dict__.get("_parameters")
+        buffers = self.__dict__.get("_buffers")
+        modules = self.__dict__.get("_modules")
+        if isinstance(value, Parameter):
+            target = params
+        elif isinstance(value, Buffer):
+            target = buffers
+        elif isinstance(value, Module):
+            target = modules
+        else:
+            target = None
+        # Drop the name from registries it no longer belongs to, but keep the
+        # insertion position when overwriting within the same registry (so
+        # replacing a child of a Sequential preserves execution order).
+        for registry in (params, buffers, modules):
+            if registry is not None and registry is not target and name in registry:
+                del registry[name]
+        if target is not None:
+            target[name] = value
+        object.__setattr__(self, name, value)
+
+    def __delattr__(self, name: str) -> None:
+        for registry in (self._parameters, self._buffers, self._modules):
+            registry.pop(name, None)
+        object.__delattr__(self, name)
+
+    def register_buffer(self, name: str, value: Union[Buffer, np.ndarray, Tensor]) -> None:
+        if not isinstance(value, Buffer):
+            value = Buffer(value.data if isinstance(value, Tensor) else value)
+        setattr(self, name, value)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        setattr(self, name, module)
+
+    def set_child(self, name: str, module: "Module") -> None:
+        """Replace a direct child module by attribute name (supports list indices)."""
+        if name.isdigit() and hasattr(self, "_replace_index"):
+            self._replace_index(int(name), module)
+        else:
+            setattr(self, name, module)
+
+    # ------------------------------------------------------------------ #
+    # Traversal
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, Buffer]]:
+        for name, buf in self._buffers.items():
+            yield (f"{prefix}{name}", buf)
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{name}.")
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}{name}."
+            yield from module.named_modules(prefix=child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    def named_children(self) -> Iterator[Tuple[str, "Module"]]:
+        yield from self._modules.items()
+
+    def get_submodule(self, path: str) -> "Module":
+        module: Module = self
+        if not path:
+            return module
+        for part in path.split("."):
+            module = module._modules[part]
+        return module
+
+    def set_submodule(self, path: str, new_module: "Module") -> None:
+        """Replace the module at dotted ``path`` with ``new_module``."""
+        parts = path.split(".")
+        parent = self.get_submodule(".".join(parts[:-1])) if len(parts) > 1 else self
+        parent.set_child(parts[-1], new_module)
+
+    def apply(self, fn) -> "Module":
+        for module in self.modules():
+            fn(module)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Mode and gradient management
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self, trainable_only: bool = True) -> int:
+        """Total number of scalar parameters in the module tree."""
+        total = 0
+        for param in self.parameters():
+            if trainable_only and not param.requires_grad:
+                continue
+            total += param.size
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            state[name] = buf.data.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        own: Dict[str, Tensor] = dict(self.named_parameters())
+        own.update(dict(self.named_buffers()))
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise KeyError(f"state_dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, tensor in own.items():
+            if name in state:
+                if tensor.data.shape != np.asarray(state[name]).shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: {tensor.data.shape} vs {np.asarray(state[name]).shape}"
+                    )
+                tensor.data = np.asarray(state[name], dtype=tensor.data.dtype).copy()
+
+    # ------------------------------------------------------------------ #
+    # Call protocol
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def extra_repr(self) -> str:
+        return ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        lines = [f"{type(self).__name__}({self.extra_repr()}"]
+        for name, module in self._modules.items():
+            child = repr(module).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {child}")
+        lines.append(")")
+        return "\n".join(lines) if len(lines) > 2 else f"{type(self).__name__}({self.extra_repr()})"
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        if len(modules) == 1 and isinstance(modules[0], (list, tuple)):
+            modules = tuple(modules[0])
+        for i, module in enumerate(modules):
+            self.add_module(str(i), module)
+
+    def forward(self, x):
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def _replace_index(self, index: int, module: Module) -> None:
+        key = list(self._modules.keys())[index] if index < len(self._modules) else str(index)
+        setattr(self, key, module)
+
+    def set_child(self, name: str, module: Module) -> None:
+        if name in self._modules:
+            setattr(self, name, module)
+        else:
+            super().set_child(name, module)
+
+    def append(self, module: Module) -> "Sequential":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+
+class ModuleList(Module):
+    """List container whose elements are registered child modules."""
+
+    def __init__(self, modules: Optional[List[Module]] = None):
+        super().__init__()
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def set_child(self, name: str, module: Module) -> None:
+        if name in self._modules:
+            setattr(self, name, module)
+        else:
+            super().set_child(name, module)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - containers are not callable
+        raise RuntimeError("ModuleList is a container and cannot be called")
+
+
+class Identity(Module):
+    """No-op module; useful as a placeholder when layers are removed."""
+
+    def forward(self, x):
+        return x

@@ -1,0 +1,28 @@
+"""Optimizers and learning-rate schedules."""
+
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adamw import Adam, AdamW
+from repro.optim.lr_scheduler import (
+    ConstantLR,
+    CosineAnnealingLR,
+    LinearWarmup,
+    LRScheduler,
+    MultiStepLR,
+    WarmupMultiStepLR,
+    build_paper_cifar_schedule,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "ConstantLR",
+    "CosineAnnealingLR",
+    "LinearWarmup",
+    "LRScheduler",
+    "MultiStepLR",
+    "WarmupMultiStepLR",
+    "build_paper_cifar_schedule",
+]

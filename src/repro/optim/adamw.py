@@ -1,0 +1,78 @@
+"""Adam and AdamW optimizers.
+
+AdamW (decoupled weight decay, Loshchilov & Hutter 2019) is what the paper
+uses for DeiT/ResMLP training and BERT fine-tuning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class AdamW(Optimizer):
+    """Adam with decoupled weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+        no_decay_params: Optional[Set[int]] = None,
+    ):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.no_decay_params: Set[int] = set(no_decay_params or ())
+        self._step_count = 0
+
+    def exclude_from_weight_decay(self, params: Iterable[Parameter]) -> None:
+        self.no_decay_params.update(id(p) for p in params)
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        bias_correction1 = 1.0 - self.beta1 ** t
+        bias_correction2 = 1.0 - self.beta2 ** t
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            state = self._get_state(p)
+            m = state.get("m")
+            v = state.get("v")
+            if m is None:
+                m = np.zeros_like(p.data)
+                v = np.zeros_like(p.data)
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad * grad
+            state["m"], state["v"] = m, v
+            m_hat = m / bias_correction1
+            v_hat = v / bias_correction2
+            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay and id(p) not in self.no_decay_params:
+                update = update + self.weight_decay * p.data
+            p.data -= self.lr * update
+
+
+class Adam(AdamW):
+    """Classical Adam: L2 coupled into the gradient, default weight_decay 0."""
+
+    def __init__(self, params, lr: float = 1e-3, betas=(0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr=lr, betas=betas, eps=eps, weight_decay=0.0)
+        self._l2 = weight_decay
+
+    def step(self) -> None:
+        if self._l2:
+            for p in self.params:
+                if p.grad is not None:
+                    p.grad = p.grad + self._l2 * p.data
+        super().step()

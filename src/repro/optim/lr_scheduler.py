@@ -1,0 +1,125 @@
+"""Learning-rate schedules used in the paper's training recipes.
+
+* :class:`MultiStepLR` — decay by a factor at fixed epoch milestones
+  (ResNet/VGG on CIFAR, ResNet-50 on ImageNet).
+* :class:`LinearWarmup` — linear scale-up over the first few epochs
+  (the Goyal et al. large-minibatch recipe: 0.1 → 0.8 over 5 epochs).
+* :class:`CosineAnnealingLR` — cosine decay (DeiT/ResMLP recipe).
+* :class:`WarmupMultiStepLR` — composition of warm-up then multi-step decay,
+  exactly the CIFAR schedule described in the paper.
+
+Schedulers mutate ``optimizer.lr``; ``step`` is called once per epoch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.optim.optimizer import Optimizer
+
+
+class LRScheduler:
+    """Base class; sub-classes implement :meth:`get_lr`."""
+
+    def __init__(self, optimizer: Optimizer, base_lr: float = None):
+        self.optimizer = optimizer
+        self.base_lr = float(base_lr if base_lr is not None else optimizer.lr)
+        self.last_epoch = -1
+        self.step()
+
+    def get_lr(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def step(self, epoch: int = None) -> float:
+        self.last_epoch = self.last_epoch + 1 if epoch is None else epoch
+        lr = self.get_lr(self.last_epoch)
+        self.optimizer.lr = lr
+        return lr
+
+    def scale_base_lr(self, factor: float) -> None:
+        """Scale the base learning rate (used when switching to low-rank training)."""
+        self.base_lr *= factor
+
+
+class ConstantLR(LRScheduler):
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class MultiStepLR(LRScheduler):
+    def __init__(self, optimizer: Optimizer, milestones: Sequence[int], gamma: float = 0.1,
+                 base_lr: float = None):
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+        super().__init__(optimizer, base_lr)
+
+    def get_lr(self, epoch: int) -> float:
+        passed = sum(1 for m in self.milestones if epoch >= m)
+        return self.base_lr * (self.gamma ** passed)
+
+
+class LinearWarmup(LRScheduler):
+    """Linearly interpolate from ``start_lr`` to ``base_lr`` over ``warmup_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int, start_lr: float,
+                 base_lr: float = None):
+        self.warmup_epochs = max(int(warmup_epochs), 1)
+        self.start_lr = start_lr
+        super().__init__(optimizer, base_lr)
+
+    def get_lr(self, epoch: int) -> float:
+        if epoch >= self.warmup_epochs:
+            return self.base_lr
+        frac = epoch / self.warmup_epochs
+        return self.start_lr + frac * (self.base_lr - self.start_lr)
+
+
+class WarmupMultiStepLR(LRScheduler):
+    """The paper's CIFAR schedule: linear warm-up then multi-step decay."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int, start_lr: float,
+                 milestones: Sequence[int], gamma: float = 0.1, base_lr: float = None):
+        self.warmup_epochs = max(int(warmup_epochs), 1)
+        self.start_lr = start_lr
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+        super().__init__(optimizer, base_lr)
+
+    def get_lr(self, epoch: int) -> float:
+        if epoch < self.warmup_epochs:
+            frac = epoch / self.warmup_epochs
+            return self.start_lr + frac * (self.base_lr - self.start_lr)
+        passed = sum(1 for m in self.milestones if epoch >= m)
+        return self.base_lr * (self.gamma ** passed)
+
+
+class CosineAnnealingLR(LRScheduler):
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0,
+                 warmup_epochs: int = 0, base_lr: float = None):
+        self.total_epochs = max(int(total_epochs), 1)
+        self.min_lr = min_lr
+        self.warmup_epochs = int(warmup_epochs)
+        super().__init__(optimizer, base_lr)
+
+    def get_lr(self, epoch: int) -> float:
+        if self.warmup_epochs and epoch < self.warmup_epochs:
+            return self.base_lr * (epoch + 1) / self.warmup_epochs
+        progress = (epoch - self.warmup_epochs) / max(self.total_epochs - self.warmup_epochs, 1)
+        progress = min(max(progress, 0.0), 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + math.cos(math.pi * progress))
+
+
+def build_paper_cifar_schedule(optimizer: Optimizer, total_epochs: int,
+                               peak_lr: float, start_lr: float,
+                               warmup_epochs: int = 5) -> WarmupMultiStepLR:
+    """The exact schedule from the paper: warm up over 5 epochs, decay by 0.1 at
+    50% and 75% of total epochs."""
+    milestones: List[int] = [int(total_epochs * 0.5), int(total_epochs * 0.75)]
+    return WarmupMultiStepLR(
+        optimizer,
+        warmup_epochs=warmup_epochs,
+        start_lr=start_lr,
+        milestones=milestones,
+        base_lr=peak_lr,
+    )

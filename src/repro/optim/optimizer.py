@@ -1,0 +1,50 @@
+"""Optimizer base class.
+
+A key requirement for Cuttlefish is rebuilding optimizer state when the model
+is factorized mid-training (the full-rank parameters disappear and new U/Vᵀ
+parameters appear).  :meth:`Optimizer.set_parameters` supports exactly that:
+it replaces the tracked parameter list and drops stale per-parameter state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base class holding a flat list of parameters and per-parameter state."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: List[Parameter] = [p for p in params]
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = float(lr)
+        self.state: Dict[int, Dict[str, np.ndarray]] = {}
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def set_parameters(self, params: Iterable[Parameter]) -> None:
+        """Replace the tracked parameters (used after low-rank factorization).
+
+        Per-parameter state (momentum buffers, Adam moments) for parameters no
+        longer present is discarded; surviving parameters keep their state.
+        """
+        new_params = [p for p in params]
+        surviving = {id(p) for p in new_params}
+        self.state = {key: value for key, value in self.state.items() if key in surviving}
+        self.params = new_params
+
+    def _get_state(self, param: Parameter) -> Dict[str, np.ndarray]:
+        key = id(param)
+        if key not in self.state:
+            self.state[key] = {}
+        return self.state[key]
+
+    def step(self) -> None:
+        raise NotImplementedError

@@ -1,0 +1,54 @@
+"""Performance accounting: shape tracing, FLOPs, roofline model, wall-clock timers."""
+
+from repro.profiling.tracer import ModuleTrace, trace_shapes
+from repro.profiling.flops import (
+    BYTES_PER_ELEMENT,
+    LayerCost,
+    conv2d_cost,
+    count_model_flops,
+    count_parameters,
+    factorized_conv2d_cost,
+    factorized_linear_cost,
+    linear_cost,
+    model_layer_costs,
+)
+from repro.profiling.roofline import (
+    A100,
+    CPU,
+    DEVICES,
+    DeviceSpec,
+    T4,
+    V100,
+    get_device,
+    predict_iteration_time,
+    predict_layer_times,
+    predict_model_time,
+)
+from repro.profiling.timer import time_callable, time_forward, time_training_iteration
+
+__all__ = [
+    "ModuleTrace",
+    "trace_shapes",
+    "BYTES_PER_ELEMENT",
+    "LayerCost",
+    "conv2d_cost",
+    "count_model_flops",
+    "count_parameters",
+    "factorized_conv2d_cost",
+    "factorized_linear_cost",
+    "linear_cost",
+    "model_layer_costs",
+    "A100",
+    "CPU",
+    "DEVICES",
+    "DeviceSpec",
+    "T4",
+    "V100",
+    "get_device",
+    "predict_iteration_time",
+    "predict_layer_times",
+    "predict_model_time",
+    "time_callable",
+    "time_forward",
+    "time_training_iteration",
+]

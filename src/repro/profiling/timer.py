@@ -1,0 +1,62 @@
+"""Wall-clock timing helpers for layer/model profiling.
+
+Mirrors the paper's benchmarking protocol (Section 4.3): run ``iterations + 1``
+iterations, discard the first (warm-up / allocation effects), and average the
+rest.  Used by Cuttlefish's Algorithm 2 when ``profile_mode="wallclock"`` and
+by the benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor, functional as F
+
+
+def time_callable(fn: Callable[[], None], iterations: int = 5, discard_first: bool = True) -> float:
+    """Average wall-clock seconds per call of ``fn``."""
+    times: List[float] = []
+    total = iterations + (1 if discard_first else 0)
+    for _ in range(total):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    if discard_first and len(times) > 1:
+        times = times[1:]
+    return float(np.mean(times))
+
+
+def time_forward(model: nn.Module, example_input, iterations: int = 5, forward_fn=None) -> float:
+    """Average forward-pass wall-clock time."""
+    model.eval()
+    def run():
+        if forward_fn is not None:
+            forward_fn(model, example_input)
+        else:
+            model(example_input)
+    return time_callable(run, iterations=iterations)
+
+
+def time_training_iteration(model: nn.Module, example_input, labels, iterations: int = 5,
+                            loss_fn=None) -> float:
+    """Average forward+backward wall-clock time of one training iteration.
+
+    This is the quantity Algorithm 2 measures per layer stack: it includes the
+    full backward pass so that memory-bound layers are penalised realistically.
+    """
+    model.train()
+
+    def run():
+        model.zero_grad()
+        if loss_fn is not None:
+            loss = loss_fn(model, (example_input, labels))
+        else:
+            logits = model(example_input)
+            loss = F.cross_entropy(logits, labels)
+        loss.backward()
+
+    return time_callable(run, iterations=iterations)

@@ -1,0 +1,26 @@
+"""A small reverse-mode automatic differentiation engine over numpy arrays.
+
+This package is the substrate that replaces PyTorch's autograd/nn for the
+Cuttlefish reproduction.  The public surface mirrors the subset of the
+``torch`` API the paper's training code relies on:
+
+* :class:`repro.tensor.Tensor` — an n-dimensional array that records the
+  operations applied to it and can back-propagate gradients.
+* :mod:`repro.tensor.functional` — stateless neural-network operations
+  (convolution, pooling, softmax/cross-entropy, layer/batch normalisation,
+  dropout, attention helpers).
+
+Design notes
+------------
+The engine is tape based.  Each operation creates a new :class:`Tensor`
+holding references to its parents and a closure that accumulates gradients
+into them.  ``Tensor.backward`` topologically sorts the tape and runs the
+closures in reverse order.  All heavy lifting (matmul, im2col convolution)
+is delegated to vectorised numpy so that the Python overhead stays
+proportional to the number of *operations*, not the number of elements.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import functional
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]

@@ -1,0 +1,302 @@
+"""Stateless neural-network operations built on :class:`repro.tensor.Tensor`.
+
+These are the building blocks used by :mod:`repro.nn` layers: im2col-based 2-D
+convolution, pooling, softmax/cross-entropy losses, dropout and a handful of
+helpers.  Each function constructs the forward result with plain numpy and
+registers a vectorised backward closure on the output tensor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.tensor.tensor import DEFAULT_DTYPE, Tensor, _unbroadcast
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+# --------------------------------------------------------------------------- #
+# im2col / col2im
+# --------------------------------------------------------------------------- #
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: Tuple[int, int], pad: Tuple[int, int]
+) -> np.ndarray:
+    """Unroll image patches into rows.
+
+    ``x`` has shape ``(N, C, H, W)``; the result has shape
+    ``(N * out_h * out_w, C * kh * kw)`` so a convolution becomes one matmul.
+    """
+    n, c, h, w = x.shape
+    sh, sw = stride
+    ph, pw = pad
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+    img = np.pad(x, [(0, 0), (0, 0), (ph, ph), (pw, pw)])
+    col = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for y in range(kh):
+        y_max = y + sh * out_h
+        for xx in range(kw):
+            x_max = xx + sw * out_w
+            col[:, :, y, xx, :, :] = img[:, :, y:y_max:sh, xx:x_max:sw]
+    return col.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+
+
+def col2im(
+    col: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: Tuple[int, int],
+    pad: Tuple[int, int],
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add patch rows back into an image."""
+    n, c, h, w = x_shape
+    sh, sw = stride
+    ph, pw = pad
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+    col = col.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    img = np.zeros((n, c, h + 2 * ph + sh - 1, w + 2 * pw + sw - 1), dtype=col.dtype)
+    for y in range(kh):
+        y_max = y + sh * out_h
+        for xx in range(kw):
+            x_max = xx + sw * out_w
+            img[:, :, y:y_max:sh, xx:x_max:sw] += col[:, :, y, xx, :, :]
+    return img[:, :, ph:h + ph, pw:w + pw]
+
+
+# --------------------------------------------------------------------------- #
+# Convolution and pooling
+# --------------------------------------------------------------------------- #
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """2-D convolution (cross-correlation) over NCHW inputs.
+
+    ``weight`` has shape ``(out_channels, in_channels, kh, kw)``.
+    """
+    if not isinstance(x, Tensor):
+        x = Tensor(x)
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n, c, h, w = x.shape
+    out_c, in_c, kh, kw = weight.shape
+    if in_c != c:
+        raise ValueError(f"channel mismatch: input has {c}, weight expects {in_c}")
+    out_h = (h + 2 * padding[0] - kh) // stride[0] + 1
+    out_w = (w + 2 * padding[1] - kw) // stride[1] + 1
+
+    col = im2col(x.data, kh, kw, stride, padding)                 # (N*oh*ow, C*kh*kw)
+    w2d = weight.data.reshape(out_c, -1)                          # (out_c, C*kh*kw)
+    out2d = col @ w2d.T                                           # (N*oh*ow, out_c)
+    if bias is not None:
+        out2d = out2d + bias.data.reshape(1, -1)
+    out_data = out2d.reshape(n, out_h, out_w, out_c).transpose(0, 3, 1, 2)
+
+    children = (x, weight) if bias is None else (x, weight, bias)
+    out = Tensor._make(out_data, children, "conv2d")
+    if out.requires_grad:
+        def _backward():
+            grad2d = out.grad.transpose(0, 2, 3, 1).reshape(-1, out_c)
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad2d.sum(axis=0).reshape(bias.shape))
+            if weight.requires_grad:
+                grad_w = grad2d.T @ col
+                weight._accumulate(grad_w.reshape(weight.shape))
+            if x.requires_grad:
+                grad_col = grad2d @ w2d
+                x._accumulate(col2im(grad_col, x.shape, kh, kw, stride, padding))
+        out._backward = _backward
+    return out
+
+
+def max_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None, padding: IntPair = 0) -> Tensor:
+    """Max pooling over NCHW inputs."""
+    kh, kw = _pair(kernel_size)
+    stride = _pair(stride) if stride is not None else (kh, kw)
+    padding = _pair(padding)
+    n, c, h, w = x.shape
+    out_h = (h + 2 * padding[0] - kh) // stride[0] + 1
+    out_w = (w + 2 * padding[1] - kw) // stride[1] + 1
+
+    col = im2col(x.data, kh, kw, stride, padding)                  # (N*oh*ow, C*kh*kw)
+    col = col.reshape(-1, c, kh * kw)                              # (N*oh*ow, C, kh*kw)
+    argmax = col.argmax(axis=2)
+    out_data = np.take_along_axis(col, argmax[..., None], axis=2)[..., 0]
+    out_data = out_data.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+
+    out = Tensor._make(out_data, (x,), "max_pool2d")
+    if out.requires_grad:
+        def _backward():
+            grad = out.grad.transpose(0, 2, 3, 1).reshape(-1, c)
+            grad_col = np.zeros((grad.shape[0], c, kh * kw), dtype=DEFAULT_DTYPE)
+            np.put_along_axis(grad_col, argmax[..., None], grad[..., None], axis=2)
+            grad_col = grad_col.reshape(-1, c * kh * kw)
+            x._accumulate(col2im(grad_col, x.shape, kh, kw, stride, padding))
+        out._backward = _backward
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None, padding: IntPair = 0) -> Tensor:
+    """Average pooling over NCHW inputs."""
+    kh, kw = _pair(kernel_size)
+    stride = _pair(stride) if stride is not None else (kh, kw)
+    padding = _pair(padding)
+    n, c, h, w = x.shape
+    out_h = (h + 2 * padding[0] - kh) // stride[0] + 1
+    out_w = (w + 2 * padding[1] - kw) // stride[1] + 1
+
+    col = im2col(x.data, kh, kw, stride, padding).reshape(-1, c, kh * kw)
+    out_data = col.mean(axis=2).reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+    out = Tensor._make(out_data, (x,), "avg_pool2d")
+    if out.requires_grad:
+        def _backward():
+            grad = out.grad.transpose(0, 2, 3, 1).reshape(-1, c, 1)
+            grad_col = np.broadcast_to(grad / (kh * kw), (grad.shape[0], c, kh * kw))
+            grad_col = np.ascontiguousarray(grad_col).reshape(-1, c * kh * kw)
+            x._accumulate(col2im(grad_col, x.shape, kh, kw, stride, padding))
+        out._backward = _backward
+    return out
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: IntPair = 1) -> Tensor:
+    """Adaptive average pooling; only integer-divisible output sizes are supported."""
+    oh, ow = _pair(output_size)
+    n, c, h, w = x.shape
+    if h % oh or w % ow:
+        raise ValueError(f"input ({h},{w}) not divisible by output size ({oh},{ow})")
+    return avg_pool2d(x, kernel_size=(h // oh, w // ow))
+
+
+# --------------------------------------------------------------------------- #
+# Softmax family and losses
+# --------------------------------------------------------------------------- #
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+    out = Tensor._make(out_data, (x,), "softmax")
+    if out.requires_grad:
+        def _backward():
+            g = out.grad
+            dot = (g * out_data).sum(axis=axis, keepdims=True)
+            x._accumulate(out_data * (g - dot))
+        out._backward = _backward
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_sum
+    out = Tensor._make(out_data, (x,), "log_softmax")
+    if out.requires_grad:
+        softmax_data = np.exp(out_data)
+        def _backward():
+            g = out.grad
+            x._accumulate(g - softmax_data * g.sum(axis=axis, keepdims=True))
+        out._backward = _backward
+    return out
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    label_smoothing: float = 0.0,
+    ignore_index: Optional[int] = None,
+) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer ``targets`` (N,).
+
+    Supports label smoothing (as used for the paper's ImageNet runs) and an
+    ``ignore_index`` for masked-language-model style objectives.
+    """
+    targets = np.asarray(targets)
+    if logits.ndim != 2:
+        raise ValueError("cross_entropy expects logits of shape (N, C)")
+    n, num_classes = logits.shape
+    log_probs = log_softmax(logits, axis=-1)
+
+    if ignore_index is not None:
+        valid = targets != ignore_index
+        safe_targets = np.where(valid, targets, 0)
+    else:
+        valid = np.ones(n, dtype=bool)
+        safe_targets = targets
+    count = max(int(valid.sum()), 1)
+
+    one_hot = np.zeros((n, num_classes), dtype=DEFAULT_DTYPE)
+    one_hot[np.arange(n), safe_targets] = 1.0
+    if label_smoothing > 0.0:
+        one_hot = one_hot * (1.0 - label_smoothing) + label_smoothing / num_classes
+    one_hot *= valid[:, None]
+
+    weights = Tensor(one_hot)
+    loss = -(log_probs * weights).sum() * (1.0 / count)
+    return loss
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Negative log likelihood given log-probabilities."""
+    targets = np.asarray(targets)
+    n, num_classes = log_probs.shape
+    one_hot = np.zeros((n, num_classes), dtype=DEFAULT_DTYPE)
+    one_hot[np.arange(n), targets] = 1.0
+    return -(log_probs * Tensor(one_hot)).sum() * (1.0 / n)
+
+
+def mse_loss(pred: Tensor, target: Union[Tensor, np.ndarray]) -> Tensor:
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: Union[Tensor, np.ndarray]) -> Tensor:
+    """Numerically stable BCE on logits."""
+    targets = targets if isinstance(targets, Tensor) else Tensor(targets)
+    # log(1 + exp(-|x|)) + max(x, 0) - x*t
+    x = logits
+    max_part = x.relu()
+    stable = (1.0 + (-x.abs()).exp()).log()
+    return (max_part - x * targets + stable).mean()
+
+
+# --------------------------------------------------------------------------- #
+# Regularisation helpers
+# --------------------------------------------------------------------------- #
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(DEFAULT_DTYPE) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with ``weight`` of shape (out, in)."""
+    if not isinstance(x, Tensor):
+        x = Tensor(x)
+    out = x.matmul(weight.transpose())
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def one_hot(targets: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels → one-hot float matrix."""
+    targets = np.asarray(targets)
+    out = np.zeros((targets.size, num_classes), dtype=DEFAULT_DTYPE)
+    out[np.arange(targets.size), targets.reshape(-1)] = 1.0
+    return out.reshape(targets.shape + (num_classes,))

@@ -1,0 +1,529 @@
+"""Core reverse-mode autograd tensor.
+
+The :class:`Tensor` class wraps a ``numpy.ndarray`` and records enough
+information to back-propagate gradients through a computation graph.  Only
+the operations required by the neural networks in this repository are
+implemented; each is written as a vectorised numpy expression with a matching
+vectorised backward closure.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+DEFAULT_DTYPE = np.float32
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (like ``torch.no_grad``)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd tape."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over axes that were introduced or broadcast to reach ``shape``."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+
+def _as_array(value: ArrayLike, dtype=DEFAULT_DTYPE) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype)
+
+
+class Tensor:
+    """An n-dimensional array with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Converted to ``float32`` by default.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op")
+    __array_priority__ = 200  # ensure ndarray.__mul__(Tensor) defers to us
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _children: Tuple["Tensor", ...] = (),
+        _op: str = "",
+    ):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=DEFAULT_DTYPE)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[], None] = lambda: None
+        self._prev: Tuple[Tensor, ...] = _children if _GRAD_ENABLED else ()
+        self._op = _op
+
+    # ------------------------------------------------------------------ #
+    # Basic introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def clone(self) -> "Tensor":
+        out = Tensor(self.data.copy(), requires_grad=self.requires_grad, _children=(self,), _op="clone")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad)
+            out._backward = _backward
+        return out
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}, op={self._op!r})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------ #
+    # Graph utilities
+    # ------------------------------------------------------------------ #
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into this tensor's gradient buffer."""
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data, dtype=DEFAULT_DTYPE)
+        self.grad += grad.astype(DEFAULT_DTYPE, copy=False)
+
+    @staticmethod
+    def _make(data: np.ndarray, children: Tuple["Tensor", ...], op: str) -> "Tensor":
+        requires = _GRAD_ENABLED and any(c.requires_grad for c in children)
+        return Tensor(data, requires_grad=requires, _children=children, _op=op)
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Back-propagate gradients from this tensor through the graph."""
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+
+        # Topological order of the graph reachable from self.
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for child in node._prev:
+                if id(child) not in visited:
+                    stack.append((child, False))
+
+        self.grad = grad.astype(DEFAULT_DTYPE, copy=True).reshape(self.data.shape)
+        for node in reversed(topo):
+            if node.grad is not None:
+                node._backward()
+
+    # ------------------------------------------------------------------ #
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = Tensor._make(self.data + other.data, (self, other), "add")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(_unbroadcast(out.grad, self.shape))
+                other._accumulate(_unbroadcast(out.grad, other.shape))
+            out._backward = _backward
+        return out
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = Tensor._make(self.data * other.data, (self, other), "mul")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
+                other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+            out._backward = _backward
+        return out
+
+    def __neg__(self) -> "Tensor":
+        out = Tensor._make(-self.data, (self,), "neg")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(-out.grad)
+            out._backward = _backward
+        return out
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        return self + (-other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = Tensor._make(self.data / other.data, (self, other), "div")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(_unbroadcast(out.grad / other.data, self.shape))
+                other._accumulate(
+                    _unbroadcast(-out.grad * self.data / (other.data ** 2), other.shape)
+                )
+            out._backward = _backward
+        return out
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out = Tensor._make(self.data ** exponent, (self,), "pow")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+            out._backward = _backward
+        return out
+
+    __radd__ = __add__
+    __rmul__ = __mul__
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) - self
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) / self
+
+    # ------------------------------------------------------------------ #
+    # Elementwise functions
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+        out = Tensor._make(out_data, (self,), "exp")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * out_data)
+            out._backward = _backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = Tensor._make(np.log(self.data), (self,), "log")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad / self.data)
+            out._backward = _backward
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+        out = Tensor._make(out_data, (self,), "tanh")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * (1.0 - out_data ** 2))
+            out._backward = _backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        out = Tensor._make(out_data, (self,), "sigmoid")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * out_data * (1.0 - out_data))
+            out._backward = _backward
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = Tensor._make(self.data * mask, (self,), "relu")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * mask)
+            out._backward = _backward
+        return out
+
+    def gelu(self) -> "Tensor":
+        """Gaussian error linear unit (tanh approximation)."""
+        c = np.sqrt(2.0 / np.pi).astype(DEFAULT_DTYPE)
+        x = self.data
+        inner = c * (x + 0.044715 * x ** 3)
+        tanh_inner = np.tanh(inner)
+        out_data = 0.5 * x * (1.0 + tanh_inner)
+        out = Tensor._make(out_data, (self,), "gelu")
+        if out.requires_grad:
+            def _backward():
+                sech2 = 1.0 - tanh_inner ** 2
+                d_inner = c * (1.0 + 3 * 0.044715 * x ** 2)
+                grad = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+                self._accumulate(out.grad * grad)
+            out._backward = _backward
+        return out
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out = Tensor._make(np.abs(self.data), (self,), "abs")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * sign)
+            out._backward = _backward
+        return out
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data >= low) & (self.data <= high)
+        out = Tensor._make(np.clip(self.data, low, high), (self,), "clip")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * mask)
+            out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        out = Tensor._make(out_data, (self,), "sum")
+        if out.requires_grad:
+            def _backward():
+                grad = out.grad
+                if axis is not None and not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    grad = np.expand_dims(grad, axes)
+                self._accumulate(np.broadcast_to(grad, self.shape).copy())
+            out._backward = _backward
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out = Tensor._make(out_data, (self,), "max")
+        if out.requires_grad:
+            def _backward():
+                grad = out.grad
+                expanded = out_data
+                if axis is not None and not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    grad = np.expand_dims(grad, axes)
+                    expanded = np.expand_dims(out_data, axes)
+                mask = (self.data == expanded).astype(DEFAULT_DTYPE)
+                # Split gradient equally among ties to keep the op well defined.
+                counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+                self._accumulate(mask * grad / counts)
+            out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = Tensor._make(self.data.reshape(shape), (self,), "reshape")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad.reshape(self.shape))
+            out._backward = _backward
+        return out
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        out = Tensor._make(self.data.transpose(axes), (self,), "transpose")
+        if out.requires_grad:
+            inverse = np.argsort(axes)
+            def _backward():
+                self._accumulate(out.grad.transpose(inverse))
+            out._backward = _backward
+        return out
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(tuple(axes))
+
+    def __getitem__(self, index) -> "Tensor":
+        out = Tensor._make(self.data[index], (self,), "getitem")
+        if out.requires_grad:
+            def _backward():
+                grad = np.zeros_like(self.data, dtype=DEFAULT_DTYPE)
+                np.add.at(grad, index, out.grad)
+                self._accumulate(grad)
+            out._backward = _backward
+        return out
+
+    def pad(self, pad_width) -> "Tensor":
+        out = Tensor._make(np.pad(self.data, pad_width), (self,), "pad")
+        if out.requires_grad:
+            slices = tuple(
+                slice(before, before + dim)
+                for (before, _after), dim in zip(pad_width, self.shape)
+            )
+            def _backward():
+                self._accumulate(out.grad[slices])
+            out._backward = _backward
+        return out
+
+    def flatten(self, start_dim: int = 0) -> "Tensor":
+        shape = self.shape[:start_dim] + (-1,)
+        return self.reshape(shape)
+
+    # ------------------------------------------------------------------ #
+    # Linear algebra
+    # ------------------------------------------------------------------ #
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = Tensor._make(self.data @ other.data, (self, other), "matmul")
+        if out.requires_grad:
+            def _backward():
+                grad = out.grad
+                a, b = self.data, other.data
+                if a.ndim == 1 and b.ndim == 1:
+                    self._accumulate(grad * b)
+                    other._accumulate(grad * a)
+                    return
+                a2 = a if a.ndim > 1 else a.reshape(1, -1)
+                b2 = b if b.ndim > 1 else b.reshape(-1, 1)
+                g2 = grad
+                if a.ndim == 1:
+                    g2 = np.expand_dims(grad, -2)
+                if b.ndim == 1:
+                    g2 = np.expand_dims(g2, -1)
+                grad_a = g2 @ np.swapaxes(b2, -1, -2)
+                grad_b = np.swapaxes(a2, -1, -2) @ g2
+                if a.ndim == 1:
+                    grad_a = grad_a.reshape(a.shape) if grad_a.size == a.size else _unbroadcast(grad_a, (1,) + a.shape).reshape(a.shape)
+                    self._accumulate(_unbroadcast(grad_a, self.shape))
+                else:
+                    self._accumulate(_unbroadcast(grad_a, self.shape))
+                if b.ndim == 1:
+                    grad_b = grad_b.reshape(b.shape) if grad_b.size == b.size else _unbroadcast(grad_b, b.shape + (1,)).reshape(b.shape)
+                    other._accumulate(_unbroadcast(grad_b, other.shape))
+                else:
+                    other._accumulate(_unbroadcast(grad_b, other.shape))
+            out._backward = _backward
+        return out
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return self.matmul(other)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def zeros(*shape, requires_grad: bool = False) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape, requires_grad: bool = False) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape, rng: Optional[np.random.Generator] = None, requires_grad: bool = False) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        rng = rng or np.random.default_rng()
+        return Tensor(rng.standard_normal(shape).astype(DEFAULT_DTYPE), requires_grad=requires_grad)
+
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        out = Tensor._make(data, tuple(tensors), "concat")
+        if out.requires_grad:
+            sizes = [t.shape[axis] for t in tensors]
+            offsets = np.cumsum([0] + sizes)
+            def _backward():
+                for t, start, end in zip(tensors, offsets[:-1], offsets[1:]):
+                    index = [slice(None)] * out.grad.ndim
+                    index[axis] = slice(start, end)
+                    t._accumulate(out.grad[tuple(index)])
+            out._backward = _backward
+        return out
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+        expanded = [t.reshape(t.shape[:axis] + (1,) + t.shape[axis:]) for t in tensors]
+        return Tensor.concatenate(expanded, axis=axis)

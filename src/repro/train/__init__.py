@@ -1,0 +1,51 @@
+"""Training loops, metrics and experiment utilities.
+
+``repro.train.experiments`` depends on :mod:`repro.core` and
+:mod:`repro.baselines`, which themselves import the trainer from this
+package; to keep those imports acyclic the experiment helpers are loaded
+lazily on first attribute access.
+"""
+
+from repro.train.metrics import (
+    AverageMeter,
+    accuracy,
+    classification_metric,
+    f1_score,
+    matthews_corrcoef,
+    mlm_loss,
+    spearman_correlation,
+    top_k_accuracy,
+)
+from repro.train.trainer import Callback, EpochRecord, Trainer, default_forward_fn, default_loss_fn
+
+_LAZY_EXPERIMENT_EXPORTS = {
+    "ExperimentRow",
+    "VisionExperimentConfig",
+    "format_rows",
+    "run_vision_method",
+    "reference_profiling",
+    "projected_training_hours",
+}
+
+__all__ = [
+    "AverageMeter",
+    "accuracy",
+    "classification_metric",
+    "f1_score",
+    "matthews_corrcoef",
+    "mlm_loss",
+    "spearman_correlation",
+    "top_k_accuracy",
+    "Callback",
+    "EpochRecord",
+    "Trainer",
+    "default_forward_fn",
+    "default_loss_fn",
+] + sorted(_LAZY_EXPERIMENT_EXPORTS)
+
+
+def __getattr__(name):
+    if name in _LAZY_EXPERIMENT_EXPORTS:
+        from repro.train import experiments
+        return getattr(experiments, name)
+    raise AttributeError(f"module 'repro.train' has no attribute {name!r}")

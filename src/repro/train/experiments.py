@@ -1,0 +1,423 @@
+"""Shared experiment harness used by the examples and the benchmark suite.
+
+Every comparison table in the paper has the same shape: a task (dataset), an
+architecture, and a set of methods (full-rank, Pufferfish, SI&FD, IMP,
+XNOR-Net, LC, GraSP, EB-Train, Cuttlefish) each reported as
+
+    (# params, validation accuracy, end-to-end time)
+
+``run_vision_method`` runs one (task, model, method) cell at the configured
+compute budget and returns an :class:`ExperimentRow`.
+
+Scale split
+-----------
+Training runs on reduced-width models over synthetic data (that is what a CPU
+budget allows), but two quantities are evaluated on a *paper-scale reference
+model* — the same architecture at ``width_mult = 1.0``:
+
+* the Algorithm-2 K decision (which stacks are worth factorizing) is taken on
+  the reference model under the GPU roofline, because the answer depends on
+  absolute channel counts and batch size, not on the reduced widths;
+* the end-to-end "Time" column is projected by applying the *rank ratios*
+  found on the reduced model to the reference model and pricing full-rank and
+  factorized epochs with the roofline model at the paper's batch size.
+
+Both substitutions are documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.baselines import (
+    EarlyBirdConfig,
+    GraSPConfig,
+    IMPConfig,
+    LCConfig,
+    PufferfishConfig,
+    SIFDConfig,
+    convert_to_xnor,
+    effective_parameter_fraction,
+    train_early_bird,
+    train_grasp,
+    train_imp,
+    train_lc_compression,
+    train_pufferfish,
+    train_si_fd,
+)
+from repro.core import (
+    CuttlefishCallback,
+    CuttlefishConfig,
+    CuttlefishManager,
+    ProfilingResult,
+    factorize_model,
+    full_rank_of,
+    is_low_rank,
+    profile_layer_stacks,
+)
+from repro.data import DataLoader, make_vision_task
+from repro.models import build_model
+from repro.optim import SGD, build_paper_cifar_schedule
+from repro.profiling import V100, DeviceSpec, predict_iteration_time
+from repro.train.trainer import Trainer
+from repro.utils import get_logger, get_rng, seed_everything
+
+logger = get_logger("train.experiments")
+
+
+@dataclass
+class ExperimentRow:
+    """One row of a paper-style comparison table."""
+
+    method: str
+    params: int
+    params_fraction: float           # relative to the full-rank model
+    val_accuracy: float
+    wallclock_seconds: float
+    projected_gpu_hours: float       # roofline-projected end-to-end time at paper scale
+    speedup_vs_full_rank: float = 1.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "method": self.method,
+            "params": self.params,
+            "params_fraction": self.params_fraction,
+            "val_accuracy": self.val_accuracy,
+            "wallclock_seconds": self.wallclock_seconds,
+            "projected_gpu_hours": self.projected_gpu_hours,
+            "speedup_vs_full_rank": self.speedup_vs_full_rank,
+            **self.extra,
+        }
+
+
+@dataclass
+class VisionExperimentConfig:
+    """Compute-budget knobs shared by every method in a comparison."""
+
+    task: str = "cifar10_small"
+    model: str = "resnet18"
+    width_mult: float = 0.25
+    epochs: int = 8
+    batch_size: int = 64
+    peak_lr: float = 0.1
+    warmup_epochs: int = 2
+    weight_decay: float = 1e-4
+    momentum: float = 0.9
+    label_smoothing: float = 0.0
+    max_batches_per_epoch: Optional[int] = None
+    seed: int = 0
+    small_input: bool = True
+
+    # Paper-scale reference used for the K decision and the projected-time column.
+    device: DeviceSpec = V100
+    paper_batch_size: int = 1024
+    paper_steps_per_epoch: int = 49          # 50 000 CIFAR images / batch 1024
+    reference_width_mult: float = 1.0
+    reference_image_size: int = 32
+    reference_batch: int = 2
+    use_reference_profiling: bool = True
+
+
+# --------------------------------------------------------------------------- #
+# Builders
+# --------------------------------------------------------------------------- #
+def _build_task(config: VisionExperimentConfig):
+    train_ds, val_ds, spec = make_vision_task(config.task)
+    train_loader = DataLoader(train_ds, batch_size=config.batch_size, shuffle=True)
+    val_loader = DataLoader(val_ds, batch_size=config.batch_size)
+    return train_loader, val_loader, spec
+
+
+def _build_model(config: VisionExperimentConfig, num_classes: int,
+                 width_mult: Optional[float] = None) -> nn.Module:
+    kwargs = dict(num_classes=num_classes,
+                  width_mult=width_mult if width_mult is not None else config.width_mult,
+                  rng=get_rng(offset=config.seed + 1))
+    if config.model in ("resnet18", "resnet50", "wide_resnet50_2"):
+        kwargs["small_input"] = config.small_input
+    return build_model(config.model, **kwargs)
+
+
+def _build_optimizer(model: nn.Module, config: VisionExperimentConfig) -> SGD:
+    optimizer = SGD(model.parameters(), lr=config.peak_lr, momentum=config.momentum,
+                    weight_decay=config.weight_decay)
+    bn_params = [
+        p for module in model.modules()
+        if isinstance(module, (nn.BatchNorm1d, nn.BatchNorm2d, nn.LayerNorm))
+        for p in module._parameters.values() if p is not None
+    ]
+    optimizer.exclude_from_weight_decay(bn_params)
+    return optimizer
+
+
+def _reference_input(config: VisionExperimentConfig) -> np.ndarray:
+    rng = get_rng(offset=777)
+    size = config.reference_image_size
+    return rng.standard_normal((config.reference_batch, 3, size, size)).astype(np.float32)
+
+
+# Memoised reference-model profiling: keyed by everything the decision depends on.
+_REFERENCE_PROFILE_CACHE: Dict[Tuple, ProfilingResult] = {}
+
+
+def reference_profiling(config: VisionExperimentConfig, num_classes: int) -> Optional[ProfilingResult]:
+    """Run Algorithm 2 on the paper-scale reference model (roofline, paper batch)."""
+    key = (config.model, config.reference_width_mult, config.reference_image_size,
+           config.paper_batch_size, config.device.name, num_classes, config.small_input)
+    if key in _REFERENCE_PROFILE_CACHE:
+        return _REFERENCE_PROFILE_CACHE[key]
+    reference = _build_model(config, num_classes, width_mult=config.reference_width_mult)
+    if not hasattr(reference, "layer_stack_paths"):
+        return None
+    example_input = _reference_input(config)
+    labels = np.zeros(len(example_input), dtype=np.int64)
+    batch_scale = config.paper_batch_size / len(example_input)
+    result = profile_layer_stacks(
+        reference, reference.layer_stack_paths(), (example_input, labels),
+        mode="roofline", device=config.device, batch_scale=batch_scale,
+    )
+    _REFERENCE_PROFILE_CACHE[key] = result
+    return result
+
+
+def _rank_ratios_of(model: nn.Module) -> Dict[str, float]:
+    """Per-path rank ratio of every factorized layer of a trained (reduced) model."""
+    ratios: Dict[str, float] = {}
+    for name, module in model.named_modules():
+        if not name or not is_low_rank(module):
+            continue
+        if hasattr(module, "kernel_size"):
+            full = min(module.in_channels * module.kernel_size[0] * module.kernel_size[1],
+                       module.out_channels)
+        else:
+            full = min(module.in_features, module.out_features)
+        ratios[name] = module.rank / max(full, 1)
+    return ratios
+
+
+def projected_training_hours(config: VisionExperimentConfig, num_classes: int,
+                             rank_ratios: Optional[Dict[str, float]],
+                             epochs_full: float, epochs_low: float,
+                             overhead_multiplier: float = 1.0) -> float:
+    """Project end-to-end GPU hours at paper scale from the roofline model.
+
+    The reference (full-width) model is priced for the full-rank phase; a copy
+    factorized at the supplied per-layer rank ratios is priced for the
+    low-rank phase.  ``overhead_multiplier`` models methods that repeat
+    training (IMP) or add per-iteration work (XNOR binarisation).
+    """
+    example_input = _reference_input(config)
+    batch_scale = config.paper_batch_size / len(example_input)
+    reference = _build_model(config, num_classes, width_mult=config.reference_width_mult)
+    full_time = predict_iteration_time(reference, example_input, device=config.device,
+                                       batch_scale=batch_scale)
+    low_time = full_time
+    if rank_ratios:
+        ranks = {}
+        for path, ratio in rank_ratios.items():
+            try:
+                module = reference.get_submodule(path)
+            except KeyError:
+                continue
+            ranks[path] = max(1, int(round(full_rank_of(module) * ratio)))
+        factorize_model(reference, ranks)
+        low_time = predict_iteration_time(reference, example_input, device=config.device,
+                                          batch_scale=batch_scale)
+    seconds = config.paper_steps_per_epoch * (epochs_full * full_time + epochs_low * low_time)
+    return overhead_multiplier * seconds / 3600.0
+
+
+# --------------------------------------------------------------------------- #
+# Methods
+# --------------------------------------------------------------------------- #
+def run_vision_method(method: str, config: Optional[VisionExperimentConfig] = None,
+                      **method_kwargs) -> ExperimentRow:
+    """Run one method on one vision task and return its comparison-table row.
+
+    ``method`` is one of ``full_rank``, ``cuttlefish``, ``pufferfish``,
+    ``si_fd``, ``imp``, ``xnor``, ``lc``, ``grasp``, ``early_bird``.
+    """
+    config = config or VisionExperimentConfig()
+    seed_everything(config.seed)
+    train_loader, val_loader, spec = _build_task(config)
+    model = _build_model(config, spec.num_classes)
+    full_rank_params = model.num_parameters()
+    common = dict(max_batches_per_epoch=config.max_batches_per_epoch)
+    epochs_full, epochs_low = float(config.epochs), 0.0
+    extra: Dict[str, float] = {}
+    overhead = 1.0
+
+    optimizer = _build_optimizer(model, config)
+    scheduler = build_paper_cifar_schedule(optimizer, config.epochs, config.peak_lr,
+                                           start_lr=config.peak_lr / 8,
+                                           warmup_epochs=config.warmup_epochs)
+
+    if method == "full_rank":
+        trainer = Trainer(model, optimizer, train_loader, val_loader, scheduler=scheduler,
+                          label_smoothing=config.label_smoothing, **common)
+        trainer.fit(config.epochs)
+        accuracy = trainer.final_val_accuracy()
+        wallclock = trainer.total_train_seconds
+        params = model.num_parameters()
+
+    elif method == "cuttlefish":
+        cf_config = method_kwargs.pop("cuttlefish_config", None) or CuttlefishConfig(
+            min_full_rank_epochs=2,
+            max_full_rank_epochs=max(config.epochs // 2, 2),
+            profile_mode="none",
+        )
+        manager = CuttlefishManager(model, config=cf_config)
+        if config.use_reference_profiling:
+            reference_result = reference_profiling(config, spec.num_classes)
+            if reference_result is not None:
+                manager.apply_profiling_result(reference_result)
+        callback = CuttlefishCallback(manager)
+        trainer = Trainer(model, optimizer, train_loader, val_loader, scheduler=scheduler,
+                          callbacks=[callback], label_smoothing=config.label_smoothing, **common)
+        trainer.fit(config.epochs)
+        report = manager.report
+        epochs_full = float(report.switch_epoch or config.epochs)
+        epochs_low = config.epochs - epochs_full
+        extra = {"switch_epoch": float(report.switch_epoch or -1), "k_hat": float(report.k_hat or -1),
+                 "compression": report.compression_ratio}
+        accuracy = trainer.final_val_accuracy()
+        wallclock = trainer.total_train_seconds
+        params = model.num_parameters()
+
+    elif method == "pufferfish":
+        pf_config = method_kwargs.pop("pufferfish_config", None) or PufferfishConfig(
+            full_rank_epochs=max(config.epochs // 2, 1), rank_ratio=0.25)
+        trainer, report = train_pufferfish(model, optimizer, train_loader, val_loader,
+                                           epochs=config.epochs, config=pf_config,
+                                           scheduler=scheduler,
+                                           label_smoothing=config.label_smoothing, **common)
+        epochs_full = float(report.switch_epoch or config.epochs)
+        epochs_low = config.epochs - epochs_full
+        extra = {"switch_epoch": float(report.switch_epoch or -1), "compression": report.compression_ratio}
+        accuracy = trainer.final_val_accuracy()
+        wallclock = trainer.total_train_seconds
+        params = model.num_parameters()
+
+    elif method == "si_fd":
+        sf_config = method_kwargs.pop("si_fd_config", None) or SIFDConfig(rank_ratio=0.2)
+        trainer, report = train_si_fd(model, optimizer, train_loader, val_loader,
+                                      epochs=config.epochs, config=sf_config,
+                                      scheduler=scheduler, **common)
+        epochs_full, epochs_low = 0.0, float(config.epochs)
+        extra = {"compression": report.compression_ratio}
+        accuracy = trainer.final_val_accuracy()
+        wallclock = trainer.total_train_seconds
+        params = model.num_parameters()
+
+    elif method == "lc":
+        lc_config = method_kwargs.pop("lc_config", None) or LCConfig()
+        trainer, report = train_lc_compression(model, optimizer, train_loader, val_loader,
+                                               epochs=config.epochs, config=lc_config,
+                                               scheduler=scheduler, **common)
+        extra = {"compression": report.compression_ratio, "c_steps": float(report.c_steps)}
+        # LC's alternating optimisation adds an SVD of every layer each epoch and
+        # the quadratic-penalty term each iteration: far slower end to end.
+        overhead = 8.0
+        accuracy = trainer.final_val_accuracy()
+        wallclock = trainer.total_train_seconds
+        params = model.num_parameters()
+
+    elif method == "imp":
+        imp_config = method_kwargs.pop("imp_config", None) or IMPConfig(
+            rounds=2, epochs_per_round=max(config.epochs // 2, 1))
+        def optimizer_factory(m):
+            return _build_optimizer(m, config)
+        model, report = train_imp(model, optimizer_factory, train_loader, val_loader,
+                                  config=imp_config,
+                                  max_batches_per_epoch=config.max_batches_per_epoch)
+        overhead = float(imp_config.rounds)
+        extra = {"sparsity": report.final_sparsity, "rounds": float(imp_config.rounds)}
+        accuracy = report.val_accuracy_per_round[-1]
+        wallclock = report.total_seconds
+        params = report.effective_parameters
+
+    elif method == "xnor":
+        first_conv = "conv1" if hasattr(model, "conv1") else None
+        skip = [p for p in [first_conv, "fc", "classifier", "head"] if p]
+        convert_to_xnor(model, skip_paths=skip)
+        optimizer = _build_optimizer(model, config)
+        trainer = Trainer(model, optimizer, train_loader, val_loader, scheduler=None, **common)
+        trainer.fit(config.epochs)
+        extra = {"effective_bits_fraction": effective_parameter_fraction()}
+        # The paper's FP32 simulation of binarisation re-binarises weights and
+        # activations every iteration, ~3-4× slower than dense training.
+        overhead = 3.5
+        accuracy = trainer.final_val_accuracy()
+        wallclock = trainer.total_train_seconds
+        params = model.num_parameters()
+
+    elif method == "grasp":
+        gr_config = method_kwargs.pop("grasp_config", None) or GraSPConfig(sparsity=0.5)
+        trainer, report = train_grasp(model, optimizer, train_loader, val_loader,
+                                      epochs=config.epochs, config=gr_config,
+                                      scheduler=scheduler, **common)
+        extra = {"sparsity": report.sparsity}
+        accuracy = trainer.final_val_accuracy()
+        wallclock = trainer.total_train_seconds
+        params = report.remaining_parameters
+
+    elif method == "early_bird":
+        eb_config = method_kwargs.pop("early_bird_config", None) or EarlyBirdConfig()
+        trainer, report = train_early_bird(model, optimizer, train_loader, val_loader,
+                                           epochs=config.epochs, config=eb_config,
+                                           scheduler=scheduler, **common)
+        extra = {"channel_sparsity": report.channel_sparsity,
+                 "ticket_epoch": float(report.ticket_epoch or -1)}
+        # Structured channel pruning speeds up the post-ticket epochs roughly
+        # quadratically in the kept-channel fraction.
+        if report.ticket_epoch is not None:
+            kept = 1.0 - report.channel_sparsity
+            post = config.epochs - report.ticket_epoch
+            epochs_full = float(report.ticket_epoch) + post * kept * kept
+            epochs_low = 0.0
+        accuracy = trainer.final_val_accuracy()
+        wallclock = trainer.total_train_seconds
+        params = report.effective_parameters or model.num_parameters()
+
+    else:
+        raise KeyError(f"unknown method {method!r}")
+
+    rank_ratios = _rank_ratios_of(model) if method in ("cuttlefish", "pufferfish", "si_fd", "lc") else None
+    projected = projected_training_hours(config, spec.num_classes, rank_ratios,
+                                         epochs_full, epochs_low, overhead_multiplier=overhead)
+    full_rank_projected = projected_training_hours(config, spec.num_classes, None,
+                                                   float(config.epochs), 0.0)
+    params_fraction = effective_parameter_fraction() if method == "xnor" else params / full_rank_params
+    return ExperimentRow(
+        method=method,
+        params=params,
+        params_fraction=params_fraction,
+        val_accuracy=accuracy,
+        wallclock_seconds=wallclock,
+        projected_gpu_hours=projected,
+        speedup_vs_full_rank=full_rank_projected / max(projected, 1e-12),
+        extra=extra,
+    )
+
+
+def format_rows(rows, float_digits: int = 4) -> str:
+    """Plain-text table of experiment rows (printed by the benchmark harnesses)."""
+    header = ["method", "params", "params%", "val_acc", "cpu_s", "proj_gpu_h", "speedup"]
+    lines = ["  ".join(f"{h:>12}" for h in header)]
+    for row in rows:
+        lines.append("  ".join([
+            f"{row.method:>12}",
+            f"{row.params:>12d}",
+            f"{100 * row.params_fraction:>11.1f}%",
+            f"{row.val_accuracy:>12.4f}",
+            f"{row.wallclock_seconds:>12.1f}",
+            f"{row.projected_gpu_hours:>12.3f}",
+            f"{row.speedup_vs_full_rank:>12.2f}",
+        ]))
+    return "\n".join(lines)

@@ -1,0 +1,246 @@
+"""Generic supervised training loop with an epoch-level callback hook.
+
+The Cuttlefish algorithm (and several baselines: EB-Train, IMP, LC) is a
+*training-time* transformation — it watches the model between epochs and may
+replace layers, rebuild optimizer state or adjust the learning rate.  The
+:class:`Trainer` therefore exposes a small callback protocol:
+
+* ``callback.on_epoch_end(trainer, epoch, logs)`` is invoked after every epoch
+  with the accumulated logs; callbacks may mutate ``trainer.model`` and
+  ``trainer.optimizer``.
+
+This keeps the training loop itself free of any Cuttlefish-specific logic and
+identical across the full-rank baseline and every low-rank method.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.data.dataset import DataLoader
+from repro.optim import LRScheduler, Optimizer
+from repro.tensor import Tensor, functional as F, no_grad
+from repro.train.metrics import AverageMeter, top_k_accuracy
+from repro.utils import get_logger
+
+logger = get_logger("train")
+
+
+class Callback:
+    """Base class for epoch-level hooks."""
+
+    def on_train_begin(self, trainer: "Trainer") -> None:
+        pass
+
+    def on_epoch_end(self, trainer: "Trainer", epoch: int, logs: Dict[str, float]) -> None:
+        pass
+
+    def on_train_end(self, trainer: "Trainer") -> None:
+        pass
+
+
+@dataclass
+class EpochRecord:
+    """Per-epoch training record collected into ``Trainer.history``."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    val_loss: Optional[float] = None
+    val_accuracy: Optional[float] = None
+    val_top5: Optional[float] = None
+    lr: float = 0.0
+    epoch_seconds: float = 0.0
+    num_parameters: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+def default_loss_fn(model: nn.Module, batch: Sequence[np.ndarray]) -> Tensor:
+    """Cross-entropy over an ``(inputs, labels)`` batch."""
+    inputs, labels = batch[0], batch[-1]
+    logits = model(inputs)
+    return F.cross_entropy(logits, labels)
+
+
+def default_forward_fn(model: nn.Module, batch: Sequence[np.ndarray]) -> Tensor:
+    """Return logits for an ``(inputs, ..., labels)`` batch."""
+    return model(batch[0])
+
+
+class Trainer:
+    """Mini-batch SGD training loop.
+
+    Parameters
+    ----------
+    model, optimizer, train_loader, val_loader:
+        The usual suspects.
+    loss_fn:
+        ``loss_fn(model, batch) -> Tensor`` scalar loss.  Defaults to
+        cross-entropy on ``(inputs, labels)`` batches.
+    forward_fn:
+        ``forward_fn(model, batch) -> Tensor`` producing logits for
+        evaluation.  Defaults to ``model(batch[0])``.
+    scheduler:
+        Optional per-epoch learning rate scheduler.
+    label_smoothing:
+        Applied inside the default loss function only.
+    loss_hook:
+        Optional callable adding extra differentiable terms to the loss
+        (used by Frobenius decay).
+    grad_hook:
+        Optional callable invoked after ``backward`` and before
+        ``optimizer.step`` (used by gradient-masking baselines).
+    """
+
+    def __init__(
+        self,
+        model: nn.Module,
+        optimizer: Optimizer,
+        train_loader: DataLoader,
+        val_loader: Optional[DataLoader] = None,
+        loss_fn: Optional[Callable] = None,
+        forward_fn: Optional[Callable] = None,
+        scheduler: Optional[LRScheduler] = None,
+        callbacks: Optional[List[Callback]] = None,
+        label_smoothing: float = 0.0,
+        loss_hook: Optional[Callable[[nn.Module], Tensor]] = None,
+        grad_hook: Optional[Callable[[nn.Module], None]] = None,
+        max_batches_per_epoch: Optional[int] = None,
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.train_loader = train_loader
+        self.val_loader = val_loader
+        self.scheduler = scheduler
+        self.callbacks = list(callbacks or [])
+        self.label_smoothing = label_smoothing
+        self.loss_hook = loss_hook
+        self.grad_hook = grad_hook
+        self.max_batches_per_epoch = max_batches_per_epoch
+        self.history: List[EpochRecord] = []
+        self.total_train_seconds = 0.0
+
+        if loss_fn is None:
+            def loss_fn(model, batch):
+                logits = model(batch[0])
+                return F.cross_entropy(logits, batch[-1], label_smoothing=self.label_smoothing)
+        self.loss_fn = loss_fn
+        self.forward_fn = forward_fn or default_forward_fn
+
+    # ------------------------------------------------------------------ #
+    # Single epoch
+    # ------------------------------------------------------------------ #
+    def train_epoch(self) -> Dict[str, float]:
+        self.model.train()
+        loss_meter, acc_meter = AverageMeter(), AverageMeter()
+        for batch_index, batch in enumerate(self.train_loader):
+            if self.max_batches_per_epoch is not None and batch_index >= self.max_batches_per_epoch:
+                break
+            loss = self.loss_fn(self.model, batch)
+            if self.loss_hook is not None:
+                extra = self.loss_hook(self.model)
+                if extra is not None:
+                    loss = loss + extra
+            self.optimizer.zero_grad()
+            loss.backward()
+            if self.grad_hook is not None:
+                self.grad_hook(self.model)
+            self.optimizer.step()
+            batch_size = len(batch[-1])
+            loss_meter.update(loss.item(), batch_size)
+            # Cheap running accuracy from the training logits when available.
+            acc_meter.update(0.0, 0)
+        return {"loss": loss_meter.average, "accuracy": acc_meter.average}
+
+    @no_grad()
+    def evaluate(self, loader: Optional[DataLoader] = None) -> Dict[str, float]:
+        loader = loader or self.val_loader
+        if loader is None:
+            return {}
+        self.model.eval()
+        loss_meter = AverageMeter()
+        all_logits, all_labels = [], []
+        for batch in loader:
+            logits = self.forward_fn(self.model, batch)
+            labels = batch[-1]
+            loss = F.cross_entropy(logits, labels)
+            loss_meter.update(loss.item(), len(labels))
+            all_logits.append(logits.data)
+            all_labels.append(labels)
+        logits = np.concatenate(all_logits)
+        labels = np.concatenate(all_labels)
+        top5_k = min(5, logits.shape[1])
+        return {
+            "loss": loss_meter.average,
+            "accuracy": top_k_accuracy(logits, labels, k=1),
+            "top5": top_k_accuracy(logits, labels, k=top5_k),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Full run
+    # ------------------------------------------------------------------ #
+    def fit(self, epochs: int, evaluate_every: int = 1, verbose: bool = False) -> List[EpochRecord]:
+        for callback in self.callbacks:
+            callback.on_train_begin(self)
+        for epoch in range(epochs):
+            start = time.perf_counter()
+            train_stats = self.train_epoch()
+            elapsed = time.perf_counter() - start
+            self.total_train_seconds += elapsed
+
+            val_stats: Dict[str, float] = {}
+            if self.val_loader is not None and (epoch + 1) % evaluate_every == 0:
+                val_stats = self.evaluate()
+
+            record = EpochRecord(
+                epoch=epoch,
+                train_loss=train_stats["loss"],
+                train_accuracy=train_stats["accuracy"],
+                val_loss=val_stats.get("loss"),
+                val_accuracy=val_stats.get("accuracy"),
+                val_top5=val_stats.get("top5"),
+                lr=self.optimizer.lr,
+                epoch_seconds=elapsed,
+                num_parameters=self.model.num_parameters(),
+            )
+            self.history.append(record)
+            if verbose:
+                logger.info(
+                    "epoch %d loss=%.4f val_acc=%s lr=%.4g params=%d",
+                    epoch, record.train_loss,
+                    f"{record.val_accuracy:.4f}" if record.val_accuracy is not None else "n/a",
+                    record.lr, record.num_parameters,
+                )
+
+            logs = {"train_loss": record.train_loss, **{f"val_{k}": v for k, v in val_stats.items()}}
+            for callback in self.callbacks:
+                callback.on_epoch_end(self, epoch, logs)
+            if self.scheduler is not None:
+                self.scheduler.step()
+        for callback in self.callbacks:
+            callback.on_train_end(self)
+        return self.history
+
+    # ------------------------------------------------------------------ #
+    # Utilities
+    # ------------------------------------------------------------------ #
+    def best_val_accuracy(self) -> float:
+        accs = [r.val_accuracy for r in self.history if r.val_accuracy is not None]
+        return max(accs) if accs else float("nan")
+
+    def final_val_accuracy(self) -> float:
+        accs = [r.val_accuracy for r in self.history if r.val_accuracy is not None]
+        return accs[-1] if accs else float("nan")
+
+    def rebuild_optimizer_params(self) -> None:
+        """Point the optimizer at the model's *current* parameters.
+
+        Called after a structural change (factorization, pruning reset) so
+        that stale parameters are dropped and new ones are tracked.
+        """
+        self.optimizer.set_parameters(self.model.parameters())

@@ -1,0 +1,20 @@
+"""Small shared utilities: seeding, logging, checkpointing, numeric helpers."""
+
+from repro.utils.seed import seed_everything, get_rng
+from repro.utils.logging import get_logger
+from repro.utils.checkpoint import (
+    load_checkpoint,
+    read_checkpoint_meta,
+    restore_model,
+    save_checkpoint,
+)
+
+__all__ = [
+    "seed_everything",
+    "get_rng",
+    "get_logger",
+    "save_checkpoint",
+    "load_checkpoint",
+    "read_checkpoint_meta",
+    "restore_model",
+]

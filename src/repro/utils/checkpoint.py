@@ -1,0 +1,139 @@
+"""Checkpointing for (possibly factorized) models.
+
+Cuttlefish changes the model's *structure* mid-training: full-rank layers are
+replaced by :class:`~repro.core.low_rank_layers.LowRankLinear` /
+``LowRankConv2d`` pairs, so a plain ``state_dict`` saved after the switch can
+only be loaded into a model that has already been factorized with the same
+per-layer ranks.  A checkpoint therefore stores, next to the weights:
+
+* the selected ranks per layer path (empty before the switch),
+* whether the extra BatchNorm variant was used,
+* arbitrary user metadata (epoch, accuracy, the Cuttlefish report fields).
+
+``load_checkpoint`` re-applies the stored factorization to a freshly built
+full-rank model before loading weights, so resuming works from either side of
+the full-rank → low-rank switch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro import nn
+
+_META_KEY = "__checkpoint_meta__"
+_STATE_PREFIX = "state/"
+
+
+def _factorized_ranks(model: nn.Module) -> Dict[str, int]:
+    """Per-path rank of every low-rank layer currently in ``model``."""
+    from repro.core.low_rank_layers import is_low_rank
+
+    ranks: Dict[str, int] = {}
+    for name, module in model.named_modules():
+        if name and is_low_rank(module):
+            ranks[name] = int(module.rank)
+    return ranks
+
+
+def _uses_extra_bn(model: nn.Module) -> bool:
+    from repro.core.low_rank_layers import is_low_rank
+
+    return any(
+        getattr(module, "extra_bn", False)
+        for _, module in model.named_modules()
+        if is_low_rank(module)
+    )
+
+
+def save_checkpoint(path: str, model: nn.Module, metadata: Optional[Dict] = None) -> None:
+    """Write model weights plus factorization structure to an ``.npz`` file.
+
+    Parameters
+    ----------
+    path:
+        Destination file.  Parent directories are created if needed.
+    model:
+        The model to snapshot (full-rank or already factorized).
+    metadata:
+        Optional JSON-serialisable dict stored alongside the weights
+        (epoch, validation accuracy, Cuttlefish report fields, …).
+    """
+    meta = {
+        "ranks": _factorized_ranks(model),
+        "extra_bn": _uses_extra_bn(model),
+        "num_parameters": int(model.num_parameters()),
+        "metadata": metadata or {},
+    }
+    arrays = {_STATE_PREFIX + key: value for key, value in model.state_dict().items()}
+    arrays[_META_KEY] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **arrays)
+
+
+def read_checkpoint_meta(path: str) -> Dict:
+    """Return the metadata block of a checkpoint without touching the weights."""
+    with np.load(path) as archive:
+        raw = archive[_META_KEY].tobytes().decode("utf-8")
+    return json.loads(raw)
+
+
+def load_checkpoint(
+    path: str,
+    model: nn.Module,
+    strict: bool = True,
+) -> Dict:
+    """Load a checkpoint into ``model``, re-applying the stored factorization.
+
+    ``model`` should be the *full-rank* architecture the checkpoint was created
+    from (or an already-factorized model with matching structure).  If the
+    checkpoint was taken after the Cuttlefish switch, the stored per-layer
+    ranks are applied with :func:`repro.core.factorize_model` before the
+    weights are copied in, so the parameter names line up.
+
+    Returns the checkpoint's metadata dict (the ``metadata`` argument passed to
+    :func:`save_checkpoint`, plus ``ranks`` / ``extra_bn`` / ``num_parameters``).
+    """
+    from repro.core.factorize import factorize_model
+
+    meta = read_checkpoint_meta(path)
+    stored_ranks: Dict[str, int] = {k: int(v) for k, v in meta.get("ranks", {}).items()}
+    if stored_ranks:
+        current = _factorized_ranks(model)
+        missing = {p: r for p, r in stored_ranks.items() if p not in current}
+        if missing:
+            factorize_model(model, missing, extra_bn=bool(meta.get("extra_bn", False)),
+                            skip_non_reducing=False)
+        mismatched = {
+            p: (stored_ranks[p], _factorized_ranks(model).get(p))
+            for p in stored_ranks
+            if _factorized_ranks(model).get(p) != stored_ranks[p]
+        }
+        if strict and mismatched:
+            raise ValueError(f"checkpoint rank mismatch for layers: {mismatched}")
+
+    with np.load(path) as archive:
+        state = {
+            key[len(_STATE_PREFIX):]: archive[key]
+            for key in archive.files
+            if key.startswith(_STATE_PREFIX)
+        }
+    model.load_state_dict(state, strict=strict)
+    return meta
+
+
+def restore_model(path: str, builder: Callable[[], nn.Module], strict: bool = True) -> nn.Module:
+    """Build a fresh model with ``builder`` and load ``path`` into it.
+
+    Convenience wrapper for inference/evaluation scripts: the builder creates
+    the full-rank architecture, and the checkpoint's stored ranks reproduce
+    the factorized structure exactly.
+    """
+    model = builder()
+    load_checkpoint(path, model, strict=strict)
+    return model

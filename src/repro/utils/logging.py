@@ -1,0 +1,36 @@
+"""Library-wide logging configuration.
+
+All modules obtain their logger through :func:`get_logger` so that user code
+can silence or redirect the whole library with one call to
+``logging.getLogger("repro").setLevel(...)``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_CONFIGURED = False
+
+
+def _configure_root() -> None:
+    global _CONFIGURED
+    if _CONFIGURED:
+        return
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("[%(levelname)s %(name)s] %(message)s")
+        )
+        root.addHandler(handler)
+    root.setLevel(logging.INFO)
+    _CONFIGURED = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under ``repro``."""
+    _configure_root()
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

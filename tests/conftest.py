@@ -1,0 +1,40 @@
+"""Shared fixtures: deterministic seeding and small reusable models/datasets."""
+
+import numpy as np
+import pytest
+
+from repro.utils import seed_everything
+
+
+@pytest.fixture(autouse=True)
+def _seed_everything():
+    """Every test starts from the same global seed for reproducibility."""
+    seed_everything(1234)
+    yield
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def numeric_gradient(fn, array, eps=1e-3):
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``array`` (mutated in place)."""
+    grad = np.zeros_like(array, dtype=np.float64)
+    it = np.nditer(array, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = array[idx]
+        array[idx] = original + eps
+        plus = fn()
+        array[idx] = original - eps
+        minus = fn()
+        array[idx] = original
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+@pytest.fixture
+def gradcheck():
+    return numeric_gradient

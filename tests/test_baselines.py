@@ -1,0 +1,295 @@
+"""Tests for the baseline methods (Pufferfish, SI&FD, LC, IMP, XNOR, GraSP, EB, distillation)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import (
+    DistillationConfig,
+    EarlyBirdConfig,
+    GraSPConfig,
+    IMPConfig,
+    LCConfig,
+    MaskManager,
+    PufferfishConfig,
+    SIFDConfig,
+    binarize_with_ste,
+    build_si_fd_model,
+    build_student,
+    compute_grasp_masks,
+    convert_to_xnor,
+    effective_parameter_fraction,
+    make_distillation_loss,
+    optimal_rank,
+    prunable_parameters,
+    soft_cross_entropy,
+    train_early_bird,
+    train_grasp,
+    train_imp,
+    train_lc_compression,
+    train_pufferfish,
+    train_si_fd,
+)
+from repro.baselines.xnor import BinarizedConv2d, BinarizedLinear
+from repro.core import is_low_rank
+from repro.data import ArrayDataset, DataLoader
+from repro.models import BertForSequenceClassification, MLP, bert_micro, resnet18
+from repro.optim import SGD
+from repro.tensor import Tensor
+from repro.utils import get_rng
+
+
+def mlp_loaders(n=192, dim=12, classes=3, batch=48):
+    rng = get_rng(offset=31)
+    centers = rng.standard_normal((classes, dim))
+    labels = rng.integers(0, classes, size=n)
+    feats = (centers[labels] + 0.3 * rng.standard_normal((n, dim))).astype(np.float32)
+    ds = ArrayDataset(feats, labels.astype(np.int64))
+    return DataLoader(ds, batch_size=batch, shuffle=True), DataLoader(ds, batch_size=batch)
+
+
+def make_mlp():
+    return MLP(12, [32, 32, 32], 3)
+
+
+class TestPufferfish:
+    def test_switch_at_configured_epoch(self):
+        train_loader, val_loader = mlp_loaders()
+        model = make_mlp()
+        opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        config = PufferfishConfig(full_rank_epochs=2, rank_ratio=0.25)
+        trainer, report = train_pufferfish(model, opt, train_loader, val_loader, epochs=4, config=config)
+        assert report.switch_epoch == 2
+        assert report.params_after < report.params_before
+        assert report.compression_ratio > 1.0
+
+    def test_k_skips_leading_candidates(self):
+        train_loader, _ = mlp_loaders()
+        model = make_mlp()
+        candidates = model.factorization_candidates()
+        opt = SGD(model.parameters(), lr=0.1)
+        config = PufferfishConfig(full_rank_epochs=1, num_unfactorized=2, rank_ratio=0.25)
+        _, report = train_pufferfish(model, opt, train_loader, epochs=1, config=config)
+        assert candidates[0] not in report.factorized_paths
+        assert candidates[-1] in report.factorized_paths
+
+    def test_fixed_ratio_ranks(self):
+        train_loader, _ = mlp_loaders()
+        model = make_mlp()
+        opt = SGD(model.parameters(), lr=0.1)
+        _, report = train_pufferfish(model, opt, train_loader, epochs=1,
+                                     config=PufferfishConfig(full_rank_epochs=1, rank_ratio=0.5))
+        assert all(r == 16 for r in report.selected_ranks.values())
+
+    def test_requires_candidates_for_plain_modules(self):
+        train_loader, _ = mlp_loaders()
+        model = nn.Sequential(nn.Linear(12, 16), nn.ReLU(), nn.Linear(16, 3))
+        opt = SGD(model.parameters(), lr=0.1)
+        with pytest.raises(ValueError):
+            train_pufferfish(model, opt, train_loader, epochs=1,
+                             config=PufferfishConfig(full_rank_epochs=1))
+
+
+class TestSIFD:
+    def test_factorizes_at_initialisation(self):
+        model = make_mlp()
+        report = build_si_fd_model(model, SIFDConfig(rank_ratio=0.25))
+        assert report.compression_ratio > 1.0
+        assert all(is_low_rank(model.get_submodule(p)) for p in report.factorized_paths)
+
+    def test_training_still_learns(self):
+        train_loader, val_loader = mlp_loaders()
+        model = make_mlp()
+        opt = SGD(model.parameters(), lr=0.1, momentum=0.9, weight_decay=1e-4)
+        trainer, report = train_si_fd(model, opt, train_loader, val_loader, epochs=6,
+                                      config=SIFDConfig(rank_ratio=0.25))
+        assert trainer.final_val_accuracy() > 0.5
+        assert report.params_after < report.params_before
+
+    def test_rank_ratio_controls_size(self):
+        small_model, large_model = make_mlp(), make_mlp()
+        small = build_si_fd_model(small_model, SIFDConfig(rank_ratio=0.125))
+        large = build_si_fd_model(large_model, SIFDConfig(rank_ratio=0.5))
+        assert small.params_after < large.params_after
+
+
+class TestLCCompression:
+    def test_optimal_rank_monotone_in_penalty(self, rng):
+        matrix = rng.standard_normal((40, 40))
+        low_penalty = optimal_rank(matrix, rank_penalty=1e-6)
+        high_penalty = optimal_rank(matrix, rank_penalty=1e-1)
+        assert high_penalty <= low_penalty
+
+    def test_optimal_rank_detects_true_rank(self, rng):
+        u = rng.standard_normal((30, 3))
+        v = rng.standard_normal((3, 30))
+        matrix = u @ v
+        assert optimal_rank(matrix, rank_penalty=1e-3) <= 5
+
+    def test_training_learns_ranks_and_factorizes_at_end(self):
+        train_loader, val_loader = mlp_loaders()
+        model = make_mlp()
+        opt = SGD(model.parameters(), lr=0.2, momentum=0.9)
+        trainer, report = train_lc_compression(model, opt, train_loader, val_loader, epochs=4,
+                                               config=LCConfig(rank_penalty=5e-4))
+        assert report.c_steps == 4
+        assert set(report.learned_ranks) == set(make_mlp().factorization_candidates())
+        assert report.params_after <= report.params_before
+
+
+class TestIMP:
+    def test_mask_manager_prunes_per_layer_fraction(self):
+        model = make_mlp()
+        masks = MaskManager(model)
+        masks.prune_by_magnitude(model, 0.2)
+        assert masks.sparsity() == pytest.approx(0.2, abs=0.02)
+
+    def test_prunable_parameters_are_conv_linear_weights(self):
+        model = resnet18(num_classes=4, width_mult=0.125)
+        names = prunable_parameters(model)
+        assert all(name.endswith(".weight") for name in names)
+        assert not any("bn" in name for name in names)
+
+    def test_grad_hook_zeroes_pruned_positions(self):
+        model = make_mlp()
+        masks = MaskManager(model)
+        for mask in masks.masks.values():
+            mask[:] = 0.0
+        for name, param in prunable_parameters(model).items():
+            param.grad = np.ones_like(param.data)
+        masks.grad_hook(model)
+        assert all(np.all(p.grad == 0) for p in prunable_parameters(model).values())
+
+    def test_imp_rounds_increase_sparsity(self):
+        train_loader, val_loader = mlp_loaders(n=96)
+        model = make_mlp()
+        config = IMPConfig(rounds=3, epochs_per_round=1, prune_fraction=0.3)
+        _, report = train_imp(model, lambda m: SGD(m.parameters(), lr=0.1),
+                              train_loader, val_loader, config=config)
+        assert len(report.sparsity_per_round) == 3
+        assert report.sparsity_per_round[-1] > report.sparsity_per_round[0]
+        assert report.effective_parameters < report.total_parameters
+
+
+class TestXNOR:
+    def test_binarize_ste_forward_values(self):
+        weight = Tensor(np.array([[0.5, -2.0], [1.0, -1.0]], dtype=np.float32), requires_grad=True)
+        binary = binarize_with_ste(weight)
+        alpha = np.mean(np.abs(weight.data))
+        np.testing.assert_allclose(np.abs(binary.data), alpha, rtol=1e-6)
+
+    def test_binarize_ste_gradient_passes_through(self):
+        weight = Tensor(np.array([1.0, -1.0], dtype=np.float32), requires_grad=True)
+        binarize_with_ste(weight).sum().backward()
+        np.testing.assert_allclose(weight.grad, [1.0, 1.0])
+
+    def test_convert_replaces_layers_except_skipped(self):
+        model = resnet18(num_classes=4, width_mult=0.125)
+        converted = convert_to_xnor(model, skip_paths=["conv1", "fc"])
+        assert converted
+        assert isinstance(model.conv1, nn.Conv2d) and not isinstance(model.conv1, BinarizedConv2d)
+        assert isinstance(model.get_submodule(converted[0]), (BinarizedConv2d, BinarizedLinear))
+
+    def test_converted_model_trains(self):
+        train_loader, _ = mlp_loaders(n=96)
+        model = make_mlp()
+        convert_to_xnor(model, skip_paths=["classifier"])
+        from repro.train import Trainer
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.05), train_loader)
+        history = trainer.fit(2)
+        assert np.isfinite(history[-1].train_loss)
+
+    def test_effective_fraction_is_one_bit(self):
+        assert effective_parameter_fraction() == pytest.approx(1 / 32)
+
+
+class TestGraSP:
+    def test_masks_reach_target_sparsity(self):
+        train_loader, _ = mlp_loaders()
+        model = make_mlp()
+        batch = next(iter(train_loader))
+        report = compute_grasp_masks(model, batch, GraSPConfig(sparsity=0.4))
+        assert report.sparsity == pytest.approx(0.4, abs=0.05)
+        assert report.remaining_parameters < report.total_parameters
+
+    def test_weights_do_not_change_during_scoring(self):
+        train_loader, _ = mlp_loaders()
+        model = make_mlp()
+        before = {name: p.data.copy() for name, p in model.named_parameters()}
+        compute_grasp_masks(model, next(iter(train_loader)), GraSPConfig(sparsity=0.5))
+        for name, p in model.named_parameters():
+            np.testing.assert_allclose(p.data, before[name], atol=1e-5)
+
+    def test_training_keeps_pruned_weights_at_zero(self):
+        train_loader, val_loader = mlp_loaders()
+        model = make_mlp()
+        opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        trainer, report = train_grasp(model, opt, train_loader, val_loader, epochs=3,
+                                      config=GraSPConfig(sparsity=0.5))
+        for name, param in prunable_parameters(model).items():
+            zeros = report.masks[name] == 0
+            np.testing.assert_allclose(param.data[zeros], 0.0, atol=1e-7)
+
+
+class TestEarlyBird:
+    def test_ticket_found_and_channels_pruned(self):
+        train_loader, val_loader = mlp_loaders()
+        # EB needs BatchNorm scales: use a small conv net.
+        model = resnet18(num_classes=3, width_mult=0.125)
+        rng = get_rng(offset=77)
+        images = rng.standard_normal((96, 3, 8, 8)).astype(np.float32)
+        labels = rng.integers(0, 3, size=96).astype(np.int64)
+        loader = DataLoader(ArrayDataset(images, labels), batch_size=48, shuffle=True)
+        opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
+        trainer, report = train_early_bird(model, opt, loader, loader, epochs=4,
+                                           config=EarlyBirdConfig(prune_ratio=0.3,
+                                                                  mask_distance_threshold=0.2))
+        assert report.ticket_epoch is not None
+        assert 0.2 < report.channel_sparsity < 0.4
+        assert report.effective_parameters < report.total_parameters
+
+    def test_pruned_bn_scales_zeroed(self):
+        model = resnet18(num_classes=3, width_mult=0.125)
+        rng = get_rng(offset=78)
+        images = rng.standard_normal((48, 3, 8, 8)).astype(np.float32)
+        labels = rng.integers(0, 3, size=48).astype(np.int64)
+        loader = DataLoader(ArrayDataset(images, labels), batch_size=48)
+        opt = SGD(model.parameters(), lr=0.05)
+        _, report = train_early_bird(model, opt, loader, epochs=3,
+                                     config=EarlyBirdConfig(prune_ratio=0.3,
+                                                            mask_distance_threshold=0.5))
+        if report.ticket_epoch is not None:
+            for name, mask in report.channel_masks.items():
+                bn = model.get_submodule(name)
+                np.testing.assert_allclose(bn.weight.data[mask == 0], 0.0, atol=1e-6)
+
+
+class TestDistillation:
+    def _glue_like_loader(self, vocab=200, classes=3, n=64, seq=12):
+        rng = get_rng(offset=91)
+        tokens = rng.integers(4, vocab, size=(n, seq)).astype(np.int64)
+        mask = np.ones((n, seq), dtype=np.float32)
+        labels = rng.integers(0, classes, size=n).astype(np.int64)
+        return DataLoader(ArrayDataset(tokens, mask, labels), batch_size=32, shuffle=True)
+
+    def test_student_is_smaller(self):
+        teacher = BertForSequenceClassification(bert_micro(), num_classes=3)
+        student = build_student(teacher, DistillationConfig(depth_fraction=0.5))
+        assert student.num_parameters() < teacher.num_parameters()
+        assert student.num_classes == teacher.num_classes
+
+    def test_soft_cross_entropy_minimised_by_matching_logits(self, rng):
+        teacher_logits = rng.standard_normal((8, 4)).astype(np.float32)
+        matching = soft_cross_entropy(Tensor(teacher_logits), teacher_logits, temperature=2.0)
+        mismatched = soft_cross_entropy(Tensor(-teacher_logits), teacher_logits, temperature=2.0)
+        assert matching.item() < mismatched.item()
+
+    def test_distillation_loss_runs_and_backprops(self):
+        teacher = BertForSequenceClassification(bert_micro(), num_classes=3)
+        student = build_student(teacher, DistillationConfig())
+        loader = self._glue_like_loader()
+        batch = next(iter(loader))
+        loss_fn = make_distillation_loss(teacher, DistillationConfig())
+        loss = loss_fn(student, batch)
+        loss.backward()
+        assert any(p.grad is not None for p in student.parameters())

@@ -1,0 +1,161 @@
+"""Checkpointing of full-rank and factorized models (repro.utils.checkpoint)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import CuttlefishConfig, CuttlefishManager, factorize_model, full_rank_of
+from repro.models import resnet18
+from repro.utils import (
+    get_rng,
+    load_checkpoint,
+    read_checkpoint_meta,
+    restore_model,
+    save_checkpoint,
+    seed_everything,
+)
+
+
+def _small_mlp(rng=None):
+    rng = rng or get_rng(offset=11)
+    model = nn.Sequential(
+        nn.Linear(12, 24, rng=rng),
+        nn.ReLU(),
+        nn.Linear(24, 6, rng=rng),
+    )
+    return model
+
+
+def _build_resnet():
+    seed_everything(3)
+    return resnet18(num_classes=4, width_mult=0.125)
+
+
+class TestFullRankRoundtrip:
+    def test_roundtrip_restores_exact_weights(self, tmp_path):
+        model = _small_mlp()
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, model, metadata={"epoch": 3})
+
+        other = _small_mlp(get_rng(offset=99))     # different init
+        before = other.state_dict()
+        assert any(not np.allclose(before[k], v) for k, v in model.state_dict().items())
+
+        meta = load_checkpoint(path, other)
+        for key, value in model.state_dict().items():
+            np.testing.assert_allclose(other.state_dict()[key], value)
+        assert meta["metadata"]["epoch"] == 3
+        assert meta["ranks"] == {}
+
+    def test_metadata_readable_without_loading(self, tmp_path):
+        model = _small_mlp()
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, model, metadata={"val_accuracy": 0.5, "note": "warmup"})
+        meta = read_checkpoint_meta(path)
+        assert meta["metadata"]["val_accuracy"] == 0.5
+        assert meta["num_parameters"] == model.num_parameters()
+
+    def test_creates_parent_directories(self, tmp_path):
+        model = _small_mlp()
+        nested = tmp_path / "a" / "b" / "ckpt.npz"
+        save_checkpoint(str(nested), model)
+        assert nested.exists()
+
+    def test_strict_load_rejects_structural_mismatch(self, tmp_path):
+        model = _small_mlp()
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, model)
+        different = nn.Sequential(nn.Linear(12, 8, rng=get_rng(offset=5)))
+        with pytest.raises((KeyError, ValueError)):
+            load_checkpoint(path, different)
+
+
+class TestFactorizedRoundtrip:
+    def test_checkpoint_records_ranks(self, tmp_path):
+        model = _build_resnet()
+        ranks = {p: max(1, full_rank_of(model.get_submodule(p)) // 2)
+                 for p in model.factorization_candidates()[:4]}
+        factorize_model(model, ranks, skip_non_reducing=False)
+        path = str(tmp_path / "factorized.npz")
+        save_checkpoint(path, model)
+        meta = read_checkpoint_meta(path)
+        assert meta["ranks"] == {k: int(v) for k, v in ranks.items()}
+        assert meta["extra_bn"] is False
+
+    def test_load_refactorizes_fresh_full_rank_model(self, tmp_path):
+        model = _build_resnet()
+        ranks = {p: max(1, full_rank_of(model.get_submodule(p)) // 2)
+                 for p in model.factorization_candidates()[:4]}
+        factorize_model(model, ranks, skip_non_reducing=False)
+        path = str(tmp_path / "factorized.npz")
+        save_checkpoint(path, model, metadata={"epoch": 7})
+
+        restored = restore_model(path, _build_resnet)
+        assert restored.num_parameters() == model.num_parameters()
+        for key, value in model.state_dict().items():
+            np.testing.assert_allclose(restored.state_dict()[key], value)
+
+    def test_restored_model_produces_identical_outputs(self, tmp_path):
+        model = _build_resnet()
+        ranks = {p: max(1, full_rank_of(model.get_submodule(p)) // 2)
+                 for p in model.factorization_candidates()[:6]}
+        factorize_model(model, ranks, skip_non_reducing=False)
+        path = str(tmp_path / "factorized.npz")
+        save_checkpoint(path, model)
+        restored = restore_model(path, _build_resnet)
+
+        x = get_rng(offset=21).standard_normal((2, 3, 16, 16)).astype(np.float32)
+        model.eval(); restored.eval()
+        np.testing.assert_allclose(restored(x).data, model(x).data, rtol=1e-5, atol=1e-6)
+
+    def test_extra_bn_variant_roundtrips(self, tmp_path):
+        model = _build_resnet()
+        ranks = {p: max(1, full_rank_of(model.get_submodule(p)) // 2)
+                 for p in model.factorization_candidates()[:2]}
+        factorize_model(model, ranks, extra_bn=True, skip_non_reducing=False)
+        path = str(tmp_path / "bn.npz")
+        save_checkpoint(path, model)
+        assert read_checkpoint_meta(path)["extra_bn"] is True
+        restored = restore_model(path, _build_resnet)
+        assert restored.num_parameters() == model.num_parameters()
+
+    def test_rank_mismatch_raises_in_strict_mode(self, tmp_path):
+        model = _build_resnet()
+        path_a = model.factorization_candidates()[0]
+        factorize_model(model, {path_a: 3}, skip_non_reducing=False)
+        path = str(tmp_path / "r3.npz")
+        save_checkpoint(path, model)
+
+        other = _build_resnet()
+        factorize_model(other, {path_a: 5}, skip_non_reducing=False)  # wrong rank
+        with pytest.raises(ValueError):
+            load_checkpoint(path, other)
+
+
+class TestCuttlefishCheckpointFlow:
+    def test_checkpoint_after_forced_switch(self, tmp_path):
+        """A checkpoint taken right after the Cuttlefish switch resumes correctly."""
+        seed_everything(5)
+        model = resnet18(num_classes=4, width_mult=0.125)
+        manager = CuttlefishManager(
+            model,
+            config=CuttlefishConfig(min_full_rank_epochs=1, max_full_rank_epochs=1,
+                                    profile_mode="none"),
+        )
+        # Give the weights genuine low-rank structure so factorization reduces size.
+        rng = get_rng(offset=31)
+        for path in manager.candidate_paths:
+            module = model.get_submodule(path)
+            w = module.weight.data
+            flat = w.reshape(w.shape[0], -1)
+            u = rng.standard_normal((flat.shape[0], 2)).astype(np.float32)
+            v = rng.standard_normal((2, flat.shape[1])).astype(np.float32)
+            module.weight.data = (u @ v).reshape(w.shape)
+        switched = manager.observe_epoch(model, epoch=0)
+        assert switched and manager.report.params_after < manager.report.params_before
+
+        path = str(tmp_path / "switched.npz")
+        save_checkpoint(path, model, metadata={"switch_epoch": manager.report.switch_epoch})
+        restored = restore_model(path, lambda: (seed_everything(5), resnet18(num_classes=4, width_mult=0.125))[1])
+        assert restored.num_parameters() == model.num_parameters()
+        assert read_checkpoint_meta(path)["metadata"]["switch_epoch"] == manager.report.switch_epoch

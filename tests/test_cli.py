@@ -1,0 +1,110 @@
+"""Command-line interface (repro.cli)."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _run(argv):
+    stream = io.StringIO()
+    code = main(argv, stream=stream)
+    return code, stream.getvalue()
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.command == "train"
+        assert args.method == "cuttlefish"
+        assert args.task == "cifar10_small"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--method", "does_not_exist"])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--model", "alexnet"])
+
+    def test_compare_accepts_multiple_methods(self):
+        args = build_parser().parse_args(["compare", "--methods", "full_rank", "pufferfish"])
+        assert args.methods == ["full_rank", "pufferfish"]
+
+
+class TestProfileCommand:
+    def test_table_output_contains_stacks_and_khat(self):
+        code, out = _run(["profile", "--model", "resnet18", "--batch-size", "256"])
+        assert code == 0
+        assert "layer1" in out and "layer4" in out
+        assert "K̂ =" in out
+
+    def test_json_output_is_machine_readable(self):
+        code, out = _run(["profile", "--model", "resnet18", "--json"])
+        assert code == 0
+        payload = json.loads(out)
+        assert set(payload) == {"k_hat", "factorize_stacks", "skip_stacks", "speedups"}
+        assert payload["k_hat"] >= 1
+        assert set(payload["speedups"]) == {"layer1", "layer2", "layer3", "layer4"}
+
+    def test_cpu_device_accepted(self):
+        code, out = _run(["profile", "--model", "resnet18", "--device", "cpu", "--json"])
+        assert code == 0
+        assert json.loads(out)["k_hat"] >= 1
+
+
+class TestTrainCommand:
+    def test_smoke_full_rank_json_row(self):
+        code, out = _run([
+            "train", "--method", "full_rank", "--epochs", "1", "--max-batches", "2",
+            "--width-mult", "0.125", "--json",
+        ])
+        assert code == 0
+        rows = json.loads(out)
+        assert len(rows) == 1 and rows[0]["method"] == "full_rank"
+        assert rows[0]["params"] > 0
+
+    def test_smoke_cuttlefish_table_row(self):
+        code, out = _run([
+            "train", "--method", "cuttlefish", "--epochs", "2", "--max-batches", "2",
+            "--width-mult", "0.125",
+        ])
+        assert code == 0
+        assert "cuttlefish" in out
+        assert "params" in out  # table header
+
+
+class TestCompareCommand:
+    def test_compare_emits_one_row_per_method(self):
+        code, out = _run([
+            "compare", "--methods", "full_rank", "pufferfish", "--epochs", "2",
+            "--max-batches", "2", "--width-mult", "0.125", "--json",
+        ])
+        assert code == 0
+        rows = json.loads(out)
+        assert [r["method"] for r in rows] == ["full_rank", "pufferfish"]
+
+
+class TestRankTraceCommand:
+    def test_trace_table_lists_candidate_layers(self):
+        code, out = _run([
+            "rank-trace", "--model", "resnet18", "--epochs", "2", "--width-mult", "0.125",
+        ])
+        assert code == 0
+        assert "layer1.0.conv1" in out
+        assert "ep 1" in out or "ep1" in out.replace(" ", "")
+
+    def test_trace_json_has_one_series_per_layer(self):
+        code, out = _run([
+            "rank-trace", "--model", "resnet18", "--epochs", "2", "--width-mult", "0.125", "--json",
+        ])
+        assert code == 0
+        table = json.loads(out)
+        assert all(len(series) == 2 for series in table.values())
+        assert all(0.0 < ratio <= 1.0 for series in table.values() for ratio in series)

@@ -1,0 +1,196 @@
+"""Tests for the Cuttlefish manager, callback and end-to-end convenience wrapper."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    CuttlefishCallback,
+    CuttlefishConfig,
+    CuttlefishManager,
+    is_low_rank,
+    train_cuttlefish,
+)
+from repro.data import ArrayDataset, DataLoader
+from repro.models import MLP
+from repro.optim import SGD, ConstantLR
+from repro.train import Trainer
+from repro.utils import get_rng
+
+
+def make_classification_loaders(n=256, dim=16, classes=4, batch=64):
+    """Linearly separable synthetic task an MLP learns within a few epochs."""
+    rng = get_rng(offset=99)
+    centers = rng.standard_normal((classes, dim))
+    labels = rng.integers(0, classes, size=n)
+    features = centers[labels] + 0.3 * rng.standard_normal((n, dim))
+    split = int(0.8 * n)
+    train = ArrayDataset(features[:split].astype(np.float32), labels[:split].astype(np.int64))
+    val = ArrayDataset(features[split:].astype(np.float32), labels[split:].astype(np.int64))
+    return DataLoader(train, batch_size=batch, shuffle=True), DataLoader(val, batch_size=batch)
+
+
+@pytest.fixture
+def loaders():
+    return make_classification_loaders()
+
+
+def make_mlp():
+    return MLP(16, [48, 48, 48], 4)
+
+
+class TestManagerStateMachine:
+    def test_requires_candidates_or_model_hook(self):
+        with pytest.raises(ValueError):
+            CuttlefishManager(nn.Sequential(nn.Linear(4, 4)), CuttlefishConfig())
+
+    def test_explicit_candidates_accepted(self):
+        model = nn.Sequential(nn.Linear(8, 8), nn.ReLU(), nn.Linear(8, 8))
+        manager = CuttlefishManager(model, CuttlefishConfig(profile_mode="none"),
+                                    candidate_paths=["2"])
+        assert manager.candidate_paths == ["2"]
+
+    def test_no_switch_before_min_epochs(self):
+        model = make_mlp()
+        manager = CuttlefishManager(model, CuttlefishConfig(min_full_rank_epochs=5, profile_mode="none"))
+        for epoch in range(3):
+            assert not manager.observe_epoch(model, epoch)
+        assert not manager.switched
+
+    def test_forced_switch_at_max_epochs(self):
+        model = make_mlp()
+        config = CuttlefishConfig(min_full_rank_epochs=1, max_full_rank_epochs=2,
+                                  profile_mode="none", rank_ratio_override=0.25)
+        manager = CuttlefishManager(model, config)
+        assert not manager.observe_epoch(model, 0)
+        assert manager.observe_epoch(model, 1)
+        assert manager.switched
+        assert manager.report.switch_epoch == 2
+
+    def test_switch_happens_once(self):
+        model = make_mlp()
+        config = CuttlefishConfig(min_full_rank_epochs=1, max_full_rank_epochs=1,
+                                  profile_mode="none", rank_ratio_override=0.25)
+        manager = CuttlefishManager(model, config)
+        assert manager.observe_epoch(model, 0)
+        assert not manager.observe_epoch(model, 1)
+
+    def test_switch_factorizes_candidates(self):
+        model = make_mlp()
+        config = CuttlefishConfig(min_full_rank_epochs=1, max_full_rank_epochs=1,
+                                  profile_mode="none", rank_ratio_override=0.25)
+        manager = CuttlefishManager(model, config)
+        manager.observe_epoch(model, 0)
+        report = manager.report
+        assert report.factorized_paths
+        assert report.params_after < report.params_before
+        assert report.compression_ratio > 1.0
+        for path in report.factorized_paths:
+            assert is_low_rank(model.get_submodule(path))
+
+    def test_rank_ratio_override_respected(self):
+        model = make_mlp()
+        config = CuttlefishConfig(min_full_rank_epochs=1, max_full_rank_epochs=1,
+                                  profile_mode="none", rank_ratio_override=0.25)
+        manager = CuttlefishManager(model, config)
+        manager.observe_epoch(model, 0)
+        assert all(r == 12 for r in manager.report.selected_ranks.values())
+
+    def test_scaled_stable_rank_at_init_skips_factorization(self):
+        """Straight after init the scaled stable rank ≈ full rank, so nothing shrinks —
+        the paper's reason for not factorizing at epoch 0."""
+        model = make_mlp()
+        config = CuttlefishConfig(min_full_rank_epochs=1, max_full_rank_epochs=1, profile_mode="none")
+        manager = CuttlefishManager(model, config)
+        manager.observe_epoch(model, 0)
+        assert manager.report.factorized_paths == []
+
+    def test_low_rank_weights_produce_compression(self, rng):
+        """With the vanilla stable-rank metric, genuinely low-rank weights get
+        small ranks and the switch shrinks the model (scaled stable rank would
+        deliberately treat epoch-0 weights as full rank, see its tests)."""
+        model = make_mlp()
+        for path in model.factorization_candidates():
+            module = model.get_submodule(path)
+            u = rng.standard_normal((48, 3)).astype(np.float32)
+            v = rng.standard_normal((3, 48)).astype(np.float32)
+            module.weight.data = (u @ v) / 12
+        config = CuttlefishConfig(min_full_rank_epochs=1, max_full_rank_epochs=1,
+                                  profile_mode="none", rank_mode="stable")
+        manager = CuttlefishManager(model, config)
+        manager.observe_epoch(model, 0)
+        assert manager.report.compression_ratio > 1.5
+
+    def test_full_ranks_helper(self):
+        model = make_mlp()
+        manager = CuttlefishManager(model, CuttlefishConfig(profile_mode="none"))
+        assert set(manager.full_ranks().values()) == {48}
+
+    def test_empty_candidates_never_switch(self):
+        model = make_mlp()
+        manager = CuttlefishManager(model, CuttlefishConfig(profile_mode="none"), candidate_paths=[])
+        for epoch in range(5):
+            assert not manager.observe_epoch(model, epoch)
+
+
+class TestCallbackIntegration:
+    def test_callback_rebuilds_optimizer_and_decays_lr(self, loaders):
+        train_loader, val_loader = loaders
+        model = make_mlp()
+        optimizer = SGD(model.parameters(), lr=0.3, momentum=0.9)
+        scheduler = ConstantLR(optimizer)
+        config = CuttlefishConfig(min_full_rank_epochs=1, max_full_rank_epochs=2,
+                                  profile_mode="none", rank_ratio_override=0.25,
+                                  lr_decay_on_switch=0.5)
+        manager = CuttlefishManager(model, config)
+        callback = CuttlefishCallback(manager)
+        trainer = Trainer(model, optimizer, train_loader, val_loader, scheduler=scheduler,
+                          callbacks=[callback])
+        trainer.fit(4)
+        assert manager.switched
+        current_param_ids = {id(p) for p in model.parameters()}
+        assert {id(p) for p in optimizer.params} == current_param_ids
+        assert scheduler.base_lr == pytest.approx(0.15)
+
+    def test_callback_installs_frobenius_decay(self, loaders):
+        train_loader, val_loader = loaders
+        model = make_mlp()
+        optimizer = SGD(model.parameters(), lr=0.1, weight_decay=1e-4)
+        config = CuttlefishConfig(min_full_rank_epochs=1, max_full_rank_epochs=1,
+                                  profile_mode="none", rank_ratio_override=0.25,
+                                  frobenius_decay=1e-4)
+        manager = CuttlefishManager(model, config)
+        trainer = Trainer(model, optimizer, train_loader, val_loader,
+                          callbacks=[CuttlefishCallback(manager)])
+        trainer.fit(2)
+        assert trainer.grad_hook is not None
+        factor_ids = {id(p) for m in model.modules() if is_low_rank(m) for p in m.factor_parameters()}
+        assert factor_ids <= optimizer.no_decay_params
+
+
+class TestEndToEnd:
+    def test_train_cuttlefish_learns_and_compresses(self, loaders):
+        train_loader, val_loader = loaders
+        model = make_mlp()
+        optimizer = SGD(model.parameters(), lr=0.2, momentum=0.9)
+        config = CuttlefishConfig(min_full_rank_epochs=2, max_full_rank_epochs=4,
+                                  profile_mode="none", epsilon=0.5)
+        trainer, manager = train_cuttlefish(model, optimizer, train_loader, val_loader,
+                                            epochs=10, config=config)
+        assert manager.switched
+        assert manager.report.switch_epoch <= 5
+        assert trainer.final_val_accuracy() > 0.6
+        assert model.num_parameters() <= manager.report.params_before
+
+    def test_report_ranks_reflect_training_dynamics(self, loaders):
+        """Ranks selected after a few epochs of training are below full rank."""
+        train_loader, val_loader = loaders
+        model = make_mlp()
+        optimizer = SGD(model.parameters(), lr=0.2, momentum=0.9, weight_decay=5e-4)
+        config = CuttlefishConfig(min_full_rank_epochs=3, max_full_rank_epochs=6,
+                                  profile_mode="none")
+        _, manager = train_cuttlefish(model, optimizer, train_loader, val_loader,
+                                      epochs=8, config=config)
+        ranks = manager.report.selected_ranks
+        assert ranks
+        assert any(r < 48 for r in ranks.values())

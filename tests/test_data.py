@@ -1,0 +1,218 @@
+"""Tests for datasets, loaders, augmentation and the synthetic task generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    Compose,
+    DataLoader,
+    GLUE_TASKS,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    Subset,
+    VISION_TASKS,
+    make_mlm_corpus,
+    make_text_task,
+    make_vision_task,
+    train_val_split,
+)
+from repro.utils import seed_everything
+
+
+class TestDatasetsAndLoader:
+    def test_array_dataset_len_and_getitem(self, rng):
+        images = rng.random((10, 3, 4, 4)).astype(np.float32)
+        labels = np.arange(10)
+        ds = ArrayDataset(images, labels)
+        assert len(ds) == 10
+        x, y = ds[3]
+        np.testing.assert_allclose(x, images[3])
+        assert y == 3
+
+    def test_array_dataset_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros(3), np.zeros(4))
+
+    def test_array_dataset_transform_applied(self, rng):
+        ds = ArrayDataset(rng.random((5, 2)).astype(np.float32), np.zeros(5), transform=lambda x: x * 0)
+        x, _ = ds[0]
+        np.testing.assert_allclose(x, 0)
+
+    def test_subset(self):
+        ds = ArrayDataset(np.arange(10))
+        sub = Subset(ds, [1, 3, 5])
+        assert len(sub) == 3 and sub[2] == 5
+
+    def test_loader_batches_cover_dataset(self):
+        ds = ArrayDataset(np.arange(25), np.arange(25))
+        loader = DataLoader(ds, batch_size=8)
+        batches = list(loader)
+        assert len(loader) == 4 and len(batches) == 4
+        assert sum(len(b[0]) for b in batches) == 25
+
+    def test_loader_drop_last(self):
+        ds = ArrayDataset(np.arange(25))
+        loader = DataLoader(ds, batch_size=8, drop_last=True)
+        assert len(loader) == 3
+        assert all(len(b[0]) == 8 for b in loader)
+
+    def test_loader_shuffle_changes_order_but_not_content(self):
+        ds = ArrayDataset(np.arange(64), np.arange(64))
+        loader = DataLoader(ds, batch_size=64, shuffle=True)
+        (x, _), = list(loader)
+        assert not np.array_equal(x, np.arange(64))
+        assert sorted(x.tolist()) == list(range(64))
+
+    def test_loader_deterministic_given_seed(self):
+        seed_everything(3)
+        ds = ArrayDataset(np.arange(32))
+        first = next(iter(DataLoader(ds, batch_size=32, shuffle=True)))[0]
+        seed_everything(3)
+        second = next(iter(DataLoader(ds, batch_size=32, shuffle=True)))[0]
+        np.testing.assert_array_equal(first, second)
+
+    def test_train_val_split_disjoint(self):
+        ds = ArrayDataset(np.arange(100))
+        train, val = train_val_split(ds, val_fraction=0.2)
+        assert len(train) == 80 and len(val) == 20
+        train_items = {int(train[i]) for i in range(len(train))}
+        val_items = {int(val[i]) for i in range(len(val))}
+        assert not train_items & val_items
+
+
+class TestAugmentation:
+    def test_normalize_standardises_channels(self, rng):
+        image = rng.random((3, 8, 8)).astype(np.float32)
+        out = Normalize()(image)
+        assert out.shape == image.shape
+        assert not np.allclose(out, image)
+
+    def test_random_crop_preserves_shape(self, rng):
+        image = rng.random((3, 16, 16)).astype(np.float32)
+        out = RandomCrop(16, padding=2)(image)
+        assert out.shape == (3, 16, 16)
+
+    def test_random_flip_either_identity_or_mirror(self, rng):
+        image = rng.random((3, 4, 4)).astype(np.float32)
+        out = RandomHorizontalFlip(p=1.0)(image)
+        np.testing.assert_allclose(out, image[:, :, ::-1])
+
+    def test_compose_order(self):
+        transform = Compose([lambda x: x + 1, lambda x: x * 2])
+        np.testing.assert_allclose(transform(np.zeros(3)), 2 * np.ones(3))
+
+
+class TestSyntheticVision:
+    def test_registry_contains_paper_datasets(self):
+        for name in ("cifar10", "cifar100", "svhn", "imagenet"):
+            assert name in VISION_TASKS
+
+    def test_shapes_and_labels(self):
+        train, val, spec = make_vision_task("cifar10_small", augment=False)
+        x, y = train[0]
+        assert x.shape == (spec.channels, spec.image_size, spec.image_size)
+        assert 0 <= y < spec.num_classes
+        assert len(train) == spec.n_train and len(val) == spec.n_val
+
+    def test_determinism_across_calls(self):
+        a, _, _ = make_vision_task("svhn_small", augment=False)
+        b, _, _ = make_vision_task("svhn_small", augment=False)
+        np.testing.assert_allclose(a[0][0], b[0][0])
+
+    def test_different_tasks_differ(self):
+        a, _, _ = make_vision_task("cifar10_small", augment=False)
+        b, _, _ = make_vision_task("svhn_small", augment=False)
+        assert not np.allclose(a[0][0], b[0][0])
+
+    def test_overrides(self):
+        _, _, spec = make_vision_task("cifar10_small", overrides={"n_train": 32, "num_classes": 3})
+        assert spec.n_train == 32 and spec.num_classes == 3
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(KeyError):
+            make_vision_task("mnist")
+
+    def test_class_signal_is_learnable(self):
+        """A nearest-class-mean classifier on raw pixels must beat chance —
+        otherwise no training method can be compared on this data."""
+        train, val, spec = make_vision_task("cifar10_small", augment=False)
+        images = np.stack([train[i][0] for i in range(len(train))])
+        labels = np.array([train[i][1] for i in range(len(train))])
+        means = np.stack([images[labels == c].mean(axis=0) for c in range(spec.num_classes)])
+        val_images = np.stack([val[i][0] for i in range(len(val))])
+        val_labels = np.array([val[i][1] for i in range(len(val))])
+        distances = ((val_images[:, None] - means[None]) ** 2).sum(axis=(2, 3, 4))
+        accuracy = (distances.argmin(axis=1) == val_labels).mean()
+        assert accuracy > 1.5 / spec.num_classes
+
+    def test_harder_task_has_higher_intrinsic_rank(self):
+        assert VISION_TASKS["cifar100"].intrinsic_rank > VISION_TASKS["cifar10"].intrinsic_rank
+        assert VISION_TASKS["cifar10"].intrinsic_rank > VISION_TASKS["svhn"].intrinsic_rank
+
+
+class TestSyntheticText:
+    def test_glue_inventory_matches_paper(self):
+        expected = {"mnli", "qnli", "qqp", "rte", "sst2", "mrpc", "cola", "stsb"}
+        assert expected == set(GLUE_TASKS)
+
+    def test_classification_task_shapes(self):
+        train, val, spec = make_text_task("sst2")
+        tokens, mask, label = train[0]
+        assert tokens.shape == (spec.seq_len,)
+        assert mask.shape == (spec.seq_len,)
+        assert 0 <= label < spec.num_classes
+
+    def test_regression_task_labels_in_range(self):
+        train, _, spec = make_text_task("stsb")
+        assert spec.is_regression
+        labels = np.array([train[i][2] for i in range(len(train))])
+        assert labels.min() >= 0.0 and labels.max() <= 5.0
+
+    def test_padding_respects_mask(self):
+        train, _, spec = make_text_task("rte")
+        tokens, mask, _ = train[0]
+        assert np.all(tokens[mask == 0] == 0)
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(KeyError):
+            make_text_task("wnli")
+
+    def test_class_signal_present(self):
+        """Signature tokens must be more frequent within their class than across classes."""
+        train, _, spec = make_text_task("sst2")
+        tokens = np.stack([train[i][0] for i in range(len(train))])
+        labels = np.array([train[i][2] for i in range(len(train))])
+        overlap_same, overlap_diff = [], []
+        class0 = tokens[labels == 0]
+        class1 = tokens[labels == 1]
+        vocab0 = np.bincount(class0.reshape(-1), minlength=spec.vocab_size)
+        vocab1 = np.bincount(class1.reshape(-1), minlength=spec.vocab_size)
+        correlation = np.corrcoef(vocab0[4:], vocab1[4:])[0, 1]
+        assert correlation < 0.99   # class distributions are distinguishable
+
+
+class TestSyntheticMLM:
+    def test_shapes_and_mask_convention(self):
+        train, val, spec = make_mlm_corpus()
+        inputs, labels = train[0]
+        assert inputs.shape == (spec.seq_len,)
+        masked = labels != -100
+        assert np.all(inputs[masked] == spec.mask_token_id)
+        assert np.all(labels[~masked] == -100)
+
+    def test_mask_rate_close_to_config(self):
+        train, _, spec = make_mlm_corpus()
+        inputs = np.stack([train[i][0] for i in range(len(train))])
+        rate = (inputs == spec.mask_token_id).mean()
+        assert abs(rate - spec.mask_prob) < 0.05
+
+    def test_context_predicts_tokens_better_than_uniform(self):
+        """The Markov structure means bigram statistics beat the uniform baseline."""
+        train, _, spec = make_mlm_corpus()
+        labels = np.stack([train[i][1] for i in range(len(train))])
+        valid = labels[labels != -100]
+        # Tokens concentrate on a subset of the vocabulary under the low-rank chain.
+        unique_fraction = len(np.unique(valid)) / spec.vocab_size
+        assert unique_fraction < 1.0

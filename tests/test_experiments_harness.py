@@ -1,0 +1,102 @@
+"""The shared experiment harness behind the benchmark tables
+(repro.train.experiments), exercised at smoke-test scale."""
+
+import numpy as np
+import pytest
+
+from repro.train.experiments import (
+    VisionExperimentConfig,
+    format_rows,
+    projected_training_hours,
+    reference_profiling,
+    run_vision_method,
+)
+
+
+def _tiny_config(**overrides):
+    defaults = dict(
+        task="cifar10_small", model="resnet18", width_mult=0.125,
+        epochs=2, batch_size=32, peak_lr=0.2, warmup_epochs=1,
+        weight_decay=1e-3, max_batches_per_epoch=2,
+    )
+    defaults.update(overrides)
+    return VisionExperimentConfig(**defaults)
+
+
+class TestRunVisionMethod:
+    def test_pufferfish_row_reports_compression(self):
+        row = run_vision_method("pufferfish", _tiny_config())
+        assert row.method == "pufferfish"
+        assert 0 < row.params_fraction < 1.0
+        assert row.extra["switch_epoch"] >= 1
+
+    def test_si_fd_row_trains_factorized_from_scratch(self):
+        row = run_vision_method("si_fd", _tiny_config())
+        assert row.params_fraction < 1.0
+        assert row.wallclock_seconds > 0
+
+    def test_xnor_row_reports_bit_compression(self):
+        row = run_vision_method("xnor", _tiny_config())
+        assert row.params_fraction == pytest.approx(1 / 32)
+        assert row.speedup_vs_full_rank < 1.0   # binarisation overhead
+
+    def test_grasp_row_reports_sparsity(self):
+        row = run_vision_method("grasp", _tiny_config())
+        assert 0 < row.extra["sparsity"] < 1
+        assert row.params < 176012              # fewer effective params than dense
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(KeyError):
+            run_vision_method("magic", _tiny_config())
+
+    def test_rows_share_the_same_budget(self):
+        full = run_vision_method("full_rank", _tiny_config())
+        cuttle = run_vision_method("cuttlefish", _tiny_config())
+        # Same full-rank architecture at the start ⇒ identical baseline size.
+        assert full.params == pytest.approx(cuttle.params / cuttle.params_fraction, rel=1e-6)
+
+
+class TestProjectedTime:
+    def test_projection_monotone_in_epochs(self):
+        config = _tiny_config()
+        short = projected_training_hours(config, 4, None, epochs_full=2, epochs_low=0)
+        long = projected_training_hours(config, 4, None, epochs_full=4, epochs_low=0)
+        assert long > short
+
+    def test_low_rank_epochs_cheaper_than_full_rank_epochs(self):
+        config = _tiny_config()
+        ratios = {"layer3.0.conv1": 0.25, "layer3.0.conv2": 0.25,
+                  "layer4.0.conv1": 0.25, "layer4.0.conv2": 0.25,
+                  "layer4.1.conv1": 0.25, "layer4.1.conv2": 0.25}
+        all_full = projected_training_hours(config, 4, ratios, epochs_full=4, epochs_low=0)
+        half_low = projected_training_hours(config, 4, ratios, epochs_full=2, epochs_low=2)
+        assert half_low < all_full
+
+    def test_overhead_multiplier_scales_linearly(self):
+        config = _tiny_config()
+        base = projected_training_hours(config, 4, None, 2, 0)
+        doubled = projected_training_hours(config, 4, None, 2, 0, overhead_multiplier=2.0)
+        assert doubled == pytest.approx(2 * base, rel=1e-9)
+
+
+class TestReferenceProfiling:
+    def test_reference_decision_skips_first_stack(self):
+        """At paper width and batch 1024, Algorithm 2 keeps the first ResNet stack full rank."""
+        result = reference_profiling(_tiny_config(), num_classes=10)
+        assert result is not None
+        assert "layer1" in result.skip_stacks
+        assert set(result.factorize_stacks) >= {"layer3", "layer4"}
+
+    def test_reference_decision_is_memoised(self):
+        config = _tiny_config()
+        first = reference_profiling(config, num_classes=10)
+        second = reference_profiling(config, num_classes=10)
+        assert first is second
+
+
+class TestFormatting:
+    def test_format_rows_contains_headers_and_methods(self):
+        row = run_vision_method("full_rank", _tiny_config())
+        text = format_rows([row])
+        assert "method" in text and "full_rank" in text
+        assert "params" in text and "speedup" in text

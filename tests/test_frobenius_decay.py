@@ -1,0 +1,98 @@
+"""Tests for Frobenius decay on factorized layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import FrobeniusDecay, LowRankConv2d, LowRankLinear, frobenius_penalty
+from repro.optim import SGD
+
+
+class TestFrobeniusDecayLinear:
+    def test_gradient_matches_analytic_formula(self, rng):
+        layer = LowRankLinear(10, 8, rank=3, bias=False)
+        decay = FrobeniusDecay(coefficient=0.01)
+        decay(nn.Sequential(layer))
+        u = layer.u.data.astype(np.float64)
+        vt = layer.vt.data.astype(np.float64)
+        expected_u = 0.01 * u @ vt @ vt.T
+        expected_vt = 0.01 * u.T @ u @ vt
+        np.testing.assert_allclose(layer.u.grad, expected_u, rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(layer.vt.grad, expected_vt, rtol=1e-4, atol=1e-6)
+
+    def test_gradient_matches_numeric_penalty_gradient(self, rng, gradcheck):
+        layer = LowRankLinear(6, 5, rank=2, bias=False)
+        coefficient = 0.1
+        decay = FrobeniusDecay(coefficient)
+        decay(nn.Sequential(layer))
+
+        u_data = layer.u.data.astype(np.float64)
+        def penalty():
+            product = u_data @ layer.vt.data.astype(np.float64)
+            return 0.5 * coefficient * float(np.sum(product ** 2))
+        numeric = gradcheck(penalty, u_data, eps=1e-4)
+        np.testing.assert_allclose(layer.u.grad, numeric, atol=1e-3)
+
+    def test_accumulates_into_existing_gradient(self):
+        layer = LowRankLinear(4, 4, rank=2, bias=False)
+        layer.u.grad = np.ones_like(layer.u.data)
+        FrobeniusDecay(0.0)(nn.Sequential(layer))
+        np.testing.assert_allclose(layer.u.grad, np.ones_like(layer.u.data))
+        FrobeniusDecay(0.1)(nn.Sequential(layer))
+        assert not np.allclose(layer.u.grad, np.ones_like(layer.u.data))
+
+    def test_zero_coefficient_is_noop(self):
+        layer = LowRankLinear(4, 4, rank=2)
+        FrobeniusDecay(0.0)(nn.Sequential(layer))
+        assert layer.u.grad is None
+
+    def test_full_rank_layers_untouched(self):
+        dense = nn.Linear(4, 4)
+        FrobeniusDecay(0.1)(nn.Sequential(dense))
+        assert dense.weight.grad is None
+
+
+class TestFrobeniusDecayConv:
+    def test_conv_gradient_matches_unrolled_formula(self):
+        layer = LowRankConv2d(3, 6, 3, rank=2, bias=False)
+        decay = FrobeniusDecay(coefficient=0.05)
+        decay(nn.Sequential(layer))
+        rank = layer.rank
+        u = layer.u_weight.data.transpose(1, 2, 3, 0).reshape(-1, rank).astype(np.float64)
+        vt = layer.v_weight.data.reshape(6, rank).T.astype(np.float64)
+        expected_u = 0.05 * u @ vt @ vt.T
+        grad_u = layer.u_weight.grad.transpose(1, 2, 3, 0).reshape(-1, rank)
+        np.testing.assert_allclose(grad_u, expected_u, rtol=1e-4, atol=1e-6)
+
+    def test_shrinks_composed_weight_under_training(self):
+        """Repeated decay-only steps shrink ‖U Vᵀ‖ (the regulariser's purpose)."""
+        layer = LowRankConv2d(2, 4, 3, rank=2, bias=False)
+        model = nn.Sequential(layer)
+        optimizer = SGD(model.parameters(), lr=0.5)
+        decay = FrobeniusDecay(coefficient=0.5)
+        initial = np.linalg.norm(layer.composed_weight())
+        for _ in range(10):
+            optimizer.zero_grad()
+            decay(model)
+            optimizer.step()
+        assert np.linalg.norm(layer.composed_weight()) < initial
+
+
+class TestIntegration:
+    def test_configure_optimizer_excludes_factor_params(self):
+        layer = LowRankLinear(8, 8, rank=2)
+        model = nn.Sequential(layer, nn.Linear(8, 4))
+        optimizer = SGD(model.parameters(), lr=0.1, weight_decay=0.1)
+        FrobeniusDecay(1e-4).configure_optimizer(optimizer, model)
+        assert id(layer.u) in optimizer.no_decay_params
+        assert id(layer.vt) in optimizer.no_decay_params
+        assert id(model[1].weight) not in optimizer.no_decay_params
+
+    def test_frobenius_penalty_value(self):
+        layer = LowRankLinear(4, 4, rank=2, bias=False)
+        model = nn.Sequential(layer)
+        expected = 0.5 * 0.2 * np.sum(layer.composed_weight().astype(np.float64) ** 2)
+        assert frobenius_penalty(model, 0.2) == pytest.approx(expected, rel=1e-5)
+
+    def test_penalty_zero_for_dense_model(self):
+        assert frobenius_penalty(nn.Sequential(nn.Linear(4, 4)), 0.3) == 0.0

@@ -1,0 +1,146 @@
+"""Integration tests: full Cuttlefish and baseline pipelines on reduced-scale tasks.
+
+These are the slowest tests in the suite (tens of seconds in total); each one
+exercises a path that the benchmark harnesses rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CuttlefishConfig, is_low_rank, train_cuttlefish
+from repro.data import DataLoader, make_mlm_corpus, make_text_task, make_vision_task
+from repro.models import BertForMaskedLM, BertForSequenceClassification, bert_micro, resnet18
+from repro.optim import SGD, AdamW
+from repro.tensor import Tensor, functional as F
+from repro.train import Trainer, VisionExperimentConfig, mlm_loss, run_vision_method
+from repro.utils import seed_everything
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _module_seed():
+    seed_everything(2024)
+    yield
+
+
+class TestCuttlefishOnVision:
+    @pytest.fixture(scope="class")
+    def cuttlefish_run(self):
+        seed_everything(11)
+        train_ds, val_ds, spec = make_vision_task("cifar10_small")
+        train_loader = DataLoader(train_ds, batch_size=64, shuffle=True)
+        val_loader = DataLoader(val_ds, batch_size=128)
+        model = resnet18(num_classes=spec.num_classes, width_mult=0.25)
+        optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9, weight_decay=5e-4)
+        config = CuttlefishConfig(min_full_rank_epochs=4, max_full_rank_epochs=6,
+                                  profile_mode="none")
+        trainer, manager = train_cuttlefish(model, optimizer, train_loader, val_loader,
+                                            epochs=11, config=config)
+        return trainer, manager, model, spec
+
+    def test_switch_happened_within_budget(self, cuttlefish_run):
+        _, manager, _, _ = cuttlefish_run
+        assert manager.switched
+        assert 4 <= manager.report.switch_epoch <= 6
+
+    def test_model_contains_low_rank_layers(self, cuttlefish_run):
+        _, manager, model, _ = cuttlefish_run
+        low_rank = [m for m in model.modules() if is_low_rank(m)]
+        assert len(low_rank) == len(manager.report.factorized_paths)
+        assert low_rank
+
+    def test_model_is_compressed(self, cuttlefish_run):
+        _, manager, _, _ = cuttlefish_run
+        assert manager.report.compression_ratio > 1.1
+
+    def test_accuracy_above_chance(self, cuttlefish_run):
+        trainer, _, _, spec = cuttlefish_run
+        assert trainer.final_val_accuracy() > 1.2 / spec.num_classes
+
+    def test_ranks_vary_across_layers(self, cuttlefish_run):
+        """Different layers converge to different stable ranks (paper Figure 3)."""
+        _, manager, _, _ = cuttlefish_run
+        ratios = manager.report.rank_ratio_of(manager.full_ranks())
+        assert len(set(np.round(list(ratios.values()), 2))) > 1
+
+    def test_low_rank_model_still_trainable_after_switch(self, cuttlefish_run):
+        trainer, _, model, _ = cuttlefish_run
+        post_switch_losses = [r.train_loss for r in trainer.history[-3:]]
+        assert all(np.isfinite(loss) for loss in post_switch_losses)
+
+
+class TestExperimentHarness:
+    def test_full_rank_and_cuttlefish_rows(self):
+        config = VisionExperimentConfig(task="cifar10_small", model="resnet18", width_mult=0.125,
+                                        epochs=3, batch_size=64, max_batches_per_epoch=2)
+        full = run_vision_method("full_rank", config)
+        cuttle = run_vision_method("cuttlefish", config)
+        assert full.params_fraction == pytest.approx(1.0)
+        assert cuttle.params <= full.params
+        assert full.projected_gpu_hours > 0
+        assert cuttle.extra["k_hat"] >= 1
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(KeyError):
+            run_vision_method("magic", VisionExperimentConfig(epochs=1))
+
+
+class TestBertPipelines:
+    def test_glue_style_fine_tuning_learns(self):
+        train_ds, val_ds, spec = make_text_task("sst2", overrides={"n_train": 128, "n_val": 64})
+        train_loader = DataLoader(train_ds, batch_size=32, shuffle=True)
+        val_loader = DataLoader(val_ds, batch_size=32)
+        model = BertForSequenceClassification(bert_micro(), num_classes=spec.num_classes)
+        optimizer = AdamW(model.parameters(), lr=5e-4, weight_decay=0.0)
+
+        def loss_fn(m, batch):
+            logits = m(batch[0], attn_mask=batch[1].astype(bool))
+            return F.cross_entropy(logits, batch[-1])
+
+        def forward_fn(m, batch):
+            return m(batch[0], attn_mask=batch[1].astype(bool))
+
+        trainer = Trainer(model, optimizer, train_loader, val_loader,
+                          loss_fn=loss_fn, forward_fn=forward_fn)
+        history = trainer.fit(3)
+        assert history[-1].train_loss < history[0].train_loss
+
+    def test_mlm_pretraining_reduces_masked_loss(self):
+        train_ds, val_ds, spec = make_mlm_corpus()
+        train_loader = DataLoader(train_ds, batch_size=32, shuffle=True)
+        model = BertForMaskedLM(bert_micro(vocab_size=spec.vocab_size, max_seq_len=spec.seq_len))
+        optimizer = AdamW(model.parameters(), lr=1e-3, weight_decay=0.0)
+
+        def loss_fn(m, batch):
+            inputs, labels = batch
+            logits = m(inputs)
+            flat_logits = logits.reshape((-1, spec.vocab_size))
+            return F.cross_entropy(flat_logits, labels.reshape(-1), ignore_index=-100)
+
+        def eval_loss():
+            inputs, labels = next(iter(DataLoader(val_ds, batch_size=64)))
+            return mlm_loss(model(inputs).data, labels)
+
+        before = eval_loss()
+        trainer = Trainer(model, optimizer, train_loader, loss_fn=loss_fn,
+                          max_batches_per_epoch=8)
+        trainer.fit(2)
+        after = eval_loss()
+        assert after < before
+
+    def test_cuttlefish_on_bert_attention_layers(self):
+        train_ds, _, spec = make_text_task("rte", overrides={"n_train": 96})
+        train_loader = DataLoader(train_ds, batch_size=32, shuffle=True)
+        model = BertForSequenceClassification(bert_micro(), num_classes=spec.num_classes)
+        optimizer = AdamW(model.parameters(), lr=5e-4)
+
+        def loss_fn(m, batch):
+            return F.cross_entropy(m(batch[0], attn_mask=batch[1].astype(bool)), batch[-1])
+
+        config = CuttlefishConfig(min_full_rank_epochs=1, max_full_rank_epochs=1,
+                                  profile_mode="none", rank_ratio_override=0.25)
+        trainer, manager = train_cuttlefish(model, optimizer, train_loader, epochs=2,
+                                            config=config, loss_fn=loss_fn,
+                                            forward_fn=lambda m, b: m(b[0], attn_mask=b[1].astype(bool)))
+        assert manager.switched
+        assert manager.report.factorized_paths
+        assert all(".attn." in p for p in manager.report.factorized_paths)

@@ -1,0 +1,199 @@
+"""Tests for the model zoo: shapes, structure hooks and the registry."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (
+    MLP,
+    BertForMaskedLM,
+    BertForSequenceClassification,
+    available_models,
+    bert_micro,
+    build_model,
+    deit_micro,
+    resmlp_micro,
+    resnet18,
+    resnet50,
+    vgg19,
+    wide_resnet50_2,
+)
+from repro.tensor import Tensor, functional as F
+
+
+@pytest.fixture
+def images(rng):
+    return rng.random((2, 3, 16, 16)).astype(np.float32)
+
+
+class TestResNet:
+    def test_resnet18_forward_and_backward(self, images):
+        model = resnet18(num_classes=5, width_mult=0.125)
+        out = model(images)
+        assert out.shape == (2, 5)
+        F.cross_entropy(out, np.array([0, 1])).backward()
+        assert model.conv1.weight.grad is not None
+
+    def test_resnet50_structure(self, images):
+        model = resnet50(num_classes=4, width_mult=0.0625, small_input=True)
+        assert model(images).shape == (2, 4)
+        # Bottleneck blocks: 3+4+6+3 blocks, 3 convs each (plus downsamples).
+        convs = [m for m in model.modules() if isinstance(m, nn.Conv2d)]
+        assert len(convs) >= 49
+
+    def test_wide_resnet_has_more_parameters_than_resnet50(self):
+        wide = wide_resnet50_2(num_classes=10, width_mult=0.0625, small_input=True)
+        narrow = resnet50(num_classes=10, width_mult=0.0625, small_input=True)
+        assert wide.num_parameters() > narrow.num_parameters()
+
+    def test_layer_stack_paths_cover_four_stacks(self):
+        model = resnet18(num_classes=10, width_mult=0.125)
+        stacks = model.layer_stack_paths()
+        assert list(stacks) == ["layer1", "layer2", "layer3", "layer4"]
+        for paths in stacks.values():
+            assert paths and all(isinstance(model.get_submodule(p), nn.Conv2d) for p in paths)
+
+    def test_factorization_candidates_exclude_first_and_last(self):
+        model = resnet18(num_classes=10, width_mult=0.125)
+        candidates = model.factorization_candidates()
+        assert "conv1" not in candidates and "fc" not in candidates
+        assert len(candidates) > 10
+
+    def test_imagenet_stem(self, rng):
+        model = resnet18(num_classes=8, width_mult=0.125, small_input=False)
+        out = model(rng.random((1, 3, 32, 32)).astype(np.float32))
+        assert out.shape == (1, 8)
+
+    def test_width_mult_scales_parameters(self):
+        small = resnet18(num_classes=10, width_mult=0.125)
+        large = resnet18(num_classes=10, width_mult=0.25)
+        assert large.num_parameters() > 3 * small.num_parameters()
+
+
+class TestVGG:
+    def test_forward_shape(self, images):
+        model = vgg19(num_classes=7, width_mult=0.125)
+        assert model(images).shape == (2, 7)
+
+    def test_has_16_conv_layers(self):
+        model = vgg19(num_classes=10, width_mult=0.125)
+        assert len(model.conv_layer_paths()) == 16
+
+    def test_stack_paths_partition_convs(self):
+        model = vgg19(num_classes=10, width_mult=0.125)
+        stacks = model.layer_stack_paths()
+        assert len(stacks) == 5
+        total = sum(len(v) for v in stacks.values())
+        assert total == 16
+        assert [len(v) for v in stacks.values()] == [2, 2, 4, 4, 4]
+
+    def test_candidates_exclude_first_conv_and_classifier(self):
+        model = vgg19(num_classes=10, width_mult=0.125)
+        candidates = model.factorization_candidates()
+        assert len(candidates) == 15
+        assert model.conv_layer_paths()[0] not in candidates
+
+    def test_works_on_32px_input(self, rng):
+        model = vgg19(num_classes=3, width_mult=0.125)
+        out = model(rng.random((1, 3, 32, 32)).astype(np.float32))
+        assert out.shape == (1, 3)
+
+
+class TestTransformers:
+    def test_deit_forward(self, images):
+        model = deit_micro(image_size=16, num_classes=6, depth=2)
+        assert model(images).shape == (2, 6)
+
+    def test_deit_candidates_exclude_head_and_out_proj(self):
+        model = deit_micro(image_size=16, num_classes=6, depth=2)
+        candidates = model.factorization_candidates()
+        assert candidates
+        assert all("head" != c and not c.endswith("out_proj") for c in candidates)
+
+    def test_deit_stacks_one_per_block(self):
+        model = deit_micro(image_size=16, num_classes=6, depth=3)
+        assert len(model.layer_stack_paths()) == 3
+
+    def test_deit_rejects_indivisible_patches(self):
+        with pytest.raises(ValueError):
+            deit_micro(image_size=15, num_classes=2)
+
+    def test_resmlp_forward_backward(self, images):
+        model = resmlp_micro(image_size=16, num_classes=4, depth=2)
+        out = model(images)
+        assert out.shape == (2, 4)
+        F.cross_entropy(out, np.array([0, 1])).backward()
+        assert model.head.weight.grad is not None
+
+    def test_resmlp_candidates_include_token_mix(self):
+        model = resmlp_micro(image_size=16, num_classes=4, depth=2)
+        assert any("token_mix" in c for c in model.factorization_candidates())
+
+
+class TestBert:
+    def test_sequence_classification_forward(self, rng):
+        model = BertForSequenceClassification(bert_micro(), num_classes=3)
+        tokens = rng.integers(4, 200, size=(2, 12))
+        mask = np.ones((2, 12), dtype=bool)
+        out = model(tokens, attn_mask=mask)
+        assert out.shape == (2, 3)
+
+    def test_sequence_length_guard(self, rng):
+        model = bert_micro(max_seq_len=8)
+        with pytest.raises(ValueError):
+            model(rng.integers(4, 200, size=(1, 16)))
+
+    def test_mlm_head_shape(self, rng):
+        backbone = bert_micro()
+        model = BertForMaskedLM(backbone)
+        tokens = rng.integers(4, 200, size=(2, 10))
+        out = model(tokens)
+        assert out.shape == (2, 10, backbone.vocab_size)
+
+    def test_candidates_are_attention_projections(self):
+        model = BertForSequenceClassification(bert_micro(), num_classes=2)
+        candidates = model.factorization_candidates()
+        assert candidates and all(".attn." in c for c in candidates)
+
+    def test_feed_forward_paths(self):
+        backbone = bert_micro()
+        paths = backbone.feed_forward_paths()
+        assert paths and all(p.endswith(("fc1", "fc2")) for p in paths)
+
+    def test_backward_through_embeddings(self, rng):
+        model = BertForSequenceClassification(bert_micro(), num_classes=2)
+        out = model(rng.integers(4, 200, size=(2, 8)))
+        F.cross_entropy(out, np.array([0, 1])).backward()
+        assert model.backbone.token_embed.weight.grad is not None
+
+
+class TestMLPAndRegistry:
+    def test_mlp_forward_flattens(self, rng):
+        model = MLP(3 * 4 * 4, [32, 16], 5)
+        out = model(rng.random((2, 3, 4, 4)).astype(np.float32))
+        assert out.shape == (2, 5)
+
+    def test_mlp_candidates(self):
+        model = MLP(10, [20, 20, 20], 2)
+        assert len(model.factorization_candidates()) == 2
+
+    def test_registry_lists_all_paper_models(self):
+        names = available_models()
+        for expected in ("resnet18", "resnet50", "wide_resnet50_2", "vgg19",
+                         "deit_base", "resmlp_s36", "bert_base"):
+            assert expected in names
+
+    def test_build_model_unknown_raises(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")
+
+    def test_build_model_kwargs_forwarded(self):
+        model = build_model("resnet18", num_classes=3, width_mult=0.125)
+        assert model.fc.out_features == 3
+
+    def test_paper_scale_parameter_counts_are_plausible(self):
+        """Full-width ResNet-18 ≈ 11M and VGG-19 ≈ 20M parameters (Table 1)."""
+        r18 = build_model("resnet18", num_classes=10, width_mult=1.0)
+        assert 10e6 < r18.num_parameters() < 12.5e6
+        v19 = build_model("vgg19", num_classes=10, width_mult=1.0)
+        assert 18e6 < v19.num_parameters() < 22e6

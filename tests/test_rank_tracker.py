@@ -1,0 +1,125 @@
+"""Tests for per-layer rank tracking and the Ê stopping rule."""
+
+import numpy as np
+import pytest
+
+from repro.core import RankTracker
+from repro.core.rank_tracker import LayerRankHistory
+from repro.models import MLP
+
+
+@pytest.fixture
+def mlp():
+    return MLP(16, [32, 32, 32], 4)
+
+
+class TestLayerRankHistory:
+    def test_derivative_infinite_with_single_point(self):
+        history = LayerRankHistory("layer", full_rank=10)
+        history.stable_ranks = [5.0]
+        assert history.derivative() == float("inf")
+
+    def test_derivative_of_flat_trajectory_is_zero(self):
+        history = LayerRankHistory("layer", full_rank=10)
+        history.stable_ranks = [5.0, 5.0, 5.0]
+        assert history.derivative() == 0.0
+
+    def test_derivative_measures_recent_change(self):
+        history = LayerRankHistory("layer", full_rank=10)
+        history.stable_ranks = [10.0, 8.0, 6.0]
+        assert history.derivative(window=2) == pytest.approx(2.0)
+
+    def test_rank_ratios(self):
+        history = LayerRankHistory("layer", full_rank=20)
+        history.stable_ranks = [10.0, 5.0]
+        assert history.rank_ratios == [0.5, 0.25]
+
+
+class TestRankTracker:
+    def test_initialisation_records_xi_and_full_rank(self, mlp):
+        tracker = RankTracker(mlp, mlp.factorization_candidates())
+        for history in tracker.histories.values():
+            assert history.full_rank == 32
+            assert history.xi >= 1.0
+
+    def test_update_appends_one_value_per_layer(self, mlp):
+        tracker = RankTracker(mlp, mlp.factorization_candidates())
+        recorded = tracker.update(mlp)
+        assert set(recorded) == set(mlp.factorization_candidates())
+        assert tracker.epochs_recorded == 1
+
+    def test_no_convergence_before_min_epochs(self, mlp):
+        tracker = RankTracker(mlp, mlp.factorization_candidates(), min_epochs=3)
+        tracker.update(mlp)
+        tracker.update(mlp)
+        assert not tracker.has_converged()
+
+    def test_convergence_when_weights_frozen(self, mlp):
+        """If weights do not change the stable ranks are constant ⇒ converged."""
+        tracker = RankTracker(mlp, mlp.factorization_candidates(), min_epochs=2)
+        for _ in range(3):
+            tracker.update(mlp)
+        assert tracker.has_converged()
+
+    def test_no_convergence_while_ranks_move(self, mlp, rng):
+        """Alternating a layer between (near) rank-1 and full-rank weights keeps
+        the stable-rank derivative far above ε, so the tracker must not stop."""
+        tracker = RankTracker(mlp, mlp.factorization_candidates(), epsilon=0.1, min_epochs=2)
+        paths = mlp.factorization_candidates()
+        module = mlp.get_submodule(paths[0])
+        rank_one = np.outer(rng.standard_normal(32), rng.standard_normal(32)).astype(np.float32)
+        full_rank = rng.standard_normal((32, 32)).astype(np.float32)
+        for step in range(4):
+            module.weight.data = rank_one if step % 2 == 0 else full_rank
+            tracker.update(mlp)
+        assert not tracker.has_converged()
+
+    def test_select_ranks_bounded_by_full_rank(self, mlp):
+        tracker = RankTracker(mlp, mlp.factorization_candidates())
+        tracker.update(mlp)
+        ranks = tracker.select_ranks(mlp)
+        assert all(1 <= r <= 32 for r in ranks.values())
+
+    def test_select_ranks_scaled_mode_near_full_at_init(self, mlp):
+        """At initialisation the scaled stable rank should be ≈ full rank (that is its purpose)."""
+        tracker = RankTracker(mlp, mlp.factorization_candidates(), rank_mode="scaled_stable")
+        tracker.update(mlp)
+        ranks = tracker.select_ranks(mlp)
+        assert all(r >= 28 for r in ranks.values())
+
+    def test_select_ranks_vanilla_mode_lower_than_scaled(self, mlp):
+        scaled = RankTracker(mlp, mlp.factorization_candidates(), rank_mode="scaled_stable")
+        vanilla = RankTracker(mlp, mlp.factorization_candidates(), rank_mode="stable")
+        assert all(
+            vanilla.select_ranks(mlp)[p] <= scaled.select_ranks(mlp)[p]
+            for p in mlp.factorization_candidates()
+        )
+
+    def test_low_rank_weights_get_low_rank_selection(self, mlp, rng):
+        tracker = RankTracker(mlp, mlp.factorization_candidates(), rank_mode="stable")
+        for path in mlp.factorization_candidates():
+            module = mlp.get_submodule(path)
+            u = rng.standard_normal((32, 2)).astype(np.float32)
+            v = rng.standard_normal((2, 32)).astype(np.float32)
+            module.weight.data = (u @ v) / 10
+        ranks = tracker.select_ranks(mlp)
+        assert all(r <= 4 for r in ranks.values())
+
+    def test_rank_ratio_matrix_shape(self, mlp):
+        tracker = RankTracker(mlp, mlp.factorization_candidates())
+        for _ in range(4):
+            tracker.update(mlp)
+        matrix = tracker.rank_ratio_matrix()
+        assert matrix.shape == (len(mlp.factorization_candidates()), 4)
+        assert np.all((matrix > 0) & (matrix <= 1.0 + 1e-6))
+
+    def test_rank_ratio_table_keys(self, mlp):
+        tracker = RankTracker(mlp, mlp.factorization_candidates())
+        tracker.update(mlp)
+        table = tracker.rank_ratio_table()
+        assert set(table) == set(mlp.factorization_candidates())
+
+    def test_empty_candidates(self, mlp):
+        tracker = RankTracker(mlp, [])
+        assert tracker.epochs_recorded == 0
+        assert tracker.rank_ratio_matrix().size == 0

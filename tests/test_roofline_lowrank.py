@@ -1,0 +1,102 @@
+"""Roofline / tracer behaviour on factorized layers.
+
+Regression tests for the cost model on low-rank layers, including the
+extra-BatchNorm variant: a ``LowRankConv2d`` with a BN child is not a leaf
+module, but it must still be traced and priced as a two-GEMM unit, otherwise
+the roofline silently drops the factorized compute (the bug behind an
+inverted Table 5 result during development).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import factorize_model, full_rank_of
+from repro.models import resnet18, vgg19
+from repro.profiling import (
+    V100,
+    count_model_flops,
+    predict_iteration_time,
+    predict_layer_times,
+)
+from repro.profiling.tracer import trace_shapes
+from repro.utils import seed_everything
+
+
+@pytest.fixture
+def probe():
+    return np.random.default_rng(0).standard_normal((2, 3, 16, 16)).astype(np.float32)
+
+
+def _factorized_resnet(extra_bn: bool, ratio: float = 0.4):
+    seed_everything(0)
+    model = resnet18(num_classes=4, width_mult=0.25)
+    ranks = {p: max(1, int(round(full_rank_of(model.get_submodule(p)) * ratio)))
+             for p in model.factorization_candidates()}
+    factorize_model(model, ranks, extra_bn=extra_bn, skip_non_reducing=False)
+    return model
+
+
+class TestTracerOnLowRankLayers:
+    def test_low_rank_conv_without_bn_is_traced(self, probe):
+        model = _factorized_resnet(extra_bn=False)
+        traces = trace_shapes(model, probe)
+        assert "layer1.0.conv1" in traces
+        assert traces["layer1.0.conv1"].module_type == "LowRankConv2d"
+
+    def test_low_rank_conv_with_extra_bn_is_traced(self, probe):
+        """The extra-BN variant has a child module but must still be traced."""
+        model = _factorized_resnet(extra_bn=True)
+        traces = trace_shapes(model, probe)
+        assert "layer1.0.conv1" in traces
+        assert traces["layer1.0.conv1"].module_type == "LowRankConv2d"
+        # The BN child is still traced on its own (it is a genuine leaf).
+        assert "layer1.0.conv1.bn" in traces
+
+    def test_container_modules_are_not_traced(self, probe):
+        seed_everything(0)
+        model = resnet18(num_classes=4, width_mult=0.25)
+        traces = trace_shapes(model, probe)
+        assert "layer1" not in traces          # a stack container
+        assert "layer1.0" not in traces        # a residual block container
+
+
+class TestRooflineOnFactorizedModels:
+    def test_extra_bn_costs_at_least_as_much_as_without(self, probe):
+        """Table 5's consistent finding: the extra BN adds (a little) time."""
+        without = predict_iteration_time(_factorized_resnet(False), probe,
+                                         device=V100, batch_scale=256.0)
+        with_bn = predict_iteration_time(_factorized_resnet(True), probe,
+                                         device=V100, batch_scale=256.0)
+        assert with_bn >= without
+
+    def test_factorized_layers_priced_identically_with_and_without_bn(self, probe):
+        """The two conv GEMMs must be priced the same in both variants."""
+        t_without = predict_layer_times(_factorized_resnet(False), probe, device=V100)
+        t_with = predict_layer_times(_factorized_resnet(True), probe, device=V100)
+        for path in ("layer2.0.conv1", "layer3.1.conv2", "layer4.0.conv2"):
+            assert t_without[path] == pytest.approx(t_with[path], rel=1e-9)
+
+    def test_factorization_reduces_flops_at_paper_width(self):
+        """At full width, rank-ratio 1/4 factorization cuts total forward FLOPs."""
+        probe = np.random.default_rng(1).standard_normal((1, 3, 32, 32)).astype(np.float32)
+        seed_everything(0)
+        full = vgg19(num_classes=10, width_mult=1.0)
+        full_flops = count_model_flops(full, probe)
+        seed_everything(0)
+        factorized = vgg19(num_classes=10, width_mult=1.0)
+        ranks = {p: max(1, full_rank_of(factorized.get_submodule(p)) // 4)
+                 for p in factorized.factorization_candidates()}
+        factorize_model(factorized, ranks)
+        assert count_model_flops(factorized, probe) < 0.6 * full_flops
+
+    def test_low_rank_layer_priced_as_two_kernels(self, probe):
+        """Per-layer roofline time of a factorized conv includes both GEMM launches."""
+        from repro.core import is_low_rank
+
+        model = _factorized_resnet(False)
+        times = predict_layer_times(model, probe, device=V100)
+        low_rank_paths = [name for name, module in model.named_modules()
+                          if name and is_low_rank(module)]
+        assert low_rank_paths
+        # Two kernel launches set the floor on any factorized layer's time.
+        assert min(times[p] for p in low_rank_paths) >= 2 * V100.kernel_overhead

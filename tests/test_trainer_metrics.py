@@ -1,0 +1,204 @@
+"""Tests for the generic Trainer loop and the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import ArrayDataset, DataLoader
+from repro.models import MLP
+from repro.optim import SGD, ConstantLR
+from repro.tensor import Tensor, functional as F
+from repro.train import (
+    AverageMeter,
+    Callback,
+    Trainer,
+    accuracy,
+    classification_metric,
+    f1_score,
+    matthews_corrcoef,
+    mlm_loss,
+    spearman_correlation,
+    top_k_accuracy,
+)
+from repro.utils import get_rng
+
+
+def toy_loaders(n=200, dim=10, classes=3):
+    rng = get_rng(offset=55)
+    centers = 4 * rng.standard_normal((classes, dim))
+    labels = rng.integers(0, classes, size=n)
+    features = (centers[labels] + rng.standard_normal((n, dim))).astype(np.float32)
+    ds = ArrayDataset(features, labels.astype(np.int64))
+    split = int(0.8 * n)
+    from repro.data import Subset
+    return (DataLoader(Subset(ds, range(split)), batch_size=32, shuffle=True),
+            DataLoader(Subset(ds, range(split, n)), batch_size=32))
+
+
+class TestMetrics:
+    def test_accuracy_perfect_and_zero(self):
+        logits = np.array([[2.0, 0.0], [0.0, 2.0]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+        assert accuracy(logits, np.array([1, 0])) == 0.0
+
+    def test_top_k(self):
+        logits = np.array([[3.0, 2.0, 1.0, 0.0]])
+        assert top_k_accuracy(logits, np.array([2]), k=3) == 1.0
+        assert top_k_accuracy(logits, np.array([3]), k=3) == 0.0
+
+    def test_top_k_caps_at_num_classes(self):
+        logits = np.array([[1.0, 0.0]])
+        assert top_k_accuracy(logits, np.array([1]), k=10) == 1.0
+
+    def test_accuracy_requires_2d(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(3), np.zeros(3))
+
+    def test_f1_score(self):
+        preds = np.array([1, 1, 0, 0, 1])
+        targets = np.array([1, 0, 0, 1, 1])
+        # tp=2, fp=1, fn=1 → precision=2/3, recall=2/3 → f1=2/3.
+        assert f1_score(preds, targets) == pytest.approx(2 / 3)
+
+    def test_f1_zero_when_no_true_positives(self):
+        assert f1_score(np.zeros(4), np.ones(4)) == 0.0
+
+    def test_matthews_perfect_and_random(self):
+        assert matthews_corrcoef(np.array([1, 0, 1]), np.array([1, 0, 1])) == pytest.approx(1.0)
+        assert matthews_corrcoef(np.array([1, 1, 1]), np.array([1, 0, 1])) == 0.0
+
+    def test_spearman_monotone_relationship(self):
+        x = np.arange(10, dtype=float)
+        assert spearman_correlation(x, x ** 3) == pytest.approx(1.0)
+        assert spearman_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_spearman_constant_input(self):
+        assert spearman_correlation(np.ones(5), np.arange(5)) == 0.0
+
+    def test_classification_metric_dispatch(self):
+        logits = np.array([[2.0, 0.0], [0.0, 2.0]])
+        targets = np.array([0, 1])
+        assert classification_metric("accuracy", logits, targets) == 1.0
+        assert classification_metric("f1", logits, targets) == 1.0
+        with pytest.raises(KeyError):
+            classification_metric("bleu", logits, targets)
+
+    def test_mlm_loss_ignores_unmasked(self):
+        logits = np.zeros((1, 3, 4))
+        labels = np.array([[1, -100, -100]])
+        assert mlm_loss(logits, labels) == pytest.approx(np.log(4))
+
+    def test_mlm_loss_all_ignored(self):
+        assert mlm_loss(np.zeros((1, 2, 4)), np.full((1, 2), -100)) == 0.0
+
+    def test_average_meter(self):
+        meter = AverageMeter()
+        meter.update(1.0, n=2)
+        meter.update(4.0, n=1)
+        assert meter.average == pytest.approx(2.0)
+        meter.reset()
+        assert meter.average == 0.0
+
+
+class TestTrainer:
+    def test_training_reduces_loss(self):
+        train_loader, val_loader = toy_loaders()
+        model = MLP(10, [32], 3)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.2, momentum=0.9),
+                          train_loader, val_loader)
+        history = trainer.fit(6)
+        assert history[-1].train_loss < history[0].train_loss
+        assert trainer.final_val_accuracy() > 0.6
+
+    def test_history_records_parameters_and_lr(self):
+        train_loader, val_loader = toy_loaders()
+        model = MLP(10, [16], 3)
+        optimizer = SGD(model.parameters(), lr=0.05)
+        trainer = Trainer(model, optimizer, train_loader, val_loader,
+                          scheduler=ConstantLR(optimizer))
+        trainer.fit(2)
+        record = trainer.history[-1]
+        assert record.num_parameters == model.num_parameters()
+        assert record.lr == pytest.approx(0.05)
+        assert record.epoch_seconds > 0
+
+    def test_callbacks_invoked_in_order(self):
+        events = []
+
+        class Recorder(Callback):
+            def on_train_begin(self, trainer):
+                events.append("begin")
+            def on_epoch_end(self, trainer, epoch, logs):
+                events.append(f"epoch{epoch}")
+            def on_train_end(self, trainer):
+                events.append("end")
+
+        train_loader, _ = toy_loaders(n=64)
+        model = MLP(10, [8], 3)
+        Trainer(model, SGD(model.parameters(), lr=0.1), train_loader,
+                callbacks=[Recorder()]).fit(2)
+        assert events == ["begin", "epoch0", "epoch1", "end"]
+
+    def test_loss_hook_adds_penalty(self):
+        train_loader, _ = toy_loaders(n=64)
+        model = MLP(10, [8], 3)
+        calls = []
+        def hook(m):
+            calls.append(1)
+            return None
+        Trainer(model, SGD(model.parameters(), lr=0.1), train_loader, loss_hook=hook).fit(1)
+        assert len(calls) == len(train_loader)
+
+    def test_grad_hook_can_zero_gradients(self):
+        train_loader, _ = toy_loaders(n=64)
+        model = MLP(10, [8], 3)
+        initial = {name: p.data.copy() for name, p in model.named_parameters()}
+
+        def freeze_all(m):
+            for p in m.parameters():
+                if p.grad is not None:
+                    p.grad[:] = 0.0
+
+        Trainer(model, SGD(model.parameters(), lr=0.5), train_loader, grad_hook=freeze_all).fit(1)
+        for name, p in model.named_parameters():
+            np.testing.assert_allclose(p.data, initial[name])
+
+    def test_max_batches_per_epoch(self):
+        train_loader, _ = toy_loaders(n=160)
+        model = MLP(10, [8], 3)
+        seen = []
+        def counting_loss(m, batch):
+            seen.append(1)
+            return F.cross_entropy(m(batch[0]), batch[-1])
+        Trainer(model, SGD(model.parameters(), lr=0.1), train_loader,
+                loss_fn=counting_loss, max_batches_per_epoch=2).fit(1)
+        assert len(seen) == 2
+
+    def test_evaluate_reports_top5(self):
+        train_loader, val_loader = toy_loaders()
+        model = MLP(10, [8], 3)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1), train_loader, val_loader)
+        stats = trainer.evaluate()
+        assert set(stats) == {"loss", "accuracy", "top5"}
+        assert stats["top5"] >= stats["accuracy"]
+
+    def test_evaluate_without_loader_returns_empty(self):
+        train_loader, _ = toy_loaders(n=64)
+        model = MLP(10, [8], 3)
+        assert Trainer(model, SGD(model.parameters(), lr=0.1), train_loader).evaluate() == {}
+
+    def test_rebuild_optimizer_params(self):
+        train_loader, _ = toy_loaders(n=64)
+        model = MLP(10, [8], 3)
+        optimizer = SGD(model.parameters(), lr=0.1)
+        trainer = Trainer(model, optimizer, train_loader)
+        model.classifier = nn.Linear(8, 3)
+        trainer.rebuild_optimizer_params()
+        assert {id(p) for p in optimizer.params} == {id(p) for p in model.parameters()}
+
+    def test_best_and_final_accuracy_nan_without_validation(self):
+        train_loader, _ = toy_loaders(n=64)
+        model = MLP(10, [8], 3)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1), train_loader)
+        trainer.fit(1)
+        assert np.isnan(trainer.best_val_accuracy())
