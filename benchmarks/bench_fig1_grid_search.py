@@ -13,7 +13,7 @@ import pytest
 
 from common import cifar_config, report, run_once
 from repro.baselines import PufferfishConfig
-from repro.train.experiments import run_vision_method
+from repro.train.experiments import ExperimentSpec, run_experiment
 
 EPOCHS = 10
 
@@ -21,14 +21,15 @@ EPOCHS = 10
 def _grid_and_cuttlefish():
     config = cifar_config("cifar10_small", "resnet18", epochs=EPOCHS)
     rows = {}
-    rows["full_rank"] = run_vision_method("full_rank", config)
+    rows["full_rank"] = run_experiment(ExperimentSpec(method="full_rank", config=config))
     for warmup in (EPOCHS // 3, EPOCHS // 2):
         for ratio in (0.125, 0.25):
             name = f"pufferfish(E={warmup},rho={ratio})"
-            rows[name] = run_vision_method(
-                "pufferfish", config,
-                pufferfish_config=PufferfishConfig(full_rank_epochs=warmup, rank_ratio=ratio))
-    rows["cuttlefish"] = run_vision_method("cuttlefish", config)
+            rows[name] = run_experiment(ExperimentSpec(
+                method="pufferfish", config=config,
+                method_kwargs=dict(pufferfish_config=PufferfishConfig(
+                    full_rank_epochs=warmup, rank_ratio=ratio))))
+    rows["cuttlefish"] = run_experiment(ExperimentSpec(method="cuttlefish", config=config))
     return rows
 
 

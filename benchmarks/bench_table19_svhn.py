@@ -10,7 +10,7 @@ accuracy stays near the full-rank model.
 import pytest
 
 from common import cifar_config, report_rows, run_once
-from repro.train.experiments import run_vision_method
+from repro.train.experiments import ExperimentSpec, run_experiment
 
 METHODS = ["full_rank", "pufferfish", "si_fd", "cuttlefish"]
 
@@ -18,8 +18,10 @@ METHODS = ["full_rank", "pufferfish", "si_fd", "cuttlefish"]
 @pytest.mark.parametrize("model", ["resnet18"])
 def test_table19_svhn(benchmark, model):
     def run_all():
-        svhn_rows = [run_vision_method(m, cifar_config("svhn_small", model, epochs=8)) for m in METHODS]
-        cifar_cuttle = run_vision_method("cuttlefish", cifar_config("cifar10_small", model, epochs=8))
+        svhn_rows = [run_experiment(ExperimentSpec(method=m, config=cifar_config("svhn_small", model, epochs=8)))
+                     for m in METHODS]
+        cifar_cuttle = run_experiment(ExperimentSpec(
+            method="cuttlefish", config=cifar_config("cifar10_small", model, epochs=8)))
         return svhn_rows, cifar_cuttle
 
     rows, cifar_cuttle = run_once(benchmark, run_all)

@@ -15,7 +15,7 @@ Shape checks (the paper's Table 1 conclusions, not its absolute numbers):
 import pytest
 
 from common import cifar_config, report_rows, run_once
-from repro.train.experiments import run_vision_method
+from repro.train.experiments import ExperimentSpec, run_experiment
 
 # The full Table 1 grid is 2 models × 2 datasets; to keep the default benchmark
 # run within a laptop budget we exercise one dataset per model (the remaining
@@ -30,7 +30,7 @@ EXTRA_METHODS = ["imp", "xnor"]          # run only on the first cell to bound r
 
 def _run_cell(model: str, task: str, methods):
     config = cifar_config(task, model, epochs=10)
-    return [run_vision_method(method, config) for method in methods]
+    return [run_experiment(ExperimentSpec(method=method, config=config)) for method in methods]
 
 
 @pytest.mark.parametrize("model,task", CELLS, ids=[f"{m}-{t}" for m, t in CELLS])

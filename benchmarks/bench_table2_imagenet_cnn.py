@@ -10,7 +10,7 @@ accuracy-vs-size trade-off, mirroring Table 18's conclusion.
 import pytest
 
 from common import imagenet_config, report_rows, run_once
-from repro.train.experiments import run_vision_method
+from repro.train.experiments import ExperimentSpec, run_experiment
 
 # WideResNet-50-2 follows the identical code path at double width; the default
 # benchmark run covers ResNet-50 to stay within a laptop budget.
@@ -20,7 +20,7 @@ MODELS = ["resnet50"]
 @pytest.mark.parametrize("model", MODELS)
 def test_table2_imagenet_cnns(benchmark, model):
     methods = ["full_rank", "pufferfish", "cuttlefish"]
-    rows = run_once(benchmark, lambda: [run_vision_method(m, imagenet_config(model, epochs=4))
+    rows = run_once(benchmark, lambda: [run_experiment(ExperimentSpec(method=m, config=imagenet_config(model, epochs=4)))
                                         for m in methods])
     report_rows(f"table2_{model}", rows)
     by_method = {row.method: row for row in rows}
@@ -32,7 +32,7 @@ def test_table2_imagenet_cnns(benchmark, model):
 
 def test_table18_pruning_baselines(benchmark):
     methods = ["full_rank", "cuttlefish", "grasp", "early_bird"]
-    rows = run_once(benchmark, lambda: [run_vision_method(m, imagenet_config("resnet50", epochs=4))
+    rows = run_once(benchmark, lambda: [run_experiment(ExperimentSpec(method=m, config=imagenet_config("resnet50", epochs=4)))
                                         for m in methods])
     report_rows("table18_grasp_ebtrain", rows)
     by_method = {row.method: row for row in rows}

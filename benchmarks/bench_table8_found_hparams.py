@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from common import cifar_config, report, run_once
-from repro.train.experiments import reference_profiling, run_vision_method
+from repro.train.experiments import ExperimentSpec, reference_profiling, run_experiment
 
 MODELS = ["resnet18", "vgg19"]
 EPOCHS = 8
@@ -20,7 +20,7 @@ EPOCHS = 8
 
 def _found_hparams(model: str):
     config = cifar_config("cifar10_small", model, epochs=EPOCHS)
-    row = run_vision_method("cuttlefish", config)
+    row = run_experiment(ExperimentSpec(method="cuttlefish", config=config))
     return row
 
 

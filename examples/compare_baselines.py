@@ -9,7 +9,7 @@ by the roofline model at the paper's batch size.
 Run with:  python examples/compare_baselines.py
 """
 
-from repro.train.experiments import VisionExperimentConfig, format_rows, run_vision_method
+from repro.train.experiments import ExperimentSpec, VisionExperimentConfig, format_rows, run_experiment
 
 
 def main():
@@ -27,7 +27,7 @@ def main():
     rows = []
     for method in methods:
         print(f"running {method} ...")
-        rows.append(run_vision_method(method, config))
+        rows.append(run_experiment(ExperimentSpec(method=method, config=config)))
 
     print("\nMiniature Table 1 (synthetic CIFAR-10 stand-in, ResNet-18 at 1/4 width):")
     print(format_rows(rows))

@@ -14,7 +14,7 @@ Run with:  python examples/imagenet_cnn.py
 """
 
 from repro.baselines import PufferfishConfig
-from repro.train.experiments import VisionExperimentConfig, format_rows, run_vision_method
+from repro.train.experiments import ExperimentSpec, VisionExperimentConfig, format_rows, run_experiment
 from repro.utils import seed_everything
 
 EPOCHS = 8
@@ -37,11 +37,12 @@ def main():
     )
 
     rows = [
-        run_vision_method("full_rank", config),
-        run_vision_method("pufferfish", config,
-                          pufferfish_config=PufferfishConfig(full_rank_epochs=EPOCHS // 4,
-                                                             rank_ratio=0.25)),
-        run_vision_method("cuttlefish", config),
+        run_experiment(ExperimentSpec(method="full_rank", config=config)),
+        run_experiment(ExperimentSpec(
+            method="pufferfish", config=config,
+            method_kwargs=dict(pufferfish_config=PufferfishConfig(full_rank_epochs=EPOCHS // 4,
+                                                                  rank_ratio=0.25)))),
+        run_experiment(ExperimentSpec(method="cuttlefish", config=config)),
     ]
 
     print("\n--- Table 2 scenario (ResNet-50 on the ImageNet stand-in) ---")

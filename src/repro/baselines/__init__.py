@@ -1,24 +1,53 @@
-"""Baseline methods the paper compares Cuttlefish against."""
+"""Baseline methods the paper compares Cuttlefish against.
+
+Importing this package registers every baseline with the unified method
+registry (``repro.train.methods``): each module defines a thin
+:class:`~repro.train.methods.Method` adapter next to its algorithm code.
+"""
 
 from repro.baselines.pufferfish import (
     PufferfishCallback,
     PufferfishConfig,
+    PufferfishMethod,
     PufferfishReport,
     train_pufferfish,
 )
-from repro.baselines.si_fd import SIFDConfig, SIFDReport, build_si_fd_model, train_si_fd
-from repro.baselines.lc_compression import LCCallback, LCConfig, LCReport, optimal_rank, train_lc_compression
-from repro.baselines.imp import IMPConfig, IMPReport, MaskManager, prunable_parameters, train_imp
+from repro.baselines.si_fd import SIFDConfig, SIFDMethod, SIFDReport, build_si_fd_model, train_si_fd
+from repro.baselines.lc_compression import (
+    LCCallback,
+    LCConfig,
+    LCMethod,
+    LCReport,
+    optimal_rank,
+    train_lc_compression,
+)
+from repro.baselines.imp import IMPConfig, IMPMethod, IMPReport, MaskManager, prunable_parameters, train_imp
 from repro.baselines.xnor import (
+    BinarizationAccountingCallback,
     BinarizedConv2d,
     BinarizedLinear,
+    XNORMethod,
     binarize_activations,
     binarize_with_ste,
     convert_to_xnor,
     effective_parameter_fraction,
 )
-from repro.baselines.grasp import GraSPConfig, GraSPReport, compute_grasp_masks, train_grasp
-from repro.baselines.early_bird import EarlyBirdCallback, EarlyBirdConfig, EarlyBirdReport, train_early_bird
+from repro.baselines.grasp import (
+    GraSPConfig,
+    GraSPMethod,
+    GraSPReport,
+    apply_masks,
+    compute_grasp_masks,
+    make_mask_grad_hook,
+    train_grasp,
+)
+from repro.baselines.early_bird import (
+    EarlyBirdCallback,
+    EarlyBirdConfig,
+    EarlyBirdMethod,
+    EarlyBirdReport,
+    train_early_bird,
+)
 from repro.baselines.distillation import (
     DistillationConfig,
     build_student,
@@ -30,34 +59,44 @@ from repro.baselines.distillation import (
 __all__ = [
     "PufferfishCallback",
     "PufferfishConfig",
+    "PufferfishMethod",
     "PufferfishReport",
     "train_pufferfish",
     "SIFDConfig",
+    "SIFDMethod",
     "SIFDReport",
     "build_si_fd_model",
     "train_si_fd",
     "LCCallback",
     "LCConfig",
+    "LCMethod",
     "LCReport",
     "optimal_rank",
     "train_lc_compression",
     "IMPConfig",
+    "IMPMethod",
     "IMPReport",
     "MaskManager",
     "prunable_parameters",
     "train_imp",
+    "BinarizationAccountingCallback",
     "BinarizedConv2d",
     "BinarizedLinear",
+    "XNORMethod",
     "binarize_activations",
     "binarize_with_ste",
     "convert_to_xnor",
     "effective_parameter_fraction",
     "GraSPConfig",
+    "GraSPMethod",
     "GraSPReport",
+    "apply_masks",
     "compute_grasp_masks",
+    "make_mask_grad_hook",
     "train_grasp",
     "EarlyBirdCallback",
     "EarlyBirdConfig",
+    "EarlyBirdMethod",
     "EarlyBirdReport",
     "train_early_bird",
     "DistillationConfig",

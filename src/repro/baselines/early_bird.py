@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro import nn
+from repro.train.methods import ExperimentContext, Method, MethodResult, register_method
 from repro.train.trainer import Callback, Trainer
 from repro.utils import get_logger
 
@@ -81,7 +82,7 @@ class EarlyBirdCallback(Callback):
 
     def on_train_begin(self, trainer: Trainer) -> None:
         self.report.total_parameters = trainer.model.num_parameters()
-        trainer.grad_hook = self._grad_hook
+        trainer.add_grad_hook(self._grad_hook)
         self._model = trainer.model
 
     # L1 on BN scales during the search phase; mask enforcement afterwards.
@@ -140,6 +141,34 @@ class EarlyBirdCallback(Callback):
         parent = model.get_submodule(".".join(parts[:-1])) if len(parts) > 1 else model
         convs = [m for m in parent.children() if isinstance(m, nn.Conv2d)]
         return convs[0] if convs else None
+
+
+@register_method("early_bird")
+class EarlyBirdMethod(Method):
+    """Registered-method adapter: find the early-bird ticket, then train slimmed."""
+
+    description = "EB Train: draw channel masks from BN scales until the early-bird ticket stabilises"
+
+    def __init__(self, early_bird_config: Optional[EarlyBirdConfig] = None):
+        self._callback = EarlyBirdCallback(early_bird_config)
+
+    def callbacks(self):
+        return [self._callback]
+
+    def finalize(self, context: ExperimentContext) -> MethodResult:
+        result = super().finalize(context)
+        report = self._callback.report
+        result.params = report.effective_parameters or context.model.num_parameters()
+        result.extra = {"channel_sparsity": report.channel_sparsity,
+                        "ticket_epoch": float(report.ticket_epoch or -1)}
+        # Structured channel pruning speeds up the post-ticket epochs roughly
+        # quadratically in the kept-channel fraction.
+        if report.ticket_epoch is not None:
+            kept = 1.0 - report.channel_sparsity
+            post = context.config.epochs - report.ticket_epoch
+            result.epochs_full = float(report.ticket_epoch) + post * kept * kept
+            result.epochs_low = 0.0
+        return result
 
 
 def train_early_bird(model, optimizer, train_loader, val_loader=None, epochs: int = 10,

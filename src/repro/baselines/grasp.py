@@ -26,6 +26,7 @@ import numpy as np
 from repro import nn
 from repro.baselines.imp import prunable_parameters
 from repro.tensor import functional as F
+from repro.train.methods import ExperimentContext, Method, MethodResult, register_method
 from repro.train.trainer import Trainer
 from repro.utils import get_logger
 
@@ -58,6 +59,24 @@ def _collect_gradients(model: nn.Module, batch, loss_fn=None) -> Dict[str, np.nd
     for name, param in prunable_parameters(model).items():
         grads[name] = np.zeros_like(param.data) if param.grad is None else param.grad.copy()
     return grads
+
+
+def apply_masks(model: nn.Module, masks: Dict[str, np.ndarray]) -> None:
+    """Zero the pruned entries of every masked prunable weight, in place."""
+    for name, param in prunable_parameters(model).items():
+        if name in masks:
+            param.data *= masks[name]
+
+
+def make_mask_grad_hook(masks: Dict[str, np.ndarray]):
+    """Gradient hook enforcing the pruning masks on every backward pass."""
+
+    def grad_hook(model: nn.Module) -> None:
+        for name, param in prunable_parameters(model).items():
+            if param.grad is not None and name in masks:
+                param.grad *= masks[name]
+
+    return grad_hook
 
 
 def compute_grasp_masks(model: nn.Module, probe_batch, config: Optional[GraSPConfig] = None,
@@ -102,6 +121,32 @@ def compute_grasp_masks(model: nn.Module, probe_batch, config: Optional[GraSPCon
     return report
 
 
+@register_method("grasp")
+class GraSPMethod(Method):
+    """Registered-method adapter: prune at init, enforce the mask throughout."""
+
+    description = "GraSP: gradient-signal-preserving pruning at initialisation"
+
+    def __init__(self, grasp_config: Optional[GraSPConfig] = None):
+        self.config = grasp_config or GraSPConfig(sparsity=0.5)
+        self.report: Optional[GraSPReport] = None
+
+    def prepare(self, model, context: ExperimentContext):
+        probe_batch = next(iter(context.train_loader))
+        self.report = compute_grasp_masks(model, probe_batch, self.config)
+        apply_masks(model, self.report.masks)
+        return model
+
+    def grad_hook(self):
+        return make_mask_grad_hook(self.report.masks)
+
+    def finalize(self, context: ExperimentContext) -> MethodResult:
+        result = super().finalize(context)
+        result.params = self.report.remaining_parameters
+        result.extra = {"sparsity": self.report.sparsity}
+        return result
+
+
 def train_grasp(model, optimizer, train_loader, val_loader=None, epochs: int = 10,
                 config: Optional[GraSPConfig] = None, scheduler=None, loss_fn=None,
                 forward_fn=None, max_batches_per_epoch: Optional[int] = None):
@@ -110,19 +155,10 @@ def train_grasp(model, optimizer, train_loader, val_loader=None, epochs: int = 1
     probe_batch = next(iter(train_loader))
     report = compute_grasp_masks(model, probe_batch, config, loss_fn=loss_fn)
 
-    def mask_weights():
-        for name, param in prunable_parameters(model).items():
-            if name in report.masks:
-                param.data *= report.masks[name]
-
-    def grad_hook(m: nn.Module) -> None:
-        for name, param in prunable_parameters(m).items():
-            if param.grad is not None and name in report.masks:
-                param.grad *= report.masks[name]
-
-    mask_weights()
+    apply_masks(model, report.masks)
     trainer = Trainer(model, optimizer, train_loader, val_loader, loss_fn=loss_fn,
-                      forward_fn=forward_fn, scheduler=scheduler, grad_hook=grad_hook,
+                      forward_fn=forward_fn, scheduler=scheduler,
+                      grad_hook=make_mask_grad_hook(report.masks),
                       max_batches_per_epoch=max_batches_per_epoch)
     trainer.fit(epochs)
     logger.info("GraSP: %.1f%% sparsity, val acc %.4f", 100 * report.sparsity,

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro import nn
+from repro.train.methods import ExperimentContext, Method, MethodResult, register_method
 from repro.train.trainer import Trainer
 from repro.utils import get_logger
 
@@ -96,6 +97,42 @@ class MaskManager:
         for name, param in prunable_parameters(model).items():
             if param.grad is not None:
                 param.grad *= self.masks[name]
+
+
+@register_method("imp")
+class IMPMethod(Method):
+    """Registered-method adapter: iterative magnitude pruning with rewinding.
+
+    IMP restarts optimisation once per pruning round, so it overrides
+    ``execute`` with :func:`train_imp`'s multi-round loop instead of the
+    single ``Trainer.fit`` the default lifecycle provides.
+    """
+
+    description = "IMP: iterative magnitude pruning with weight rewinding (retrains per round)"
+
+    def __init__(self, imp_config: Optional[IMPConfig] = None):
+        self.config = imp_config
+        self.report: Optional[IMPReport] = None
+
+    def execute(self, context: ExperimentContext) -> None:
+        config = self.config or IMPConfig(
+            rounds=2, epochs_per_round=max(context.config.epochs // 2, 1))
+        self.config = config
+        context.model, self.report = train_imp(
+            context.model, context.optimizer_factory, context.train_loader,
+            context.val_loader, config=config,
+            max_batches_per_epoch=context.config.max_batches_per_epoch)
+
+    def finalize(self, context: ExperimentContext) -> MethodResult:
+        report = self.report
+        return MethodResult(
+            params=report.effective_parameters,
+            accuracy=report.val_accuracy_per_round[-1],
+            wallclock_seconds=report.total_seconds,
+            epochs_full=float(context.config.epochs),
+            overhead_multiplier=float(self.config.rounds),
+            extra={"sparsity": report.final_sparsity, "rounds": float(self.config.rounds)},
+        )
 
 
 def train_imp(model, optimizer_factory, train_loader, val_loader=None,

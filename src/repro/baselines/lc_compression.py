@@ -26,6 +26,7 @@ import numpy as np
 from repro import nn
 from repro.core.factorize import factorize_model, svd_factorize
 from repro.core.stable_rank import full_rank_of, singular_values, weight_to_matrix
+from repro.train.methods import ExperimentContext, Method, MethodResult, low_rank_ratios, register_method
 from repro.train.trainer import Callback, Trainer
 from repro.utils import get_logger
 
@@ -82,7 +83,7 @@ class LCCallback(Callback):
                 raise ValueError("model does not define factorization_candidates(); pass candidate_paths")
             self.candidate_paths = model.factorization_candidates()
         self.report.params_before = model.num_parameters()
-        trainer.grad_hook = self._l_step_pull
+        trainer.add_grad_hook(self._l_step_pull)
 
     # ------------------------------------------------------------------ #
     # L step: quadratic pull of each weight towards its low-rank target
@@ -136,6 +137,33 @@ class LCCallback(Callback):
         self.report.params_after = trainer.model.num_parameters()
         logger.info("LC compression learned ranks for %d layers (%.2fx smaller)",
                     len(self.report.learned_ranks), self.report.compression_ratio)
+
+
+@register_method("lc")
+class LCMethod(Method):
+    """Registered-method adapter: alternating learning-compression optimisation."""
+
+    description = "LC: learn per-layer ranks by alternating L (SGD) and C (projection) steps"
+
+    # LC's alternating optimisation adds an SVD of every layer each epoch and
+    # the quadratic-penalty term each iteration: far slower end to end.
+    OVERHEAD_MULTIPLIER = 8.0
+
+    def __init__(self, lc_config: Optional[LCConfig] = None,
+                 candidate_paths: Optional[Sequence[str]] = None):
+        self.config = lc_config or LCConfig()
+        self._callback = LCCallback(self.config, candidate_paths=candidate_paths)
+
+    def callbacks(self):
+        return [self._callback]
+
+    def finalize(self, context: ExperimentContext) -> MethodResult:
+        result = super().finalize(context)
+        report = self._callback.report
+        result.overhead_multiplier = self.OVERHEAD_MULTIPLIER
+        result.rank_ratios = low_rank_ratios(context.model)
+        result.extra = {"compression": report.compression_ratio, "c_steps": float(report.c_steps)}
+        return result
 
 
 def train_lc_compression(model, optimizer, train_loader, val_loader=None, epochs: int = 10,

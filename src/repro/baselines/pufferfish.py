@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 from repro import nn
 from repro.core.factorize import factorize_model
 from repro.core.stable_rank import full_rank_of
+from repro.train.methods import ExperimentContext, Method, MethodResult, low_rank_ratios, register_method
 from repro.train.trainer import Callback, Trainer
 from repro.utils import get_logger
 
@@ -89,6 +90,40 @@ class PufferfishCallback(Callback):
         self.report.params_after = model.num_parameters()
         logger.info("Pufferfish switch at epoch %d: %d layers factorized at ratio %.3g",
                     epoch + 1, len(factorized), self.config.rank_ratio)
+
+
+@register_method("pufferfish")
+class PufferfishMethod(Method):
+    """Registered-method adapter: factorize on a fixed, manually tuned schedule."""
+
+    description = "Pufferfish: manually tuned warm-up, layer set and global rank ratio"
+    uses_label_smoothing = True
+
+    def __init__(self, pufferfish_config: Optional[PufferfishConfig] = None,
+                 candidate_paths: Optional[Sequence[str]] = None):
+        self.config = pufferfish_config
+        self.candidate_paths = candidate_paths
+        self._callback: Optional[PufferfishCallback] = None
+
+    def prepare(self, model, context: ExperimentContext):
+        config = self.config or PufferfishConfig(
+            full_rank_epochs=max(context.config.epochs // 2, 1), rank_ratio=0.25)
+        self._callback = PufferfishCallback(config, candidate_paths=self.candidate_paths)
+        return model
+
+    def callbacks(self):
+        return [self._callback]
+
+    def finalize(self, context: ExperimentContext) -> MethodResult:
+        result = super().finalize(context)
+        report = self._callback.report
+        epochs_full = float(report.switch_epoch or context.config.epochs)
+        result.epochs_full = epochs_full
+        result.epochs_low = context.config.epochs - epochs_full
+        result.rank_ratios = low_rank_ratios(context.model)
+        result.extra = {"switch_epoch": float(report.switch_epoch or -1),
+                        "compression": report.compression_ratio}
+        return result
 
 
 def train_pufferfish(model, optimizer, train_loader, val_loader=None, epochs: int = 10,

@@ -19,6 +19,7 @@ from repro import nn
 from repro.core.factorize import factorize_model
 from repro.core.frobenius_decay import FrobeniusDecay
 from repro.core.stable_rank import full_rank_of
+from repro.train.methods import ExperimentContext, Method, MethodResult, low_rank_ratios, register_method
 from repro.train.trainer import Trainer
 from repro.utils import get_logger
 
@@ -67,6 +68,40 @@ def build_si_fd_model(model: nn.Module, config: SIFDConfig,
     logger.info("SI&FD: factorized %d layers at ratio %.3g (%.2fx smaller)",
                 len(report.factorized_paths), config.rank_ratio, report.compression_ratio)
     return report
+
+
+@register_method("si_fd")
+class SIFDMethod(Method):
+    """Registered-method adapter: factorize at init, train with Frobenius decay."""
+
+    description = "SI&FD: spectral initialisation at a fixed rank ratio + Frobenius decay"
+
+    def __init__(self, si_fd_config: Optional[SIFDConfig] = None,
+                 candidate_paths: Optional[Sequence[str]] = None):
+        self.config = si_fd_config or SIFDConfig(rank_ratio=0.2)
+        self.candidate_paths = candidate_paths
+        self.report: Optional[SIFDReport] = None
+        self._frobenius: Optional[FrobeniusDecay] = None
+
+    def prepare(self, model, context: ExperimentContext):
+        self.report = build_si_fd_model(model, self.config, candidate_paths=self.candidate_paths)
+        return model
+
+    def configure(self, context: ExperimentContext) -> None:
+        self._frobenius = FrobeniusDecay(self.config.frobenius_decay)
+        self._frobenius.configure_optimizer(context.optimizer, context.model)
+
+    def grad_hook(self):
+        return self._frobenius
+
+    def finalize(self, context: ExperimentContext) -> MethodResult:
+        result = super().finalize(context)
+        # Factorized from scratch: every epoch is a low-rank epoch.
+        result.epochs_full = 0.0
+        result.epochs_low = float(context.config.epochs)
+        result.rank_ratios = low_rank_ratios(context.model)
+        result.extra = {"compression": self.report.compression_ratio}
+        return result
 
 
 def train_si_fd(model, optimizer, train_loader, val_loader=None, epochs: int = 10,

@@ -1,16 +1,22 @@
 """Command-line interface for the Cuttlefish reproduction.
 
-Four subcommands cover the workflows a downstream user needs without writing
+Five subcommands cover the workflows a downstream user needs without writing
 Python:
 
-* ``train``    — train one method (full-rank, Cuttlefish, or a baseline) on a
-  synthetic task and print its comparison-table row.
+* ``train``    — train one registered method on a synthetic task and print
+  its comparison-table row.
 * ``compare``  — run several methods on the same task/budget and print the
   paper-style comparison table (Table 1 / 2 / 19 format).
+* ``list-methods`` — print every method in the unified registry with its
+  one-line description.
 * ``profile``  — run Algorithm 2 (the K̂ decision) on a paper-scale model under
   the GPU roofline and print the per-stack speedup table (Figure 4).
 * ``rank-trace`` — train briefly while recording per-layer stable ranks and
   print the trajectory table behind Figures 2/3.
+
+``train`` and ``compare`` accept any method registered with
+``repro.train.methods.register_method`` — including ones a downstream user
+registers in their own code before calling :func:`main`.
 
 Examples
 --------
@@ -18,6 +24,7 @@ Examples
 
     repro-cuttlefish train --method cuttlefish --task cifar10_small --model resnet18
     repro-cuttlefish compare --methods full_rank pufferfish cuttlefish --epochs 8
+    repro-cuttlefish list-methods
     repro-cuttlefish profile --model resnet18 --device v100 --batch-size 1024
     repro-cuttlefish rank-trace --model vgg19 --epochs 6
 """
@@ -38,17 +45,14 @@ from repro.optim import SGD, build_paper_cifar_schedule
 from repro.profiling import get_device
 from repro.train.experiments import (
     ExperimentRow,
+    ExperimentSpec,
     VisionExperimentConfig,
     format_rows,
-    run_vision_method,
+    run_experiment,
 )
+from repro.train.methods import available_methods, method_descriptions
 from repro.train.trainer import Trainer
 from repro.utils import get_rng, seed_everything
-
-KNOWN_METHODS = (
-    "full_rank", "cuttlefish", "pufferfish", "si_fd", "imp",
-    "xnor", "lc", "grasp", "early_bird",
-)
 
 
 # --------------------------------------------------------------------------- #
@@ -76,14 +80,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cap the number of batches per epoch (smoke tests)")
         p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
+    methods = available_methods()
+
     train = sub.add_parser("train", help="train one method and print its result row")
     add_budget_args(train)
-    train.add_argument("--method", default="cuttlefish", choices=KNOWN_METHODS)
+    train.add_argument("--method", default="cuttlefish", choices=methods)
 
     compare = sub.add_parser("compare", help="run several methods on the same budget")
     add_budget_args(compare)
     compare.add_argument("--methods", nargs="+", default=["full_rank", "cuttlefish"],
-                         choices=KNOWN_METHODS)
+                         choices=methods)
+
+    list_methods = sub.add_parser("list-methods",
+                                  help="list every registered training method")
+    list_methods.add_argument("--json", action="store_true")
 
     profile = sub.add_parser("profile", help="Algorithm 2: per-stack speedup table (Figure 4)")
     profile.add_argument("--model", default="resnet18", choices=available_models())
@@ -135,14 +145,27 @@ def _emit_rows(rows: List[ExperimentRow], as_json: bool, stream) -> None:
 
 
 def cmd_train(args: argparse.Namespace, stream=sys.stdout) -> int:
-    row = run_vision_method(args.method, _experiment_config(args))
+    row = run_experiment(ExperimentSpec(method=args.method, config=_experiment_config(args)))
     _emit_rows([row], args.json, stream)
     return 0
 
 
 def cmd_compare(args: argparse.Namespace, stream=sys.stdout) -> int:
-    rows = [run_vision_method(method, _experiment_config(args)) for method in args.methods]
+    rows = [run_experiment(ExperimentSpec(method=method, config=_experiment_config(args)))
+            for method in args.methods]
     _emit_rows(rows, args.json, stream)
+    return 0
+
+
+def cmd_list_methods(args: argparse.Namespace, stream=sys.stdout) -> int:
+    descriptions = method_descriptions()
+    if args.json:
+        json.dump(descriptions, stream, indent=2)
+        stream.write("\n")
+        return 0
+    width = max(len(name) for name in descriptions)
+    for name, description in descriptions.items():
+        stream.write(f"{name:<{width}}  {description}\n")
     return 0
 
 
@@ -211,6 +234,7 @@ def cmd_rank_trace(args: argparse.Namespace, stream=sys.stdout) -> int:
 COMMANDS = {
     "train": cmd_train,
     "compare": cmd_compare,
+    "list-methods": cmd_list_methods,
     "profile": cmd_profile,
     "rank-trace": cmd_rank_trace,
 }

@@ -31,6 +31,7 @@ from repro.core.cuttlefish import (
     CuttlefishCallback,
     CuttlefishConfig,
     CuttlefishManager,
+    CuttlefishMethod,
     CuttlefishReport,
     train_cuttlefish,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "CuttlefishCallback",
     "CuttlefishConfig",
     "CuttlefishManager",
+    "CuttlefishMethod",
     "CuttlefishReport",
     "train_cuttlefish",
 ]

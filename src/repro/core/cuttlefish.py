@@ -30,6 +30,7 @@ from repro.core.frobenius_decay import FrobeniusDecay
 from repro.core.profiler import ProfilingResult, profile_layer_stacks
 from repro.core.rank_tracker import RankTracker
 from repro.profiling.roofline import DeviceSpec, V100
+from repro.train.methods import ExperimentContext, Method, MethodResult, low_rank_ratios, register_method
 from repro.train.trainer import Callback, Trainer
 from repro.utils import get_logger
 
@@ -258,8 +259,53 @@ class CuttlefishCallback(Callback):
         if config.frobenius_decay is not None:
             self._frobenius = FrobeniusDecay(config.frobenius_decay)
             self._frobenius.configure_optimizer(trainer.optimizer, trainer.model)
-            trainer.grad_hook = self._frobenius
+            trainer.add_grad_hook(self._frobenius)
         logs["cuttlefish_switch_epoch"] = float(self.manager.report.switch_epoch or -1)
+
+
+@register_method("cuttlefish")
+class CuttlefishMethod(Method):
+    """Registered-method adapter: automated (Ê, K̂, R) selection (Algorithm 1)."""
+
+    description = "automated low-rank training: Cuttlefish selects (E, K, R) on the fly"
+    uses_label_smoothing = True
+
+    def __init__(self, cuttlefish_config: Optional[CuttlefishConfig] = None):
+        self.config = cuttlefish_config
+        self.manager: Optional[CuttlefishManager] = None
+
+    def prepare(self, model: nn.Module, context: ExperimentContext) -> nn.Module:
+        epochs = context.config.epochs
+        config = self.config or CuttlefishConfig(
+            min_full_rank_epochs=2,
+            max_full_rank_epochs=max(epochs // 2, 2),
+            profile_mode="none",
+        )
+        self.manager = CuttlefishManager(model, config=config)
+        # The Algorithm-2 K decision is taken on the paper-scale reference
+        # model when the harness provides one (see DESIGN.md).
+        if context.reference_profiler is not None:
+            reference_result = context.reference_profiler()
+            if reference_result is not None:
+                self.manager.apply_profiling_result(reference_result)
+        return model
+
+    def callbacks(self) -> List[Callback]:
+        return [CuttlefishCallback(self.manager)]
+
+    def finalize(self, context: ExperimentContext) -> MethodResult:
+        result = super().finalize(context)
+        report = self.manager.report
+        epochs_full = float(report.switch_epoch or context.config.epochs)
+        result.epochs_full = epochs_full
+        result.epochs_low = context.config.epochs - epochs_full
+        result.rank_ratios = low_rank_ratios(context.model)
+        result.extra = {
+            "switch_epoch": float(report.switch_epoch or -1),
+            "k_hat": float(report.k_hat or -1),
+            "compression": report.compression_ratio,
+        }
+        return result
 
 
 def train_cuttlefish(

@@ -16,18 +16,38 @@ from repro.train.metrics import (
     spearman_correlation,
     top_k_accuracy,
 )
+from repro.train.methods import (
+    ExperimentContext,
+    Method,
+    MethodResult,
+    available_methods,
+    build_method,
+    low_rank_ratios,
+    method_descriptions,
+    register_method,
+)
 from repro.train.trainer import Callback, EpochRecord, Trainer, default_forward_fn, default_loss_fn
 
 _LAZY_EXPERIMENT_EXPORTS = {
     "ExperimentRow",
+    "ExperimentSpec",
     "VisionExperimentConfig",
     "format_rows",
+    "run_experiment",
     "run_vision_method",
     "reference_profiling",
     "projected_training_hours",
 }
 
 __all__ = [
+    "ExperimentContext",
+    "Method",
+    "MethodResult",
+    "available_methods",
+    "build_method",
+    "low_rank_ratios",
+    "method_descriptions",
+    "register_method",
     "AverageMeter",
     "accuracy",
     "classification_metric",

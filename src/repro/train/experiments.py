@@ -6,8 +6,13 @@ XNOR-Net, LC, GraSP, EB-Train, Cuttlefish) each reported as
 
     (# params, validation accuracy, end-to-end time)
 
-``run_vision_method`` runs one (task, model, method) cell at the configured
-compute budget and returns an :class:`ExperimentRow`.
+``run_experiment`` runs one (task, model, method) cell at the configured
+compute budget and returns an :class:`ExperimentRow`.  The method is built by
+name from the unified registry (``repro.train.methods``) — there is no
+per-method dispatch here; each registered :class:`~repro.train.methods.Method`
+contributes its transforms, callbacks and hooks through the shared lifecycle,
+and the projection/reporting logic below is composed exactly once.
+``run_vision_method`` is the legacy spelling, kept as a thin wrapper.
 
 Scale split
 -----------
@@ -27,43 +32,23 @@ Both substitutions are documented in DESIGN.md.
 
 from __future__ import annotations
 
-import contextlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro import nn
-from repro.baselines import (
-    EarlyBirdConfig,
-    GraSPConfig,
-    IMPConfig,
-    LCConfig,
-    PufferfishConfig,
-    SIFDConfig,
-    convert_to_xnor,
-    effective_parameter_fraction,
-    train_early_bird,
-    train_grasp,
-    train_imp,
-    train_lc_compression,
-    train_pufferfish,
-    train_si_fd,
-)
 from repro.core import (
-    CuttlefishCallback,
-    CuttlefishConfig,
-    CuttlefishManager,
     ProfilingResult,
     factorize_model,
     full_rank_of,
-    is_low_rank,
     profile_layer_stacks,
 )
 from repro.data import DataLoader, make_vision_task
 from repro.models import build_model
 from repro.optim import SGD, build_paper_cifar_schedule
 from repro.profiling import V100, DeviceSpec, predict_iteration_time
+from repro.train.methods import ExperimentContext, build_method
 from repro.train.trainer import Trainer
 from repro.utils import get_logger, get_rng, seed_everything
 
@@ -122,6 +107,21 @@ class VisionExperimentConfig:
     reference_image_size: int = 32
     reference_batch: int = 2
     use_reference_profiling: bool = True
+    profile_rank_ratio: float = 0.25         # ρ̄ used by the Algorithm-2 probe
+    profile_speedup_threshold: float = 1.5   # υ
+
+
+@dataclass
+class ExperimentSpec:
+    """One (method, budget) cell of a comparison table.
+
+    ``method_kwargs`` are passed to the method's constructor; unknown keys
+    raise ``ValueError`` (see :func:`repro.train.methods.build_method`).
+    """
+
+    method: str
+    config: Optional[VisionExperimentConfig] = None
+    method_kwargs: Dict[str, Any] = field(default_factory=dict)
 
 
 # --------------------------------------------------------------------------- #
@@ -156,6 +156,12 @@ def _build_optimizer(model: nn.Module, config: VisionExperimentConfig) -> SGD:
     return optimizer
 
 
+def _build_scheduler(optimizer: SGD, config: VisionExperimentConfig):
+    return build_paper_cifar_schedule(optimizer, config.epochs, config.peak_lr,
+                                      start_lr=config.peak_lr / 8,
+                                      warmup_epochs=config.warmup_epochs)
+
+
 def _reference_input(config: VisionExperimentConfig) -> np.ndarray:
     rng = get_rng(offset=777)
     size = config.reference_image_size
@@ -169,7 +175,9 @@ _REFERENCE_PROFILE_CACHE: Dict[Tuple, ProfilingResult] = {}
 def reference_profiling(config: VisionExperimentConfig, num_classes: int) -> Optional[ProfilingResult]:
     """Run Algorithm 2 on the paper-scale reference model (roofline, paper batch)."""
     key = (config.model, config.reference_width_mult, config.reference_image_size,
-           config.paper_batch_size, config.device.name, num_classes, config.small_input)
+           config.paper_batch_size, config.reference_batch, config.device.name,
+           num_classes, config.small_input,
+           config.profile_rank_ratio, config.profile_speedup_threshold)
     if key in _REFERENCE_PROFILE_CACHE:
         return _REFERENCE_PROFILE_CACHE[key]
     reference = _build_model(config, num_classes, width_mult=config.reference_width_mult)
@@ -180,25 +188,12 @@ def reference_profiling(config: VisionExperimentConfig, num_classes: int) -> Opt
     batch_scale = config.paper_batch_size / len(example_input)
     result = profile_layer_stacks(
         reference, reference.layer_stack_paths(), (example_input, labels),
+        rank_ratio=config.profile_rank_ratio,
+        speedup_threshold=config.profile_speedup_threshold,
         mode="roofline", device=config.device, batch_scale=batch_scale,
     )
     _REFERENCE_PROFILE_CACHE[key] = result
     return result
-
-
-def _rank_ratios_of(model: nn.Module) -> Dict[str, float]:
-    """Per-path rank ratio of every factorized layer of a trained (reduced) model."""
-    ratios: Dict[str, float] = {}
-    for name, module in model.named_modules():
-        if not name or not is_low_rank(module):
-            continue
-        if hasattr(module, "kernel_size"):
-            full = min(module.in_channels * module.kernel_size[0] * module.kernel_size[1],
-                       module.out_channels)
-        else:
-            full = min(module.in_features, module.out_features)
-        ratios[name] = module.rank / max(full, 1)
-    return ratios
 
 
 def projected_training_hours(config: VisionExperimentConfig, num_classes: int,
@@ -234,176 +229,80 @@ def projected_training_hours(config: VisionExperimentConfig, num_classes: int,
 
 
 # --------------------------------------------------------------------------- #
-# Methods
+# The generic experiment runner
 # --------------------------------------------------------------------------- #
-def run_vision_method(method: str, config: Optional[VisionExperimentConfig] = None,
-                      **method_kwargs) -> ExperimentRow:
-    """Run one method on one vision task and return its comparison-table row.
+def run_experiment(spec: ExperimentSpec) -> ExperimentRow:
+    """Run one registered method on one vision task; return its table row.
 
-    ``method`` is one of ``full_rank``, ``cuttlefish``, ``pufferfish``,
-    ``si_fd``, ``imp``, ``xnor``, ``lc``, ``grasp``, ``early_bird``.
+    The lifecycle is identical for every method (see
+    :class:`repro.train.methods.Method`): build → prepare → optimizer/
+    scheduler → configure → trainer → execute → finalize, after which the
+    paper-scale roofline projection prices the reported time column.
     """
-    config = config or VisionExperimentConfig()
+    config = spec.config or VisionExperimentConfig()
+    # Fail fast — before any training — on unknown names or misspelled kwargs.
+    method = build_method(spec.method, **spec.method_kwargs)
+
     seed_everything(config.seed)
-    train_loader, val_loader, spec = _build_task(config)
-    model = _build_model(config, spec.num_classes)
-    full_rank_params = model.num_parameters()
-    common = dict(max_batches_per_epoch=config.max_batches_per_epoch)
-    epochs_full, epochs_low = float(config.epochs), 0.0
-    extra: Dict[str, float] = {}
-    overhead = 1.0
+    train_loader, val_loader, task_spec = _build_task(config)
+    model = _build_model(config, task_spec.num_classes)
+    context = ExperimentContext(
+        config=config,
+        task_spec=task_spec,
+        train_loader=train_loader,
+        val_loader=val_loader,
+        full_rank_params=model.num_parameters(),
+        optimizer_factory=lambda m: _build_optimizer(m, config),
+        scheduler_factory=lambda opt: _build_scheduler(opt, config),
+    )
+    if config.use_reference_profiling:
+        context.reference_profiler = lambda: reference_profiling(config, task_spec.num_classes)
 
-    optimizer = _build_optimizer(model, config)
-    scheduler = build_paper_cifar_schedule(optimizer, config.epochs, config.peak_lr,
-                                           start_lr=config.peak_lr / 8,
-                                           warmup_epochs=config.warmup_epochs)
+    context.model = method.prepare(model, context)
+    context.optimizer = context.optimizer_factory(context.model)
+    context.scheduler = context.scheduler_factory(context.optimizer) if method.uses_scheduler else None
+    method.configure(context)
+    context.trainer = Trainer(
+        context.model, context.optimizer, train_loader, val_loader,
+        scheduler=context.scheduler,
+        callbacks=method.callbacks(),
+        loss_hook=method.loss_hook(),
+        grad_hook=method.grad_hook(),
+        label_smoothing=config.label_smoothing if method.uses_label_smoothing else 0.0,
+        max_batches_per_epoch=config.max_batches_per_epoch,
+    )
+    method.execute(context)
+    result = method.finalize(context)
 
-    if method == "full_rank":
-        trainer = Trainer(model, optimizer, train_loader, val_loader, scheduler=scheduler,
-                          label_smoothing=config.label_smoothing, **common)
-        trainer.fit(config.epochs)
-        accuracy = trainer.final_val_accuracy()
-        wallclock = trainer.total_train_seconds
-        params = model.num_parameters()
-
-    elif method == "cuttlefish":
-        cf_config = method_kwargs.pop("cuttlefish_config", None) or CuttlefishConfig(
-            min_full_rank_epochs=2,
-            max_full_rank_epochs=max(config.epochs // 2, 2),
-            profile_mode="none",
-        )
-        manager = CuttlefishManager(model, config=cf_config)
-        if config.use_reference_profiling:
-            reference_result = reference_profiling(config, spec.num_classes)
-            if reference_result is not None:
-                manager.apply_profiling_result(reference_result)
-        callback = CuttlefishCallback(manager)
-        trainer = Trainer(model, optimizer, train_loader, val_loader, scheduler=scheduler,
-                          callbacks=[callback], label_smoothing=config.label_smoothing, **common)
-        trainer.fit(config.epochs)
-        report = manager.report
-        epochs_full = float(report.switch_epoch or config.epochs)
-        epochs_low = config.epochs - epochs_full
-        extra = {"switch_epoch": float(report.switch_epoch or -1), "k_hat": float(report.k_hat or -1),
-                 "compression": report.compression_ratio}
-        accuracy = trainer.final_val_accuracy()
-        wallclock = trainer.total_train_seconds
-        params = model.num_parameters()
-
-    elif method == "pufferfish":
-        pf_config = method_kwargs.pop("pufferfish_config", None) or PufferfishConfig(
-            full_rank_epochs=max(config.epochs // 2, 1), rank_ratio=0.25)
-        trainer, report = train_pufferfish(model, optimizer, train_loader, val_loader,
-                                           epochs=config.epochs, config=pf_config,
-                                           scheduler=scheduler,
-                                           label_smoothing=config.label_smoothing, **common)
-        epochs_full = float(report.switch_epoch or config.epochs)
-        epochs_low = config.epochs - epochs_full
-        extra = {"switch_epoch": float(report.switch_epoch or -1), "compression": report.compression_ratio}
-        accuracy = trainer.final_val_accuracy()
-        wallclock = trainer.total_train_seconds
-        params = model.num_parameters()
-
-    elif method == "si_fd":
-        sf_config = method_kwargs.pop("si_fd_config", None) or SIFDConfig(rank_ratio=0.2)
-        trainer, report = train_si_fd(model, optimizer, train_loader, val_loader,
-                                      epochs=config.epochs, config=sf_config,
-                                      scheduler=scheduler, **common)
-        epochs_full, epochs_low = 0.0, float(config.epochs)
-        extra = {"compression": report.compression_ratio}
-        accuracy = trainer.final_val_accuracy()
-        wallclock = trainer.total_train_seconds
-        params = model.num_parameters()
-
-    elif method == "lc":
-        lc_config = method_kwargs.pop("lc_config", None) or LCConfig()
-        trainer, report = train_lc_compression(model, optimizer, train_loader, val_loader,
-                                               epochs=config.epochs, config=lc_config,
-                                               scheduler=scheduler, **common)
-        extra = {"compression": report.compression_ratio, "c_steps": float(report.c_steps)}
-        # LC's alternating optimisation adds an SVD of every layer each epoch and
-        # the quadratic-penalty term each iteration: far slower end to end.
-        overhead = 8.0
-        accuracy = trainer.final_val_accuracy()
-        wallclock = trainer.total_train_seconds
-        params = model.num_parameters()
-
-    elif method == "imp":
-        imp_config = method_kwargs.pop("imp_config", None) or IMPConfig(
-            rounds=2, epochs_per_round=max(config.epochs // 2, 1))
-        def optimizer_factory(m):
-            return _build_optimizer(m, config)
-        model, report = train_imp(model, optimizer_factory, train_loader, val_loader,
-                                  config=imp_config,
-                                  max_batches_per_epoch=config.max_batches_per_epoch)
-        overhead = float(imp_config.rounds)
-        extra = {"sparsity": report.final_sparsity, "rounds": float(imp_config.rounds)}
-        accuracy = report.val_accuracy_per_round[-1]
-        wallclock = report.total_seconds
-        params = report.effective_parameters
-
-    elif method == "xnor":
-        first_conv = "conv1" if hasattr(model, "conv1") else None
-        skip = [p for p in [first_conv, "fc", "classifier", "head"] if p]
-        convert_to_xnor(model, skip_paths=skip)
-        optimizer = _build_optimizer(model, config)
-        trainer = Trainer(model, optimizer, train_loader, val_loader, scheduler=None, **common)
-        trainer.fit(config.epochs)
-        extra = {"effective_bits_fraction": effective_parameter_fraction()}
-        # The paper's FP32 simulation of binarisation re-binarises weights and
-        # activations every iteration, ~3-4× slower than dense training.
-        overhead = 3.5
-        accuracy = trainer.final_val_accuracy()
-        wallclock = trainer.total_train_seconds
-        params = model.num_parameters()
-
-    elif method == "grasp":
-        gr_config = method_kwargs.pop("grasp_config", None) or GraSPConfig(sparsity=0.5)
-        trainer, report = train_grasp(model, optimizer, train_loader, val_loader,
-                                      epochs=config.epochs, config=gr_config,
-                                      scheduler=scheduler, **common)
-        extra = {"sparsity": report.sparsity}
-        accuracy = trainer.final_val_accuracy()
-        wallclock = trainer.total_train_seconds
-        params = report.remaining_parameters
-
-    elif method == "early_bird":
-        eb_config = method_kwargs.pop("early_bird_config", None) or EarlyBirdConfig()
-        trainer, report = train_early_bird(model, optimizer, train_loader, val_loader,
-                                           epochs=config.epochs, config=eb_config,
-                                           scheduler=scheduler, **common)
-        extra = {"channel_sparsity": report.channel_sparsity,
-                 "ticket_epoch": float(report.ticket_epoch or -1)}
-        # Structured channel pruning speeds up the post-ticket epochs roughly
-        # quadratically in the kept-channel fraction.
-        if report.ticket_epoch is not None:
-            kept = 1.0 - report.channel_sparsity
-            post = config.epochs - report.ticket_epoch
-            epochs_full = float(report.ticket_epoch) + post * kept * kept
-            epochs_low = 0.0
-        accuracy = trainer.final_val_accuracy()
-        wallclock = trainer.total_train_seconds
-        params = report.effective_parameters or model.num_parameters()
-
-    else:
-        raise KeyError(f"unknown method {method!r}")
-
-    rank_ratios = _rank_ratios_of(model) if method in ("cuttlefish", "pufferfish", "si_fd", "lc") else None
-    projected = projected_training_hours(config, spec.num_classes, rank_ratios,
-                                         epochs_full, epochs_low, overhead_multiplier=overhead)
-    full_rank_projected = projected_training_hours(config, spec.num_classes, None,
+    projected = projected_training_hours(config, task_spec.num_classes, result.rank_ratios,
+                                         result.epochs_full, result.epochs_low,
+                                         overhead_multiplier=result.overhead_multiplier)
+    full_rank_projected = projected_training_hours(config, task_spec.num_classes, None,
                                                    float(config.epochs), 0.0)
-    params_fraction = effective_parameter_fraction() if method == "xnor" else params / full_rank_params
+    params_fraction = (result.params_fraction if result.params_fraction is not None
+                       else result.params / max(context.full_rank_params, 1))
     return ExperimentRow(
-        method=method,
-        params=params,
+        method=spec.method,
+        params=result.params,
         params_fraction=params_fraction,
-        val_accuracy=accuracy,
-        wallclock_seconds=wallclock,
+        val_accuracy=result.accuracy,
+        wallclock_seconds=result.wallclock_seconds,
         projected_gpu_hours=projected,
         speedup_vs_full_rank=full_rank_projected / max(projected, 1e-12),
-        extra=extra,
+        extra=result.extra,
     )
+
+
+def run_vision_method(method: str, config: Optional[VisionExperimentConfig] = None,
+                      **method_kwargs) -> ExperimentRow:
+    """Legacy entry point: ``run_experiment`` with positional spelling.
+
+    ``method`` is any name in :func:`repro.train.methods.available_methods`.
+    Unknown method names raise ``KeyError``; unknown ``method_kwargs`` raise
+    ``ValueError`` naming the offending keys.
+    """
+    return run_experiment(ExperimentSpec(method=method, config=config,
+                                         method_kwargs=method_kwargs))
 
 
 def format_rows(rows, float_digits: int = 4) -> str:

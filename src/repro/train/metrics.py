@@ -108,7 +108,9 @@ class AverageMeter:
 
     @property
     def average(self) -> float:
-        return self.total / max(self.count, 1)
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
 
     def reset(self) -> None:
         self.total = 0.0

@@ -3,11 +3,17 @@
 The Cuttlefish algorithm (and several baselines: EB-Train, IMP, LC) is a
 *training-time* transformation — it watches the model between epochs and may
 replace layers, rebuild optimizer state or adjust the learning rate.  The
-:class:`Trainer` therefore exposes a small callback protocol:
+:class:`Trainer` therefore exposes a small callback protocol at two
+granularities:
 
-* ``callback.on_epoch_end(trainer, epoch, logs)`` is invoked after every epoch
-  with the accumulated logs; callbacks may mutate ``trainer.model`` and
-  ``trainer.optimizer``.
+* epoch level — ``on_train_begin``, ``on_epoch_end(trainer, epoch, logs)``
+  and ``on_train_end``; callbacks may mutate ``trainer.model`` and
+  ``trainer.optimizer`` between epochs;
+* step level — ``on_batch_begin(trainer, batch_index, batch)`` and
+  ``on_batch_end(trainer, batch_index, logs)`` around every optimizer step,
+  and ``on_evaluate_end(trainer, logs)`` after each validation pass, so
+  per-iteration work (XNOR re-binarisation accounting, LC's penalty
+  bookkeeping) lives in callbacks instead of special-cased loops.
 
 This keeps the training loop itself free of any Cuttlefish-specific logic and
 identical across the full-rank baseline and every low-rank method.
@@ -32,9 +38,18 @@ logger = get_logger("train")
 
 
 class Callback:
-    """Base class for epoch-level hooks."""
+    """Base class for epoch- and step-level training hooks."""
 
     def on_train_begin(self, trainer: "Trainer") -> None:
+        pass
+
+    def on_batch_begin(self, trainer: "Trainer", batch_index: int, batch) -> None:
+        pass
+
+    def on_batch_end(self, trainer: "Trainer", batch_index: int, logs: Dict[str, float]) -> None:
+        pass
+
+    def on_evaluate_end(self, trainer: "Trainer", logs: Dict[str, float]) -> None:
         pass
 
     def on_epoch_end(self, trainer: "Trainer", epoch: int, logs: Dict[str, float]) -> None:
@@ -121,13 +136,18 @@ class Trainer:
         self.label_smoothing = label_smoothing
         self.loss_hook = loss_hook
         self.grad_hook = grad_hook
+        self._added_grad_hooks: List[Callable] = []
         self.max_batches_per_epoch = max_batches_per_epoch
         self.history: List[EpochRecord] = []
         self.total_train_seconds = 0.0
+        # Logits of the most recent training batch, recorded by the default
+        # loss path so train_epoch can report a real running accuracy.
+        self._last_train_logits: Optional[Tensor] = None
 
         if loss_fn is None:
             def loss_fn(model, batch):
                 logits = model(batch[0])
+                self._last_train_logits = logits
                 return F.cross_entropy(logits, batch[-1], label_smoothing=self.label_smoothing)
         self.loss_fn = loss_fn
         self.forward_fn = forward_fn or default_forward_fn
@@ -141,6 +161,9 @@ class Trainer:
         for batch_index, batch in enumerate(self.train_loader):
             if self.max_batches_per_epoch is not None and batch_index >= self.max_batches_per_epoch:
                 break
+            for callback in self.callbacks:
+                callback.on_batch_begin(self, batch_index, batch)
+            self._last_train_logits = None
             loss = self.loss_fn(self.model, batch)
             if self.loss_hook is not None:
                 extra = self.loss_hook(self.model)
@@ -153,9 +176,32 @@ class Trainer:
             self.optimizer.step()
             batch_size = len(batch[-1])
             loss_meter.update(loss.item(), batch_size)
-            # Cheap running accuracy from the training logits when available.
-            acc_meter.update(0.0, 0)
+            batch_accuracy = self._batch_accuracy(batch)
+            if batch_accuracy is not None:
+                acc_meter.update(batch_accuracy, batch_size)
+            batch_logs = {"loss": loss.item()}
+            if batch_accuracy is not None:
+                batch_logs["accuracy"] = batch_accuracy
+            for callback in self.callbacks:
+                callback.on_batch_end(self, batch_index, batch_logs)
+        self._last_train_logits = None
         return {"loss": loss_meter.average, "accuracy": acc_meter.average}
+
+    def _batch_accuracy(self, batch) -> Optional[float]:
+        """Running top-1 accuracy from the training logits, when they apply.
+
+        Only the default loss path records logits, and only plain
+        ``(N, C)`` classification batches are scored — custom losses (MLM,
+        distillation) and non-integer targets report no train accuracy.
+        """
+        logits = self._last_train_logits
+        if logits is None or logits.data.ndim != 2:
+            return None
+        labels = np.asarray(batch[-1])
+        if labels.ndim != 1 or len(labels) != len(logits.data) \
+                or not np.issubdtype(labels.dtype, np.integer):
+            return None
+        return top_k_accuracy(logits.data, labels, k=1)
 
     @no_grad()
     def evaluate(self, loader: Optional[DataLoader] = None) -> Dict[str, float]:
@@ -196,6 +242,8 @@ class Trainer:
             val_stats: Dict[str, float] = {}
             if self.val_loader is not None and (epoch + 1) % evaluate_every == 0:
                 val_stats = self.evaluate()
+                for callback in self.callbacks:
+                    callback.on_evaluate_end(self, val_stats)
 
             record = EpochRecord(
                 epoch=epoch,
@@ -236,6 +284,29 @@ class Trainer:
     def final_val_accuracy(self) -> float:
         accs = [r.val_accuracy for r in self.history if r.val_accuracy is not None]
         return accs[-1] if accs else float("nan")
+
+    def add_grad_hook(self, hook: Callable[[nn.Module], None]) -> None:
+        """Compose ``hook`` after any grad hook already installed.
+
+        Callbacks that install gradient hooks at runtime (LC's L-step pull,
+        EB-Train's mask enforcement, Cuttlefish's Frobenius decay) must not
+        clobber a hook the method contributed through the lifecycle.
+        Adding the same hook twice is a no-op, so callbacks firing again on a
+        resumed ``fit`` don't stack duplicate copies.
+        """
+        if hook in self._added_grad_hooks:
+            return
+        self._added_grad_hooks.append(hook)
+        existing = self.grad_hook
+        if existing is None:
+            self.grad_hook = hook
+            return
+
+        def chained(model: nn.Module) -> None:
+            existing(model)
+            hook(model)
+
+        self.grad_hook = chained
 
     def rebuild_optimizer_params(self) -> None:
         """Point the optimizer at the model's *current* parameters.

@@ -6,6 +6,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.train.methods import available_methods
 
 
 def _run(argv):
@@ -36,6 +37,26 @@ class TestParser:
     def test_compare_accepts_multiple_methods(self):
         args = build_parser().parse_args(["compare", "--methods", "full_rank", "pufferfish"])
         assert args.methods == ["full_rank", "pufferfish"]
+
+    def test_train_accepts_every_registered_method(self):
+        for method in available_methods():
+            args = build_parser().parse_args(["train", "--method", method])
+            assert args.method == method
+
+
+class TestListMethodsCommand:
+    def test_table_lists_all_methods(self):
+        code, out = _run(["list-methods"])
+        assert code == 0
+        for method in available_methods():
+            assert method in out
+
+    def test_json_maps_names_to_descriptions(self):
+        code, out = _run(["list-methods", "--json"])
+        assert code == 0
+        payload = json.loads(out)
+        assert sorted(payload) == available_methods()
+        assert all(isinstance(text, str) and text for text in payload.values())
 
 
 class TestProfileCommand:
@@ -78,6 +99,18 @@ class TestTrainCommand:
         assert code == 0
         assert "cuttlefish" in out
         assert "params" in out  # table header
+
+    @pytest.mark.parametrize("method", sorted(set(available_methods())
+                                              - {"full_rank", "cuttlefish"}))
+    def test_smoke_every_registered_method(self, method):
+        code, out = _run([
+            "train", "--method", method, "--epochs", "2", "--max-batches", "2",
+            "--width-mult", "0.125", "--json",
+        ])
+        assert code == 0
+        rows = json.loads(out)
+        assert len(rows) == 1 and rows[0]["method"] == method
+        assert rows[0]["params"] > 0
 
 
 class TestCompareCommand:

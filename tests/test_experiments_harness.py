@@ -93,6 +93,17 @@ class TestReferenceProfiling:
         second = reference_profiling(config, num_classes=10)
         assert first is second
 
+    def test_cache_distinguishes_probe_rank_ratio_and_threshold(self):
+        """Ablations that vary rho-bar / upsilon must not reuse a stale K decision."""
+        base = reference_profiling(_tiny_config(), num_classes=10)
+        other_ratio = reference_profiling(_tiny_config(profile_rank_ratio=0.5), num_classes=10)
+        other_threshold = reference_profiling(
+            _tiny_config(profile_speedup_threshold=4.0), num_classes=10)
+        assert other_ratio is not base
+        assert other_threshold is not base
+        # A stricter threshold can only shrink the set of factorized stacks.
+        assert set(other_threshold.factorize_stacks) <= set(base.factorize_stacks)
+
 
 class TestFormatting:
     def test_format_rows_contains_headers_and_methods(self):

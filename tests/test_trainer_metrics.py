@@ -139,6 +139,69 @@ class TestTrainer:
                 callbacks=[Recorder()]).fit(2)
         assert events == ["begin", "epoch0", "epoch1", "end"]
 
+    def test_step_level_callback_ordering(self):
+        events = []
+
+        class Recorder(Callback):
+            def on_train_begin(self, trainer):
+                events.append("begin")
+            def on_batch_begin(self, trainer, batch_index, batch):
+                events.append(f"batch_begin{batch_index}")
+            def on_batch_end(self, trainer, batch_index, logs):
+                assert "loss" in logs
+                events.append(f"batch_end{batch_index}")
+            def on_evaluate_end(self, trainer, logs):
+                assert "accuracy" in logs
+                events.append("evaluate_end")
+            def on_epoch_end(self, trainer, epoch, logs):
+                events.append(f"epoch_end{epoch}")
+            def on_train_end(self, trainer):
+                events.append("end")
+
+        train_loader, val_loader = toy_loaders(n=64)
+        model = MLP(10, [8], 3)
+        Trainer(model, SGD(model.parameters(), lr=0.1), train_loader, val_loader,
+                callbacks=[Recorder()], max_batches_per_epoch=2).fit(2)
+        per_epoch = ["batch_begin0", "batch_end0", "batch_begin1", "batch_end1", "evaluate_end"]
+        assert events == (["begin"] + per_epoch + ["epoch_end0"]
+                          + per_epoch + ["epoch_end1"] + ["end"])
+
+    def test_step_callbacks_see_batch_accuracy_on_default_loss_path(self):
+        batch_logs = []
+
+        class Recorder(Callback):
+            def on_batch_end(self, trainer, batch_index, logs):
+                batch_logs.append(logs)
+
+        train_loader, _ = toy_loaders(n=64)
+        model = MLP(10, [8], 3)
+        Trainer(model, SGD(model.parameters(), lr=0.1), train_loader,
+                callbacks=[Recorder()]).fit(1)
+        assert all("accuracy" in logs for logs in batch_logs)
+
+    def test_train_accuracy_is_real_on_default_loss_path(self):
+        train_loader, val_loader = toy_loaders()
+        model = MLP(10, [32], 3)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.2, momentum=0.9),
+                          train_loader, val_loader)
+        history = trainer.fit(6)
+        # A separable toy task: the running train accuracy must move well away
+        # from the constant 0.0 the old loop reported, and end near the val acc.
+        assert history[-1].train_accuracy > 0.6
+        assert history[-1].train_accuracy > history[0].train_accuracy - 0.05
+        assert 0.0 <= history[-1].train_accuracy <= 1.0
+
+    def test_train_accuracy_absent_for_custom_loss(self):
+        train_loader, _ = toy_loaders(n=64)
+        model = MLP(10, [8], 3)
+        def custom_loss(m, batch):
+            return F.cross_entropy(m(batch[0]), batch[-1])
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1), train_loader,
+                          loss_fn=custom_loss)
+        history = trainer.fit(1)
+        # No logits recorded -> the accuracy meter never updates and reports 0.
+        assert history[-1].train_accuracy == 0.0
+
     def test_loss_hook_adds_penalty(self):
         train_loader, _ = toy_loaders(n=64)
         model = MLP(10, [8], 3)
@@ -148,6 +211,19 @@ class TestTrainer:
             return None
         Trainer(model, SGD(model.parameters(), lr=0.1), train_loader, loss_hook=hook).fit(1)
         assert len(calls) == len(train_loader)
+
+    def test_add_grad_hook_composes_instead_of_clobbering(self):
+        train_loader, _ = toy_loaders(n=64)
+        model = MLP(10, [8], 3)
+        calls = []
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1), train_loader,
+                          grad_hook=lambda m: calls.append("first"),
+                          max_batches_per_epoch=1)
+        second = lambda m: calls.append("second")
+        trainer.add_grad_hook(second)
+        trainer.add_grad_hook(second)   # re-entrant fit must not stack duplicates
+        trainer.fit(1)
+        assert calls == ["first", "second"]
 
     def test_grad_hook_can_zero_gradients(self):
         train_loader, _ = toy_loaders(n=64)
