@@ -1,0 +1,217 @@
+"""Training-step throughput microbenchmark across execution backends.
+
+Measures steps/sec for a ResNet cell (resnet18 at the CPU-budget width) and
+a DeiT cell (deit_micro) on every registered tensor backend, plus — when the
+git history is available — the original *seed engine* (the pre-backend,
+closure-based autograd), extracted from the commit that introduced
+``src/repro/tensor/tensor.py`` and benchmarked in a subprocess.
+
+Every measurement runs in its own subprocess so allocator state, imports and
+BLAS warm-up cannot leak between engines.  Results are printed as a table
+and written as JSON to ``benchmarks/output/throughput.json``.
+
+Usage::
+
+    python benchmarks/bench_throughput.py                 # full run
+    python benchmarks/bench_throughput.py --tiny          # CI smoke (2 steps)
+    python benchmarks/bench_throughput.py --no-seed-engine
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tarfile
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_PATH = os.path.join(REPO_ROOT, "src")
+OUTPUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "output")
+
+CELLS = {
+    "resnet": dict(model="resnet18", width_mult=0.125, batch=32, image=32,
+                   classes=10, optimizer="sgd"),
+    "deit": dict(model="deit_micro", width_mult=None, batch=8, image=16,
+                 classes=8, optimizer="adamw"),
+}
+
+
+# --------------------------------------------------------------------------- #
+# Subprocess worker: one (cell, engine) measurement
+# --------------------------------------------------------------------------- #
+def _run_cell(cell: str, backend: str, steps: int) -> None:
+    """Executed in a subprocess; prints a JSON result on stdout."""
+    import numpy as np
+
+    from repro.utils import seed_everything
+    from repro.models import build_model
+    from repro.tensor import functional as F
+
+    spec = CELLS[cell]
+    seed_everything(0)
+    kwargs = {"num_classes": spec["classes"]}
+    if spec["width_mult"] is not None:
+        kwargs["width_mult"] = spec["width_mult"]
+    model = build_model(spec["model"], **kwargs)
+
+    if spec["optimizer"] == "sgd":
+        from repro.optim import SGD
+        optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=5e-3)
+    else:
+        from repro.optim import AdamW
+        optimizer = AdamW(model.parameters(), lr=1e-3, weight_decay=0.01)
+
+    if backend != "seed":
+        from repro.tensor import set_backend
+        set_backend(backend)
+
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((spec["batch"], 3, spec["image"], spec["image"])).astype(np.float32)
+    y = rng.integers(0, spec["classes"], size=spec["batch"])
+
+    def step():
+        optimizer.zero_grad()
+        loss = F.cross_entropy(model(x), y)
+        loss.backward()
+        optimizer.step()
+        return float(loss.data)
+
+    step()
+    step()  # warm-up: allocator, BLAS threads, im2col caches
+    start = time.perf_counter()
+    final_loss = 0.0
+    for _ in range(steps):
+        final_loss = step()
+    elapsed = time.perf_counter() - start
+    print(json.dumps({
+        "cell": cell,
+        "backend": backend,
+        "steps": steps,
+        "steps_per_sec": steps / elapsed,
+        "final_loss": final_loss,
+    }))
+
+
+def _measure(cell: str, backend: str, steps: int, pythonpath: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = pythonpath
+    result = subprocess.run(
+        [sys.executable, os.path.abspath(__file__),
+         "--_run-cell", cell, "--_backend", backend, "--steps", str(steps)],
+        capture_output=True, text=True, env=env, timeout=1800,
+    )
+    if result.returncode != 0:
+        raise RuntimeError(f"worker failed for {cell}/{backend}:\n{result.stderr[-2000:]}")
+    return json.loads(result.stdout.strip().splitlines()[-1])
+
+
+# --------------------------------------------------------------------------- #
+# Seed-engine extraction
+# --------------------------------------------------------------------------- #
+def _extract_seed_engine(tmpdir: str) -> str:
+    """Materialise the seed commit's ``src/`` tree; return its PYTHONPATH."""
+    commit = subprocess.run(
+        ["git", "-C", REPO_ROOT, "log", "--follow", "--diff-filter=A",
+         "--format=%H", "--", "src/repro/tensor/tensor.py"],
+        capture_output=True, text=True, check=True,
+    ).stdout.split()[-1]
+    archive = os.path.join(tmpdir, "seed.tar")
+    with open(archive, "wb") as handle:
+        subprocess.run(["git", "-C", REPO_ROOT, "archive", commit, "src"],
+                       stdout=handle, check=True)
+    with tarfile.open(archive) as tar:
+        tar.extractall(tmpdir)
+    seed_src = os.path.join(tmpdir, "src")
+    # On a shallow clone, git treats the grafted boundary commit as adding
+    # every file and the "seed" would silently be the current engine.
+    if os.path.exists(os.path.join(seed_src, "repro", "tensor", "backend.py")):
+        raise RuntimeError("history is truncated (shallow clone?): extracted "
+                           "tree already contains the backend engine")
+    if not os.path.exists(os.path.join(seed_src, "repro", "tensor", "tensor.py")):
+        raise RuntimeError("extracted seed tree is missing the tensor engine")
+    return seed_src
+
+
+# --------------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--steps", type=int, default=None,
+                        help="timed steps per measurement (default 12, tiny 2)")
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke mode: 2 timed steps per cell")
+    parser.add_argument("--cells", nargs="+", default=list(CELLS), choices=list(CELLS))
+    parser.add_argument("--backends", nargs="+", default=["numpy", "numpy-fast"])
+    parser.add_argument("--no-seed-engine", action="store_true",
+                        help="skip the historical seed-engine baseline")
+    parser.add_argument("--json-path", default=os.path.join(OUTPUT_DIR, "throughput.json"))
+    # Internal: subprocess worker mode.
+    parser.add_argument("--_run-cell", dest="run_cell", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--_backend", dest="run_backend", default=None, help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    steps = args.steps if args.steps is not None else (2 if args.tiny else 12)
+
+    if args.run_cell:
+        _run_cell(args.run_cell, args.run_backend, steps)
+        return 0
+
+    engines = [(name, SRC_PATH) for name in args.backends]
+    tmpdir = None
+    if not args.no_seed_engine:
+        try:
+            tmpdir = tempfile.TemporaryDirectory(prefix="seed-engine-")
+            engines.append(("seed", _extract_seed_engine(tmpdir.name)))
+        except Exception as error:  # shallow clone, no git, ...
+            print(f"[bench_throughput] seed engine unavailable ({error}); skipping baseline")
+            tmpdir = None
+
+    results = {cell: {} for cell in args.cells}
+    for cell in args.cells:
+        for engine, pythonpath in engines:
+            measured = _measure(cell, engine, steps, pythonpath)
+            results[cell][engine] = measured
+            print(f"{cell:>8} | {engine:>10} | {measured['steps_per_sec']:7.3f} steps/s "
+                  f"(loss {measured['final_loss']:.4f})")
+
+    summary = {"steps": steps, "cells": results, "speedups": {}}
+    for cell, per_engine in results.items():
+        fast = per_engine.get("numpy-fast", {}).get("steps_per_sec")
+        ref = per_engine.get("numpy", {}).get("steps_per_sec")
+        seed = per_engine.get("seed", {}).get("steps_per_sec")
+        cell_speedups = {}
+        if fast and ref:
+            cell_speedups["numpy_fast_vs_numpy"] = fast / ref
+        if fast and seed:
+            cell_speedups["numpy_fast_vs_seed_engine"] = fast / seed
+        if ref and seed:
+            cell_speedups["numpy_vs_seed_engine"] = ref / seed
+        summary["speedups"][cell] = cell_speedups
+        for name, value in cell_speedups.items():
+            print(f"{cell:>8} | {name}: {value:.2f}x")
+
+    # Backends must agree on the loss exactly — they share one float-op
+    # sequence by construction.
+    for cell, per_engine in results.items():
+        losses = {engine: m["final_loss"] for engine, m in per_engine.items()}
+        unique = set(losses.values())
+        if len(unique) > 1:
+            print(f"[bench_throughput] WARNING: {cell} losses diverge across engines: {losses}")
+            summary["speedups"][cell]["losses_identical"] = False
+        else:
+            summary["speedups"][cell]["losses_identical"] = True
+
+    os.makedirs(os.path.dirname(args.json_path), exist_ok=True)
+    with open(args.json_path, "w") as handle:
+        json.dump(summary, handle, indent=2)
+    print(f"[bench_throughput] wrote {args.json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

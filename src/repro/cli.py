@@ -43,6 +43,7 @@ from repro.data import DataLoader, make_vision_task
 from repro.models import available_models, build_model
 from repro.optim import SGD, build_paper_cifar_schedule
 from repro.profiling import get_device
+from repro.tensor import available_backends, set_backend
 from repro.train.experiments import (
     ExperimentRow,
     ExperimentSpec,
@@ -78,6 +79,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--max-batches", type=int, default=None,
                        help="cap the number of batches per epoch (smoke tests)")
+        p.add_argument("--backend", default="numpy", choices=available_backends(),
+                       help="tensor execution backend (numpy-fast pools buffers "
+                            "and fuses hot-path kernels; identical results)")
         p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
     methods = available_methods()
@@ -145,12 +149,14 @@ def _emit_rows(rows: List[ExperimentRow], as_json: bool, stream) -> None:
 
 
 def cmd_train(args: argparse.Namespace, stream=sys.stdout) -> int:
+    set_backend(args.backend)
     row = run_experiment(ExperimentSpec(method=args.method, config=_experiment_config(args)))
     _emit_rows([row], args.json, stream)
     return 0
 
 
 def cmd_compare(args: argparse.Namespace, stream=sys.stdout) -> int:
+    set_backend(args.backend)
     rows = [run_experiment(ExperimentSpec(method=method, config=_experiment_config(args)))
             for method in args.methods]
     _emit_rows(rows, args.json, stream)

@@ -19,6 +19,7 @@ from repro.nn.layers import (
     Tanh,
 )
 from repro.nn.attention import MultiHeadAttention
+from repro.nn.fuse import fuse_linear_activations
 from repro.nn import init
 
 __all__ = [
@@ -44,5 +45,6 @@ __all__ = [
     "Sigmoid",
     "Tanh",
     "MultiHeadAttention",
+    "fuse_linear_activations",
     "init",
 ]

@@ -65,12 +65,12 @@ class MultiHeadAttention(Module):
         v = self._split_heads(self.v_proj(x))
 
         scale = 1.0 / np.sqrt(self.head_dim)
-        scores = q.matmul(k.transpose((0, 1, 3, 2))) * scale  # (N, heads, L, L)
+        bias = None
         if attn_mask is not None:
             mask = np.asarray(attn_mask, dtype=bool)
             bias = np.where(mask[:, None, None, :], 0.0, -1e9).astype(np.float32)
-            scores = scores + Tensor(bias)
-        weights = F.softmax(scores, axis=-1)
+        # One fused node (scores → scale → mask → softmax) on fusing backends.
+        weights = F.attention_weights(q, k, scale, bias)       # (N, heads, L, L)
         weights = self.attn_dropout(weights)
         context = weights.matmul(v)                            # (N, heads, L, head_dim)
         return self.out_proj(self._merge_heads(context))

@@ -1,0 +1,49 @@
+"""Graph-level fusion pass: collapse Linear → activation pairs into one node.
+
+The paper's MLP-style blocks (VGG classifiers, the intro MLP, ResMLP/DeiT
+feed-forwards built as ``Sequential`` chains) execute a dense layer
+immediately followed by a ReLU/GELU.  :func:`fuse_linear_activations` walks a
+module tree and, wherever an activation module directly follows a
+:class:`~repro.nn.layers.Linear` inside a :class:`~repro.nn.module.Sequential`,
+folds the activation into the linear layer's fused
+:func:`~repro.tensor.functional.linear_act` kernel and replaces the
+activation module with :class:`~repro.nn.module.Identity`.
+
+The transform is value-preserving (the fused kernel replicates the unfused
+float-op sequence exactly) and keeps module names and parameters intact, so
+``state_dict`` round-trips.  It is intended for inference/benchmark use:
+apply it *before* factorization — a fused Linear that is later swapped for a
+low-rank pair silently loses its folded activation, so the pass refuses to
+touch layers whose activation is already set.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import GELU, Linear, ReLU
+from repro.nn.module import Identity, Module, Sequential
+
+_FUSABLE = {ReLU: "relu", GELU: "gelu"}
+
+
+def fuse_linear_activations(model: Module) -> int:
+    """Fold activation modules following a Linear into the linear's node.
+
+    Returns the number of pairs fused.  Safe to call repeatedly.
+    """
+    fused = 0
+    for module in model.modules():
+        if not isinstance(module, Sequential):
+            continue
+        children = list(module.named_children())
+        for (_, current), (next_name, following) in zip(children, children[1:]):
+            activation = _FUSABLE.get(type(following))
+            if activation is None:
+                continue
+            if isinstance(current, Linear) and current.activation is None:
+                current.activation = activation
+                module.set_child(next_name, Identity())
+                fused += 1
+    return fused
+
+
+__all__ = ["fuse_linear_activations"]

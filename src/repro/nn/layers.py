@@ -19,7 +19,14 @@ IntPair = Union[int, Tuple[int, int]]
 
 
 class Linear(Module):
-    """Affine layer ``y = x @ W.T + b`` with ``W`` of shape ``(out, in)``."""
+    """Affine layer ``y = x @ W.T + b`` with ``W`` of shape ``(out, in)``.
+
+    ``activation`` (``None``, ``"relu"`` or ``"gelu"``) folds the following
+    nonlinearity into the same graph node via the fused
+    :func:`repro.tensor.functional.linear_act` kernel — used by
+    :func:`repro.nn.fuse_linear_activations` to collapse Linear→activation
+    pairs on the hot path.
+    """
 
     def __init__(
         self,
@@ -27,19 +34,26 @@ class Linear(Module):
         out_features: int,
         bias: bool = True,
         rng: Optional[np.random.Generator] = None,
+        activation: Optional[str] = None,
     ):
         super().__init__()
+        if activation not in (None, "relu", "gelu"):
+            raise ValueError(f"unsupported fused activation {activation!r}")
         self.in_features = in_features
         self.out_features = out_features
+        self.activation = activation
         rng = rng or get_rng()
         self.weight = Parameter(init_mod.kaiming_uniform((out_features, in_features), rng=rng))
         self.bias = Parameter(init_mod.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
+        if self.activation is not None:
+            return F.linear_act(x, self.weight, self.bias, activation=self.activation)
         return F.linear(x, self.weight, self.bias)
 
     def extra_repr(self) -> str:
-        return f"in_features={self.in_features}, out_features={self.out_features}"
+        extra = f", activation={self.activation!r}" if self.activation else ""
+        return f"in_features={self.in_features}, out_features={self.out_features}{extra}"
 
 
 class Conv2d(Module):
@@ -179,20 +193,18 @@ class BatchNorm2d(Module):
         self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
 
     def forward(self, x: Tensor) -> Tensor:
-        axes = (0, 2, 3)
         if self.training:
-            mean = x.mean(axis=axes, keepdims=True)
-            var = x.var(axis=axes, keepdims=True)
+            out, batch_mean, batch_var = F.batch_norm2d_train(x, self.weight, self.bias, self.eps)
             with_momentum = self.momentum
             self.running_mean.data = (
-                (1 - with_momentum) * self.running_mean.data + with_momentum * mean.data.reshape(-1)
+                (1 - with_momentum) * self.running_mean.data + with_momentum * batch_mean.reshape(-1)
             )
             self.running_var.data = (
-                (1 - with_momentum) * self.running_var.data + with_momentum * var.data.reshape(-1)
+                (1 - with_momentum) * self.running_var.data + with_momentum * batch_var.reshape(-1)
             )
-        else:
-            mean = Tensor(self.running_mean.data.reshape(1, -1, 1, 1))
-            var = Tensor(self.running_var.data.reshape(1, -1, 1, 1))
+            return out
+        mean = Tensor(self.running_mean.data.reshape(1, -1, 1, 1))
+        var = Tensor(self.running_var.data.reshape(1, -1, 1, 1))
         x_hat = (x - mean) / ((var + self.eps) ** 0.5)
         gamma = self.weight.reshape((1, -1, 1, 1))
         beta = self.bias.reshape((1, -1, 1, 1))

@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.nn.module import Parameter
 from repro.optim.optimizer import Optimizer
+from repro.tensor.backend import get_backend
 
 
 class AdamW(Optimizer):
@@ -37,29 +38,49 @@ class AdamW(Optimizer):
         self.no_decay_params.update(id(p) for p in params)
 
     def step(self) -> None:
+        """In-place parameter update.
+
+        Mirrors the out-of-place reference Adam update with the same float-op
+        ordering (bit-identical results) while keeping every temporary in two
+        persistent scratch buffers per parameter, so step cost no longer
+        scales with allocation churn.
+        """
         self._step_count += 1
         t = self._step_count
         bias_correction1 = 1.0 - self.beta1 ** t
         bias_correction2 = 1.0 - self.beta2 ** t
+        be = get_backend()
+        be.record("adamw_step")
         for p in self.params:
             if p.grad is None:
                 continue
             grad = p.grad
             state = self._get_state(p)
             m = state.get("m")
-            v = state.get("v")
             if m is None:
-                m = np.zeros_like(p.data)
-                v = np.zeros_like(p.data)
-            m = self.beta1 * m + (1 - self.beta1) * grad
-            v = self.beta2 * v + (1 - self.beta2) * grad * grad
-            state["m"], state["v"] = m, v
-            m_hat = m / bias_correction1
-            v_hat = v / bias_correction2
-            update = m_hat / (np.sqrt(v_hat) + self.eps)
+                m = state["m"] = np.zeros_like(p.data)
+                state["v"] = np.zeros_like(p.data)
+                state["s1"] = np.empty_like(p.data)
+                state["s2"] = np.empty_like(p.data)
+            v, s1, s2 = state["v"], state["s1"], state["s2"]
+            m *= self.beta1
+            np.multiply(grad, 1 - self.beta1, out=s1)
+            m += s1                                  # == beta1*m + (1-beta1)*g
+            v *= self.beta2
+            np.multiply(grad, 1 - self.beta2, out=s1)
+            s1 *= grad
+            v += s1                                  # == beta2*v + (1-beta2)*g*g
+            np.divide(m, bias_correction1, out=s1)   # m_hat
+            np.divide(v, bias_correction2, out=s2)   # v_hat
+            np.sqrt(s2, out=s2)
+            s2 += self.eps
+            np.divide(s1, s2, out=s1)                # update = m_hat / (sqrt(v_hat)+eps)
             if self.weight_decay and id(p) not in self.no_decay_params:
-                update = update + self.weight_decay * p.data
-            p.data -= self.lr * update
+                np.multiply(p.data, self.weight_decay, out=s2)
+                s1 += s2                             # == update + wd * w
+            s1 *= self.lr
+            p.data -= s1                             # == w - lr * update
+            be.add_flops("adamw_step", 12.0 * p.data.size)
 
 
 class Adam(AdamW):
@@ -74,5 +95,10 @@ class Adam(AdamW):
         if self._l2:
             for p in self.params:
                 if p.grad is not None:
-                    p.grad = p.grad + self._l2 * p.data
+                    state = self._get_state(p)
+                    buf = state.get("l2")
+                    if buf is None:
+                        buf = state["l2"] = np.empty_like(p.data)
+                    np.multiply(p.data, self._l2, out=buf)
+                    p.grad += buf                    # == grad + l2 * w
         super().step()

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.nn.module import Parameter
 from repro.optim.optimizer import Optimizer
+from repro.tensor.backend import get_backend
 
 
 class SGD(Optimizer):
@@ -54,21 +55,46 @@ class SGD(Optimizer):
         self.no_decay_params.update(id(p) for p in params)
 
     def step(self) -> None:
+        """In-place parameter update.
+
+        Every arithmetic step mirrors the out-of-place reference update
+        (``g ← g + wd·w``, ``v ← m·v + g``, ``w ← w − lr·g``) with the same
+        float-op ordering, so results are bit-identical — but all temporaries
+        live in persistent per-parameter scratch buffers, so step cost no
+        longer scales with allocation churn.
+        """
+        be = get_backend()
+        be.record("sgd_step")
         for p in self.params:
             if p.grad is None:
                 continue
             grad = p.grad
+            state = self._get_state(p)
+            scratch = state.get("scratch")
+            if scratch is None:
+                scratch = state["scratch"] = np.empty_like(p.data)
             if self.weight_decay and id(p) not in self.no_decay_params:
-                grad = grad + self.weight_decay * p.data
+                np.multiply(p.data, self.weight_decay, out=scratch)
+                scratch += grad                      # == grad + wd * w
+                grad = scratch
             if self.momentum:
-                state = self._get_state(p)
                 velocity = state.get("velocity")
                 if velocity is None:
-                    velocity = np.zeros_like(p.data)
-                velocity = self.momentum * velocity + grad
-                state["velocity"] = velocity
+                    velocity = state["velocity"] = np.zeros_like(p.data)
+                velocity *= self.momentum
+                velocity += grad                     # == momentum * v + grad
                 if self.nesterov:
-                    grad = grad + self.momentum * velocity
+                    nesterov = state.get("nesterov")
+                    if nesterov is None:
+                        nesterov = state["nesterov"] = np.empty_like(p.data)
+                    np.multiply(velocity, self.momentum, out=nesterov)
+                    nesterov += grad                 # == grad + momentum * v
+                    grad = nesterov
                 else:
                     grad = velocity
-            p.data -= self.lr * grad
+            if grad is scratch:
+                scratch *= self.lr
+            else:
+                np.multiply(grad, self.lr, out=scratch)
+            p.data -= scratch                        # == w - lr * grad
+            be.add_flops("sgd_step", 2.0 * p.data.size)

@@ -1,5 +1,13 @@
-"""Performance accounting: shape tracing, FLOPs, roofline model, wall-clock timers."""
+"""Performance accounting: shape tracing, FLOPs, roofline model, wall-clock
+timers, and per-op counters read from the execution backend."""
 
+from repro.profiling.counters import (
+    OpCount,
+    count_ops,
+    counted_flops,
+    op_counters,
+    reset_op_counters,
+)
 from repro.profiling.tracer import ModuleTrace, trace_shapes
 from repro.profiling.flops import (
     BYTES_PER_ELEMENT,
@@ -27,6 +35,11 @@ from repro.profiling.roofline import (
 from repro.profiling.timer import time_callable, time_forward, time_training_iteration
 
 __all__ = [
+    "OpCount",
+    "count_ops",
+    "counted_flops",
+    "op_counters",
+    "reset_op_counters",
     "ModuleTrace",
     "trace_shapes",
     "BYTES_PER_ELEMENT",

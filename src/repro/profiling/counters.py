@@ -1,0 +1,62 @@
+"""Per-op execution counters, read straight from the tensor backend.
+
+The execution backends count every op they dispatch (and the GEMM-bearing
+ops report exact FLOPs), so profiling code can ask "what actually ran"
+instead of re-deriving costs from traced shapes.  The analytical
+:mod:`repro.profiling.flops` module remains the tool for *predicting* costs
+of models that have not run (e.g. paper-scale variants); these counters are
+the ground truth for code that has.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator
+
+from repro.tensor.backend import OpCount, get_backend
+
+
+def op_counters() -> Dict[str, OpCount]:
+    """Snapshot of the active backend's per-op counters.
+
+    Keys are op names (``conv2d``, ``matmul``, ``linear_act``,
+    ``softmax_cross_entropy``, ``sgd_step``, ...); values carry the call
+    count and, where the op reports it, exact FLOPs executed.
+    """
+    return get_backend().counters()
+
+
+def reset_op_counters() -> None:
+    """Zero the active backend's per-op counters."""
+    get_backend().reset_counters()
+
+
+def counted_flops() -> float:
+    """Total FLOPs the active backend has counted since the last reset."""
+    return sum(count.flops for count in op_counters().values())
+
+
+@contextlib.contextmanager
+def count_ops() -> Iterator[Dict[str, OpCount]]:
+    """Context manager yielding a dict that is filled with the ops executed
+    inside the block::
+
+        with count_ops() as counts:
+            model(x)
+        print(counts["conv2d"].calls, counts["conv2d"].flops)
+    """
+    before = op_counters()
+    counts: Dict[str, OpCount] = {}
+    try:
+        yield counts
+    finally:
+        after = op_counters()
+        for name, count in after.items():
+            prev = before.get(name)
+            calls = count.calls - (prev.calls if prev else 0)
+            flops = count.flops - (prev.flops if prev else 0.0)
+            if calls or flops:
+                counts[name] = OpCount(calls, flops)
+
+
+__all__ = ["OpCount", "count_ops", "counted_flops", "op_counters", "reset_op_counters"]

@@ -14,7 +14,7 @@ from typing import Callable, List
 import numpy as np
 
 from repro import nn
-from repro.tensor import Tensor, functional as F
+from repro.tensor import Tensor, functional as F, no_grad
 
 
 def time_callable(fn: Callable[[], None], iterations: int = 5, discard_first: bool = True) -> float:
@@ -31,13 +31,14 @@ def time_callable(fn: Callable[[], None], iterations: int = 5, discard_first: bo
 
 
 def time_forward(model: nn.Module, example_input, iterations: int = 5, forward_fn=None) -> float:
-    """Average forward-pass wall-clock time."""
+    """Average forward-pass wall-clock time (graph-free, under ``no_grad``)."""
     model.eval()
     def run():
-        if forward_fn is not None:
-            forward_fn(model, example_input)
-        else:
-            model(example_input)
+        with no_grad():
+            if forward_fn is not None:
+                forward_fn(model, example_input)
+            else:
+                model(example_input)
     return time_callable(run, iterations=iterations)
 
 

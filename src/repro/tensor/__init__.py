@@ -7,20 +7,50 @@ Cuttlefish reproduction.  The public surface mirrors the subset of the
 * :class:`repro.tensor.Tensor` — an n-dimensional array that records the
   operations applied to it and can back-propagate gradients.
 * :mod:`repro.tensor.functional` — stateless neural-network operations
-  (convolution, pooling, softmax/cross-entropy, layer/batch normalisation,
+  (convolution, pooling, softmax/cross-entropy, fused hot-path kernels,
   dropout, attention helpers).
+* :mod:`repro.tensor.backend` — the execution-backend registry
+  (``register_backend`` / ``get_backend`` / ``set_backend`` /
+  ``use_backend``) deciding memory strategy and kernel fusion.
 
 Design notes
 ------------
-The engine is tape based.  Each operation creates a new :class:`Tensor`
-holding references to its parents and a closure that accumulates gradients
-into them.  ``Tensor.backward`` topologically sorts the tape and runs the
-closures in reverse order.  All heavy lifting (matmul, im2col convolution)
-is delegated to vectorised numpy so that the Python overhead stays
-proportional to the number of *operations*, not the number of elements.
+The engine is tape based.  Each operation is a first-class
+:class:`repro.tensor.ops.Op` (a forward/backward pair); the output tensor
+holds references to its parents and the op that produced it.
+``Tensor.backward`` topologically sorts the tape and runs each op's backward
+in reverse order, with gradient-buffer placement delegated to the active
+backend.  All heavy lifting (matmul, im2col convolution) is vectorised
+numpy, so the Python overhead stays proportional to the number of
+*operations*, not the number of elements; under :func:`no_grad` no graph is
+constructed at all.
 """
 
-from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor.backend import (
+    Backend,
+    available_backends,
+    backend_descriptions,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
+from repro.tensor.ops import Op
+from repro.tensor.tensor import Tensor, apply_op, is_grad_enabled, no_grad
 from repro.tensor import functional
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]
+__all__ = [
+    "Backend",
+    "Op",
+    "Tensor",
+    "apply_op",
+    "available_backends",
+    "backend_descriptions",
+    "functional",
+    "get_backend",
+    "is_grad_enabled",
+    "no_grad",
+    "register_backend",
+    "set_backend",
+    "use_backend",
+]

@@ -1,18 +1,37 @@
 """Stateless neural-network operations built on :class:`repro.tensor.Tensor`.
 
-These are the building blocks used by :mod:`repro.nn` layers: im2col-based 2-D
-convolution, pooling, softmax/cross-entropy losses, dropout and a handful of
-helpers.  Each function constructs the forward result with plain numpy and
-registers a vectorised backward closure on the output tensor.
+These are the building blocks used by :mod:`repro.nn` layers: im2col-based
+2-D convolution, pooling, softmax/cross-entropy losses, dropout and a handful
+of helpers.  Each operation is a first-class :class:`~repro.tensor.ops.Op`
+dispatched through the active execution backend.
+
+Hot-path fusion
+---------------
+Three kernels exist in both an unfused (seed-faithful op chain) and a fused
+(single graph node) form:
+
+* :func:`linear` / :func:`linear_act` — matmul + bias + optional relu/gelu;
+* :func:`softmax_cross_entropy` — the softmax → log → nll chain as one node;
+* :func:`attention_weights` — ``softmax(q @ kᵀ · scale + bias)`` as one node.
+
+The fused forms replicate the exact float-op sequence of the unfused chains,
+so both produce bit-identical values; which form runs is decided by the
+active backend's ``fuse_kernels`` flag (the default ``numpy`` backend keeps
+the historical chains, ``numpy-fast`` fuses).  ``conv2d`` additionally keeps
+a small geometry-keyed im2col buffer cache for the graph-free inference path
+and draws its training-time column/scratch buffers from the backend arena.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from repro.tensor.tensor import DEFAULT_DTYPE, Tensor, _unbroadcast
+from repro.tensor.backend import DEFAULT_DTYPE, get_backend
+from repro.tensor.ops import Op, _unbroadcast
+from repro.tensor.tensor import Tensor, apply_op
 
 IntPair = Union[int, Tuple[int, int]]
 
@@ -26,27 +45,94 @@ def _pair(value: IntPair) -> Tuple[int, int]:
 # --------------------------------------------------------------------------- #
 # im2col / col2im
 # --------------------------------------------------------------------------- #
+# Minimum number of output pixels before the strided-window gather pays for
+# its less cache-friendly copy pattern (measured on the ResNet cell bench).
+_STRIDED_IM2COL_MIN_PIXELS = 256
+
+# Geometry-keyed buffer cache for the graph-free inference path: repeated
+# forward passes over the same shapes (evaluate loops, profiler probes) reuse
+# one column buffer per conv geometry instead of reallocating it per call.
+_IM2COL_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+_IM2COL_CACHE_CAP = 16
+
+
+def _cached_col_buffer(key: tuple, rows: int, cols: int, dtype) -> np.ndarray:
+    buf = _IM2COL_CACHE.get(key)
+    if buf is None:
+        buf = np.empty((rows, cols), dtype=dtype)
+        _IM2COL_CACHE[key] = buf
+        while len(_IM2COL_CACHE) > _IM2COL_CACHE_CAP:
+            _IM2COL_CACHE.popitem(last=False)
+    else:
+        _IM2COL_CACHE.move_to_end(key)
+    return buf
+
+
+def clear_im2col_cache() -> None:
+    """Drop the inference-path im2col buffers (mostly useful in tests)."""
+    _IM2COL_CACHE.clear()
+
+
+def _conv_geometry(shape, kh, kw, stride, pad):
+    n, c, h, w = shape
+    sh, sw = stride
+    ph, pw = pad
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+    return n, c, h, w, out_h, out_w
+
+
 def im2col(
-    x: np.ndarray, kh: int, kw: int, stride: Tuple[int, int], pad: Tuple[int, int]
+    x: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: Tuple[int, int],
+    pad: Tuple[int, int],
+    out: Optional[np.ndarray] = None,
+    fast: bool = False,
 ) -> np.ndarray:
     """Unroll image patches into rows.
 
     ``x`` has shape ``(N, C, H, W)``; the result has shape
     ``(N * out_h * out_w, C * kh * kw)`` so a convolution becomes one matmul.
+    ``out``, when given, must have exactly that shape and receives the
+    columns in place (this is how the backend arena and the inference cache
+    recycle the buffer).  ``fast`` selects the cache-optimised gather
+    strategies (1x1 shortcut, strided window view) used by backends with
+    ``fast_gather``; every strategy produces bit-identical results — they
+    only differ in copy pattern.
     """
-    n, c, h, w = x.shape
+    n, c, h, w, out_h, out_w = _conv_geometry(x.shape, kh, kw, stride, pad)
     sh, sw = stride
     ph, pw = pad
-    out_h = (h + 2 * ph - kh) // sh + 1
-    out_w = (w + 2 * pw - kw) // sw + 1
-    img = np.pad(x, [(0, 0), (0, 0), (ph, ph), (pw, pw)])
+    rows, cols = n * out_h * out_w, c * kh * kw
+    img = np.pad(x, [(0, 0), (0, 0), (ph, ph), (pw, pw)]) if (ph or pw) else x
+
+    if fast and kh == 1 and kw == 1:
+        # A 1x1 kernel is a pure layout change: NCHW -> (N*oh*ow, C).
+        if out is None:
+            out = np.empty((rows, cols), dtype=x.dtype)
+        np.copyto(out.reshape(n, out_h, out_w, c), img[:, :, ::sh, ::sw].transpose(0, 2, 3, 1))
+        return out
+    if fast and out_h * out_w >= _STRIDED_IM2COL_MIN_PIXELS:
+        if out is None:
+            out = np.empty((rows, cols), dtype=x.dtype)
+        win = np.lib.stride_tricks.sliding_window_view(img, (kh, kw), axis=(2, 3))
+        src = win[:, :, ::sh, ::sw].transpose(0, 2, 3, 1, 4, 5)
+        np.copyto(out.reshape(n, out_h, out_w, c, kh, kw), src)
+        return out
+
     col = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
     for y in range(kh):
         y_max = y + sh * out_h
         for xx in range(kw):
             x_max = xx + sw * out_w
             col[:, :, y, xx, :, :] = img[:, :, y:y_max:sh, xx:x_max:sw]
-    return col.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+    src = col.transpose(0, 4, 5, 1, 2, 3)
+    if out is None:
+        return src.reshape(rows, cols)
+    np.copyto(out.reshape(n, out_h, out_w, c, kh, kw), src)
+    return out
 
 
 def col2im(
@@ -56,15 +142,30 @@ def col2im(
     kw: int,
     stride: Tuple[int, int],
     pad: Tuple[int, int],
+    img_out: Optional[np.ndarray] = None,
+    fast: bool = False,
 ) -> np.ndarray:
-    """Inverse of :func:`im2col`: scatter-add patch rows back into an image."""
+    """Inverse of :func:`im2col`: scatter-add patch rows back into an image.
+
+    ``img_out`` optionally supplies the (padded) scratch image buffer; the
+    returned array is a view into it.  ``fast`` materialises the permuted
+    column tensor contiguously before the scatter loop (bit-identical sums,
+    cache-friendlier reads).
+    """
     n, c, h, w = x_shape
     sh, sw = stride
     ph, pw = pad
     out_h = (h + 2 * ph - kh) // sh + 1
     out_w = (w + 2 * pw - kw) // sw + 1
     col = col.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
-    img = np.zeros((n, c, h + 2 * ph + sh - 1, w + 2 * pw + sw - 1), dtype=col.dtype)
+    if fast and (kh > 1 or kw > 1):
+        col = np.ascontiguousarray(col)
+    padded_shape = (n, c, h + 2 * ph + sh - 1, w + 2 * pw + sw - 1)
+    if img_out is None:
+        img = np.zeros(padded_shape, dtype=col.dtype)
+    else:
+        img = img_out
+        img.fill(0)
     for y in range(kh):
         y_max = y + sh * out_h
         for xx in range(kw):
@@ -73,9 +174,96 @@ def col2im(
     return img[:, :, ph:h + ph, pw:w + pw]
 
 
+def padded_image_shape(x_shape, kh, kw, stride, pad) -> Tuple[int, int, int, int]:
+    n, c, h, w = x_shape
+    return (n, c, h + 2 * pad[0] + stride[0] - 1, w + 2 * pad[1] + stride[1] - 1)
+
+
 # --------------------------------------------------------------------------- #
 # Convolution and pooling
 # --------------------------------------------------------------------------- #
+class Conv2dOp(Op):
+    """im2col convolution over NCHW inputs as a single graph node."""
+
+    __slots__ = ("stride", "padding", "col", "w2d", "x_shape", "w_shape",
+                 "b_shape", "out_c", "_col_pooled", "_scratch")
+    name = "conv2d"
+
+    def __init__(self, stride: Tuple[int, int], padding: Tuple[int, int]):
+        self.stride = stride
+        self.padding = padding
+        self._col_pooled = False
+        self._scratch = ()
+
+    def forward(self, be, x, weight, bias=None):
+        out_c, in_c, kh, kw = weight.shape
+        n, c, h, w, out_h, out_w = _conv_geometry(x.shape, kh, kw, self.stride, self.padding)
+        rows, cols = n * out_h * out_w, c * kh * kw
+
+        if self.needs is None:
+            key = (x.shape, kh, kw, self.stride, self.padding, x.dtype.str)
+            col = im2col(x, kh, kw, self.stride, self.padding,
+                         out=_cached_col_buffer(key, rows, cols, x.dtype),
+                         fast=be.fast_gather)
+        elif be.pool_buffers:
+            col = im2col(x, kh, kw, self.stride, self.padding,
+                         out=be.take((rows, cols), x.dtype), fast=be.fast_gather)
+            self._col_pooled = True
+        else:
+            col = im2col(x, kh, kw, self.stride, self.padding, fast=be.fast_gather)
+
+        w2d = weight.reshape(out_c, -1)
+        out2d = col @ w2d.T
+        be.add_flops(self.name, 2.0 * rows * cols * out_c)
+        if bias is not None:
+            out2d = out2d + bias.reshape(1, -1)
+        out = out2d.reshape(n, out_h, out_w, out_c).transpose(0, 3, 1, 2)
+
+        if self.needs is not None:
+            self.col = col
+            self.w2d = w2d
+            self.x_shape = x.shape
+            self.w_shape = weight.shape
+            self.b_shape = bias.shape if bias is not None else None
+            self.out_c = out_c
+        return out
+
+    def backward(self, be, grad):
+        out_c = self.out_c
+        grad2d = grad.transpose(0, 2, 3, 1).reshape(-1, out_c)
+        grad_b = grad_w = grad_x = None
+        if self.b_shape is not None and self.needs[2]:
+            grad_b = grad2d.sum(axis=0).reshape(self.b_shape)
+        if self.needs[1]:
+            grad_w = (grad2d.T @ self.col).reshape(self.w_shape)
+        if self.needs[0]:
+            _, _, kh, kw = self.w_shape
+            if be.pool_buffers:
+                grad_col = be.take((grad2d.shape[0], self.w2d.shape[1]), grad2d.dtype)
+                np.matmul(grad2d, self.w2d, out=grad_col)
+                img = be.take(padded_image_shape(self.x_shape, kh, kw, self.stride, self.padding),
+                              grad2d.dtype)
+                grad_x = col2im(grad_col, self.x_shape, kh, kw, self.stride, self.padding,
+                                img_out=img, fast=be.fast_gather)
+                self._scratch = (grad_col, img)
+            else:
+                grad_col = grad2d @ self.w2d
+                grad_x = col2im(grad_col, self.x_shape, kh, kw, self.stride, self.padding,
+                                fast=be.fast_gather)
+        if self.b_shape is not None:
+            return (grad_x, grad_w, grad_b)
+        return (grad_x, grad_w)
+
+    def release(self, be):
+        if self._col_pooled:
+            be.give(self.col)
+            self.col = None
+            self._col_pooled = False
+        for buf in self._scratch:
+            be.give(buf)
+        self._scratch = ()
+
+
 def conv2d(
     x: Tensor,
     weight: Tensor,
@@ -91,84 +279,105 @@ def conv2d(
         x = Tensor(x)
     stride = _pair(stride)
     padding = _pair(padding)
-    n, c, h, w = x.shape
-    out_c, in_c, kh, kw = weight.shape
+    _, c, _, _ = x.shape
+    _, in_c, _, _ = weight.shape
     if in_c != c:
         raise ValueError(f"channel mismatch: input has {c}, weight expects {in_c}")
-    out_h = (h + 2 * padding[0] - kh) // stride[0] + 1
-    out_w = (w + 2 * padding[1] - kw) // stride[1] + 1
-
-    col = im2col(x.data, kh, kw, stride, padding)                 # (N*oh*ow, C*kh*kw)
-    w2d = weight.data.reshape(out_c, -1)                          # (out_c, C*kh*kw)
-    out2d = col @ w2d.T                                           # (N*oh*ow, out_c)
+    op = Conv2dOp(stride, padding)
     if bias is not None:
-        out2d = out2d + bias.data.reshape(1, -1)
-    out_data = out2d.reshape(n, out_h, out_w, out_c).transpose(0, 3, 1, 2)
+        return apply_op(op, x, weight, bias)
+    return apply_op(op, x, weight)
 
-    children = (x, weight) if bias is None else (x, weight, bias)
-    out = Tensor._make(out_data, children, "conv2d")
-    if out.requires_grad:
-        def _backward():
-            grad2d = out.grad.transpose(0, 2, 3, 1).reshape(-1, out_c)
-            if bias is not None and bias.requires_grad:
-                bias._accumulate(grad2d.sum(axis=0).reshape(bias.shape))
-            if weight.requires_grad:
-                grad_w = grad2d.T @ col
-                weight._accumulate(grad_w.reshape(weight.shape))
-            if x.requires_grad:
-                grad_col = grad2d @ w2d
-                x._accumulate(col2im(grad_col, x.shape, kh, kw, stride, padding))
-        out._backward = _backward
-    return out
+
+class MaxPool2dOp(Op):
+    __slots__ = ("kernel", "stride", "padding", "argmax", "x_shape", "channels")
+    name = "max_pool2d"
+
+    def __init__(self, kernel, stride, padding):
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, be, x):
+        kh, kw = self.kernel
+        n, c, h, w, out_h, out_w = _conv_geometry(x.shape, kh, kw, self.stride, self.padding)
+        rows, cols = n * out_h * out_w, c * kh * kw
+        if self.needs is None:
+            key = ("pool", x.shape, kh, kw, self.stride, self.padding, x.dtype.str)
+            col = im2col(x, kh, kw, self.stride, self.padding,
+                         out=_cached_col_buffer(key, rows, cols, x.dtype),
+                         fast=be.fast_gather)
+        else:
+            col = im2col(x, kh, kw, self.stride, self.padding, fast=be.fast_gather)
+        col = col.reshape(-1, c, kh * kw)
+        argmax = col.argmax(axis=2)
+        out = np.take_along_axis(col, argmax[..., None], axis=2)[..., 0]
+        out = out.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+        if self.needs is not None:
+            self.argmax = argmax
+            self.x_shape = x.shape
+            self.channels = c
+        return out
+
+    def backward(self, be, grad):
+        kh, kw = self.kernel
+        c = self.channels
+        g = grad.transpose(0, 2, 3, 1).reshape(-1, c)
+        grad_col = np.zeros((g.shape[0], c, kh * kw), dtype=DEFAULT_DTYPE)
+        np.put_along_axis(grad_col, self.argmax[..., None], g[..., None], axis=2)
+        grad_col = grad_col.reshape(-1, c * kh * kw)
+        return (col2im(grad_col, self.x_shape, kh, kw, self.stride, self.padding,
+                       fast=be.fast_gather),)
 
 
 def max_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None, padding: IntPair = 0) -> Tensor:
     """Max pooling over NCHW inputs."""
     kh, kw = _pair(kernel_size)
     stride = _pair(stride) if stride is not None else (kh, kw)
-    padding = _pair(padding)
-    n, c, h, w = x.shape
-    out_h = (h + 2 * padding[0] - kh) // stride[0] + 1
-    out_w = (w + 2 * padding[1] - kw) // stride[1] + 1
+    return apply_op(MaxPool2dOp((kh, kw), stride, _pair(padding)), x)
 
-    col = im2col(x.data, kh, kw, stride, padding)                  # (N*oh*ow, C*kh*kw)
-    col = col.reshape(-1, c, kh * kw)                              # (N*oh*ow, C, kh*kw)
-    argmax = col.argmax(axis=2)
-    out_data = np.take_along_axis(col, argmax[..., None], axis=2)[..., 0]
-    out_data = out_data.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
 
-    out = Tensor._make(out_data, (x,), "max_pool2d")
-    if out.requires_grad:
-        def _backward():
-            grad = out.grad.transpose(0, 2, 3, 1).reshape(-1, c)
-            grad_col = np.zeros((grad.shape[0], c, kh * kw), dtype=DEFAULT_DTYPE)
-            np.put_along_axis(grad_col, argmax[..., None], grad[..., None], axis=2)
-            grad_col = grad_col.reshape(-1, c * kh * kw)
-            x._accumulate(col2im(grad_col, x.shape, kh, kw, stride, padding))
-        out._backward = _backward
-    return out
+class AvgPool2dOp(Op):
+    __slots__ = ("kernel", "stride", "padding", "x_shape", "channels")
+    name = "avg_pool2d"
+
+    def __init__(self, kernel, stride, padding):
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, be, x):
+        kh, kw = self.kernel
+        n, c, h, w, out_h, out_w = _conv_geometry(x.shape, kh, kw, self.stride, self.padding)
+        rows, cols = n * out_h * out_w, c * kh * kw
+        if self.needs is None:
+            key = ("pool", x.shape, kh, kw, self.stride, self.padding, x.dtype.str)
+            col = im2col(x, kh, kw, self.stride, self.padding,
+                         out=_cached_col_buffer(key, rows, cols, x.dtype),
+                         fast=be.fast_gather)
+        else:
+            col = im2col(x, kh, kw, self.stride, self.padding, fast=be.fast_gather)
+        out = col.reshape(-1, c, kh * kw).mean(axis=2).reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+        if self.needs is not None:
+            self.x_shape = x.shape
+            self.channels = c
+        return out
+
+    def backward(self, be, grad):
+        kh, kw = self.kernel
+        c = self.channels
+        g = grad.transpose(0, 2, 3, 1).reshape(-1, c, 1)
+        grad_col = np.broadcast_to(g / (kh * kw), (g.shape[0], c, kh * kw))
+        grad_col = np.ascontiguousarray(grad_col).reshape(-1, c * kh * kw)
+        return (col2im(grad_col, self.x_shape, kh, kw, self.stride, self.padding,
+                       fast=be.fast_gather),)
 
 
 def avg_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None, padding: IntPair = 0) -> Tensor:
     """Average pooling over NCHW inputs."""
     kh, kw = _pair(kernel_size)
     stride = _pair(stride) if stride is not None else (kh, kw)
-    padding = _pair(padding)
-    n, c, h, w = x.shape
-    out_h = (h + 2 * padding[0] - kh) // stride[0] + 1
-    out_w = (w + 2 * padding[1] - kw) // stride[1] + 1
-
-    col = im2col(x.data, kh, kw, stride, padding).reshape(-1, c, kh * kw)
-    out_data = col.mean(axis=2).reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
-    out = Tensor._make(out_data, (x,), "avg_pool2d")
-    if out.requires_grad:
-        def _backward():
-            grad = out.grad.transpose(0, 2, 3, 1).reshape(-1, c, 1)
-            grad_col = np.broadcast_to(grad / (kh * kw), (grad.shape[0], c, kh * kw))
-            grad_col = np.ascontiguousarray(grad_col).reshape(-1, c * kh * kw)
-            x._accumulate(col2im(grad_col, x.shape, kh, kw, stride, padding))
-        out._backward = _backward
-    return out
+    return apply_op(AvgPool2dOp((kh, kw), stride, _pair(padding)), x)
 
 
 def adaptive_avg_pool2d(x: Tensor, output_size: IntPair = 1) -> Tensor:
@@ -183,35 +392,83 @@ def adaptive_avg_pool2d(x: Tensor, output_size: IntPair = 1) -> Tensor:
 # --------------------------------------------------------------------------- #
 # Softmax family and losses
 # --------------------------------------------------------------------------- #
+class SoftmaxOp(Op):
+    __slots__ = ("axis", "out")
+    name = "softmax"
+
+    def __init__(self, axis: int):
+        self.axis = axis
+
+    def forward(self, be, x):
+        shifted = x - x.max(axis=self.axis, keepdims=True)
+        exp = np.exp(shifted)
+        out = exp / exp.sum(axis=self.axis, keepdims=True)
+        if self.needs is not None:
+            self.out = out
+        return out
+
+    def backward(self, be, grad):
+        dot = (grad * self.out).sum(axis=self.axis, keepdims=True)
+        return (self.out * (grad - dot),)
+
+
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    exp = np.exp(shifted)
-    out_data = exp / exp.sum(axis=axis, keepdims=True)
-    out = Tensor._make(out_data, (x,), "softmax")
-    if out.requires_grad:
-        def _backward():
-            g = out.grad
-            dot = (g * out_data).sum(axis=axis, keepdims=True)
-            x._accumulate(out_data * (g - dot))
-        out._backward = _backward
-    return out
+    return apply_op(SoftmaxOp(axis), x)
+
+
+class LogSoftmaxOp(Op):
+    __slots__ = ("axis", "softmax")
+    name = "log_softmax"
+
+    def __init__(self, axis: int):
+        self.axis = axis
+
+    def forward(self, be, x):
+        shifted = x - x.max(axis=self.axis, keepdims=True)
+        log_sum = np.log(np.exp(shifted).sum(axis=self.axis, keepdims=True))
+        out = shifted - log_sum
+        if self.needs is not None:
+            self.softmax = np.exp(out)
+        return out
+
+    def backward(self, be, grad):
+        return (grad - self.softmax * grad.sum(axis=self.axis, keepdims=True),)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    out_data = shifted - log_sum
-    out = Tensor._make(out_data, (x,), "log_softmax")
-    if out.requires_grad:
-        softmax_data = np.exp(out_data)
-        def _backward():
-            g = out.grad
-            x._accumulate(g - softmax_data * g.sum(axis=axis, keepdims=True))
-        out._backward = _backward
-    return out
+    return apply_op(LogSoftmaxOp(axis), x)
 
 
-def cross_entropy(
+class SoftmaxCrossEntropyOp(Op):
+    """Fused softmax → log → negative-log-likelihood over (N, C) logits.
+
+    Replicates the exact float-op sequence of the unfused
+    ``-(log_softmax(x) * weights).sum() * (1/count)`` chain, so losses and
+    logit gradients are bit-identical to the composed form.
+    """
+
+    __slots__ = ("weights", "scale", "softmax")
+    name = "softmax_cross_entropy"
+
+    def __init__(self, weights: np.ndarray, scale: np.ndarray):
+        self.weights = weights
+        self.scale = scale
+
+    def forward(self, be, logits):
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        log_sum = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        log_probs = shifted - log_sum
+        loss = (-(log_probs * self.weights).sum()) * self.scale
+        if self.needs is not None:
+            self.softmax = np.exp(log_probs)
+        return loss
+
+    def backward(self, be, grad):
+        g = (-(grad * self.scale)) * self.weights
+        return (g - self.softmax * g.sum(axis=-1, keepdims=True),)
+
+
+def softmax_cross_entropy(
     logits: Tensor,
     targets: np.ndarray,
     label_smoothing: float = 0.0,
@@ -220,13 +477,14 @@ def cross_entropy(
     """Mean cross-entropy between ``logits`` (N, C) and integer ``targets`` (N,).
 
     Supports label smoothing (as used for the paper's ImageNet runs) and an
-    ``ignore_index`` for masked-language-model style objectives.
+    ``ignore_index`` for masked-language-model style objectives.  Runs as a
+    single fused node on backends with ``fuse_kernels`` and as the historical
+    softmax → log → nll op chain otherwise; both produce identical values.
     """
     targets = np.asarray(targets)
     if logits.ndim != 2:
         raise ValueError("cross_entropy expects logits of shape (N, C)")
     n, num_classes = logits.shape
-    log_probs = log_softmax(logits, axis=-1)
 
     if ignore_index is not None:
         valid = targets != ignore_index
@@ -236,24 +494,38 @@ def cross_entropy(
         safe_targets = targets
     count = max(int(valid.sum()), 1)
 
-    one_hot = np.zeros((n, num_classes), dtype=DEFAULT_DTYPE)
-    one_hot[np.arange(n), safe_targets] = 1.0
+    one_hot_w = np.zeros((n, num_classes), dtype=DEFAULT_DTYPE)
+    one_hot_w[np.arange(n), safe_targets] = 1.0
     if label_smoothing > 0.0:
-        one_hot = one_hot * (1.0 - label_smoothing) + label_smoothing / num_classes
-    one_hot *= valid[:, None]
+        one_hot_w = one_hot_w * (1.0 - label_smoothing) + label_smoothing / num_classes
+    one_hot_w *= valid[:, None]
 
-    weights = Tensor(one_hot)
-    loss = -(log_probs * weights).sum() * (1.0 / count)
-    return loss
+    if get_backend().fuse_kernels:
+        scale = np.asarray(1.0 / count, dtype=DEFAULT_DTYPE)
+        return apply_op(SoftmaxCrossEntropyOp(one_hot_w, scale), logits)
+
+    log_probs = log_softmax(logits, axis=-1)
+    return -(log_probs * Tensor(one_hot_w)).sum() * (1.0 / count)
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    label_smoothing: float = 0.0,
+    ignore_index: Optional[int] = None,
+) -> Tensor:
+    """Alias for :func:`softmax_cross_entropy` (the fused hot-path kernel)."""
+    return softmax_cross_entropy(logits, targets, label_smoothing=label_smoothing,
+                                 ignore_index=ignore_index)
 
 
 def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
     """Negative log likelihood given log-probabilities."""
     targets = np.asarray(targets)
     n, num_classes = log_probs.shape
-    one_hot = np.zeros((n, num_classes), dtype=DEFAULT_DTYPE)
-    one_hot[np.arange(n), targets] = 1.0
-    return -(log_probs * Tensor(one_hot)).sum() * (1.0 / n)
+    one_hot_w = np.zeros((n, num_classes), dtype=DEFAULT_DTYPE)
+    one_hot_w[np.arange(n), targets] = 1.0
+    return -(log_probs * Tensor(one_hot_w)).sum() * (1.0 / n)
 
 
 def mse_loss(pred: Tensor, target: Union[Tensor, np.ndarray]) -> Tensor:
@@ -273,25 +545,336 @@ def binary_cross_entropy_with_logits(logits: Tensor, targets: Union[Tensor, np.n
 
 
 # --------------------------------------------------------------------------- #
-# Regularisation helpers
+# Fused linear (+ activation) kernel
 # --------------------------------------------------------------------------- #
-def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
-    """Inverted dropout; identity when not training or ``p == 0``."""
-    if not training or p <= 0.0:
-        return x
-    rng = rng or np.random.default_rng()
-    mask = (rng.random(x.shape) >= p).astype(DEFAULT_DTYPE) / (1.0 - p)
-    return x * Tensor(mask)
+class LinearActOp(Op):
+    """``activation(x @ W.T + b)`` as a single graph node.
+
+    ``activation`` is ``None``, ``"relu"`` or ``"gelu"``.  The float-op
+    sequence mirrors the unfused ``matmul → add → activation`` chain exactly.
+    """
+
+    __slots__ = ("activation", "x", "w", "b_shape", "mask", "pre", "tanh_inner")
+    name = "linear_act"
+
+    def __init__(self, activation: Optional[str]):
+        if activation not in (None, "relu", "gelu"):
+            raise ValueError(f"unsupported fused activation {activation!r}")
+        self.activation = activation
+
+    def forward(self, be, x, w, b=None):
+        y = x @ w.transpose()
+        be.add_flops(self.name, 2.0 * y.size * x.shape[-1])
+        if b is not None:
+            y = y + b
+        out = y
+        if self.activation == "relu":
+            mask = y > 0
+            out = y * mask
+            if self.needs is not None:
+                self.mask = mask
+        elif self.activation == "gelu":
+            c = np.sqrt(2.0 / np.pi).astype(DEFAULT_DTYPE)
+            inner = c * (y + 0.044715 * y ** 3)
+            tanh_inner = np.tanh(inner)
+            out = 0.5 * y * (1.0 + tanh_inner)
+            if self.needs is not None:
+                self.pre = y
+                self.tanh_inner = tanh_inner
+        if self.needs is not None:
+            self.x = x
+            self.w = w
+            self.b_shape = b.shape if b is not None else None
+        return out
+
+    def backward(self, be, grad):
+        g = grad
+        if self.activation == "relu":
+            g = grad * self.mask
+        elif self.activation == "gelu":
+            c = np.sqrt(2.0 / np.pi).astype(DEFAULT_DTYPE)
+            sech2 = 1.0 - self.tanh_inner ** 2
+            d_inner = c * (1.0 + 3 * 0.044715 * self.pre ** 2)
+            local = 0.5 * (1.0 + self.tanh_inner) + 0.5 * self.pre * sech2 * d_inner
+            g = grad * local
+
+        x, w = self.x, self.w
+        grad_x = grad_w = grad_b = None
+        if self.b_shape is not None and self.needs[2]:
+            grad_b = _unbroadcast(g, self.b_shape)
+        if self.needs[0]:
+            grad_x = _unbroadcast(g @ w, x.shape)
+        if self.needs[1]:
+            x2 = x if x.ndim > 1 else x.reshape(1, -1)
+            grad_wt = _unbroadcast(np.swapaxes(x2, -1, -2) @ g, (w.shape[1], w.shape[0]))
+            grad_w = grad_wt.transpose((1, 0))
+        if self.b_shape is not None:
+            return (grad_x, grad_w, grad_b)
+        return (grad_x, grad_w)
+
+
+def linear_act(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    activation: Optional[str] = None,
+) -> Tensor:
+    """Fused affine map + optional activation, always as one graph node.
+
+    ``weight`` has shape ``(out, in)``; ``activation`` is ``None``,
+    ``"relu"`` or ``"gelu"``.
+    """
+    if not isinstance(x, Tensor):
+        x = Tensor(x)
+    op = LinearActOp(activation)
+    if bias is not None:
+        return apply_op(op, x, weight, bias)
+    return apply_op(op, x, weight)
 
 
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
-    """Affine map ``x @ weight.T + bias`` with ``weight`` of shape (out, in)."""
+    """Affine map ``x @ weight.T + bias`` with ``weight`` of shape (out, in).
+
+    Dispatches to the fused single-node kernel on fusing backends and to the
+    historical matmul → add chain otherwise (identical values either way).
+    """
     if not isinstance(x, Tensor):
         x = Tensor(x)
+    if get_backend().fuse_kernels and x.ndim >= 2:
+        return linear_act(x, weight, bias, activation=None)
     out = x.matmul(weight.transpose())
     if bias is not None:
         out = out + bias
     return out
+
+
+# --------------------------------------------------------------------------- #
+# Fused training-mode batch norm (NCHW)
+# --------------------------------------------------------------------------- #
+class BatchNorm2dOp(Op):
+    """Training-mode batch normalisation over NCHW as one graph node.
+
+    Replicates the ~18-node op chain the layer otherwise records (two mean
+    passes, centering, variance, normalisation, affine) with the exact same
+    float-op sequence *and* the same gradient-accumulation order into ``x``,
+    so results are bit-identical to the unfused chain.
+    """
+
+    __slots__ = ("eps", "mu", "var", "cnt", "centered", "root", "veps",
+                 "x_hat", "gamma_r", "x_shape", "p_shape", "w_shape", "b_shape",
+                 "_scratch")
+    name = "batch_norm2d"
+
+    def __init__(self, eps: float):
+        self.eps = eps
+        self._scratch = ()
+
+    def forward(self, be, x, weight, bias):
+        n, c, h, w = x.shape
+        axes = (0, 2, 3)
+        pooled = be.pool_buffers and self.needs is not None
+        cnt = np.asarray(1.0 / (n * h * w), dtype=DEFAULT_DTYPE)
+        mu = x.sum(axis=axes, keepdims=True) * cnt
+        if pooled:
+            centered = np.subtract(x, mu, out=be.take_like(x))
+            sq = np.multiply(centered, centered, out=be.take_like(centered))
+            var = sq.sum(axis=axes, keepdims=True) * cnt
+            be.give(sq)
+        else:
+            centered = x - mu
+            var = (centered * centered).sum(axis=axes, keepdims=True) * cnt
+        veps = var + np.asarray(self.eps, dtype=DEFAULT_DTYPE)
+        root = veps ** 0.5
+        if pooled:
+            x_hat = np.divide(centered, root, out=be.take_like(centered))
+            self._scratch = (centered, x_hat)
+        else:
+            x_hat = centered / root
+        gamma_r = weight.reshape(1, -1, 1, 1)
+        out = x_hat * gamma_r + bias.reshape(1, -1, 1, 1)
+        # Batch statistics are exposed for the layer's running-average update
+        # even on the graph-free path.
+        self.mu = mu
+        self.var = var
+        if self.needs is not None:
+            self.cnt = cnt
+            self.centered = centered
+            self.root = root
+            self.veps = veps
+            self.x_hat = x_hat
+            self.gamma_r = gamma_r
+            self.x_shape = x.shape
+            self.p_shape = (1, c, 1, 1)
+            self.w_shape = weight.shape
+            self.b_shape = bias.shape
+        return out
+
+    def backward(self, be, grad):
+        pshape = self.p_shape
+        pooled = be.pool_buffers
+        grad_b = grad_w = grad_x = None
+        if self.needs[2]:
+            grad_b = _unbroadcast(grad, pshape).reshape(self.b_shape)
+        if pooled:
+            g_xhat = np.multiply(grad, self.gamma_r, out=be.take_like(grad))
+        else:
+            g_xhat = grad * self.gamma_r
+        if self.needs[1]:
+            if pooled:
+                tmp = np.multiply(grad, self.x_hat, out=be.take_like(grad))
+                grad_w = _unbroadcast(tmp, pshape).reshape(self.w_shape)
+                be.give(tmp)
+            else:
+                grad_w = _unbroadcast(grad * self.x_hat, pshape).reshape(self.w_shape)
+        if self.needs[0]:
+            centered, root, veps, cnt = self.centered, self.root, self.veps, self.cnt
+            # Contributions into x in the chain's reverse-topological order:
+            # normalisation numerator, its mean path, the variance centering,
+            # and the variance's mean path.  In-place adds below mirror the
+            # chain's sequential accumulation exactly.
+            if pooled:
+                g_d = np.divide(g_xhat, root, out=be.take_like(g_xhat))
+                t = np.multiply(np.negative(g_xhat, out=g_xhat), centered, out=g_xhat)
+                np.divide(t, root ** 2, out=t)
+                g_root = _unbroadcast(t, pshape)
+            else:
+                g_d = g_xhat / root
+                g_root = _unbroadcast(-g_xhat * centered / (root ** 2), pshape)
+            g_sm = (-_unbroadcast(g_d, pshape)) * cnt
+            grad_x = g_d
+            grad_x += np.broadcast_to(g_sm, self.x_shape)
+            g_veps = g_root * 0.5 * veps ** (0.5 - 1)
+            g_sq = np.broadcast_to(g_veps * cnt, self.x_shape)
+            if pooled:
+                gc = np.multiply(g_sq, centered, out=be.take_like(centered))
+                c_grad = np.add(gc, gc, out=gc)
+            else:
+                gc = g_sq * centered
+                c_grad = gc + gc
+            grad_x += c_grad
+            g_sv = (-_unbroadcast(c_grad, pshape)) * cnt
+            grad_x += np.broadcast_to(g_sv, self.x_shape)
+            if pooled:
+                self._scratch = self._scratch + (g_xhat, g_d, gc)
+        elif pooled:
+            be.give(g_xhat)
+        return (grad_x, grad_w, grad_b)
+
+    def release(self, be):
+        for buf in self._scratch:
+            be.give(buf)
+        self._scratch = ()
+
+
+def batch_norm2d_train(x: Tensor, weight: Tensor, bias: Tensor, eps: float):
+    """Training-mode batch norm over NCHW inputs.
+
+    Returns ``(out, batch_mean, batch_var)`` where the statistics are numpy
+    arrays of shape (1, C, 1, 1) for the caller's running-average update.
+    Fused into one node on fusing backends; identical values either way.
+    """
+    if get_backend().fuse_kernels:
+        op = BatchNorm2dOp(eps)
+        out = apply_op(op, x, weight, bias)
+        return out, op.mu, op.var
+    axes = (0, 2, 3)
+    mean = x.mean(axis=axes, keepdims=True)
+    var = x.var(axis=axes, keepdims=True)
+    x_hat = (x - mean) / ((var + eps) ** 0.5)
+    gamma = weight.reshape((1, -1, 1, 1))
+    beta = bias.reshape((1, -1, 1, 1))
+    return x_hat * gamma + beta, mean.data, var.data
+
+
+# --------------------------------------------------------------------------- #
+# Fused attention-weight kernel
+# --------------------------------------------------------------------------- #
+class AttentionWeightsOp(Op):
+    """``softmax(q @ kᵀ · scale + bias)`` over (N, H, L, D) heads as one node."""
+
+    __slots__ = ("scale", "bias", "q", "k", "out")
+    name = "attention_weights"
+
+    def __init__(self, scale: float, bias: Optional[np.ndarray]):
+        self.scale = np.asarray(scale, dtype=DEFAULT_DTYPE)
+        self.bias = bias
+
+    def forward(self, be, q, k):
+        scores = q @ k.transpose((0, 1, 3, 2))
+        be.add_flops(self.name, 2.0 * scores.size * q.shape[-1])
+        scores = scores * self.scale
+        if self.bias is not None:
+            scores = scores + self.bias
+        shifted = scores - scores.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        out = exp / exp.sum(axis=-1, keepdims=True)
+        if self.needs is not None:
+            self.q = q
+            self.k = k
+            self.out = out
+        return out
+
+    def backward(self, be, grad):
+        w = self.out
+        dot = (grad * w).sum(axis=-1, keepdims=True)
+        ds = w * (grad - dot)
+        ds = ds * self.scale
+        grad_q = grad_k = None
+        if self.needs[0]:
+            grad_q = ds @ self.k
+        if self.needs[1]:
+            grad_k = (np.swapaxes(self.q, -1, -2) @ ds).transpose((0, 1, 3, 2))
+        return (grad_q, grad_k)
+
+
+def attention_weights(
+    q: Tensor,
+    k: Tensor,
+    scale: float,
+    bias: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Softmax attention weights ``softmax(q @ kᵀ · scale + bias)``.
+
+    ``q``/``k`` have shape (N, heads, L, head_dim); ``bias`` is an optional
+    additive mask broadcastable to (N, heads, L, L).  Fused into one node on
+    fusing backends, identical values on either path.
+    """
+    if get_backend().fuse_kernels:
+        return apply_op(AttentionWeightsOp(scale, bias), q, k)
+    scores = q.matmul(k.transpose((0, 1, 3, 2))) * scale
+    if bias is not None:
+        scores = scores + Tensor(bias)
+    return softmax(scores, axis=-1)
+
+
+# --------------------------------------------------------------------------- #
+# Regularisation helpers
+# --------------------------------------------------------------------------- #
+# Fallback RNG for dropout call sites that do not thread an explicit
+# generator: derived once per root seed so that ``utils.seed_everything``
+# still pins dropout masks (a fresh ``default_rng()`` per call would not be
+# reproducible).
+_DROPOUT_RNG_OFFSET = 9_907
+_dropout_fallback = {"seed": None, "rng": None}
+
+
+def _default_dropout_rng() -> np.random.Generator:
+    from repro.utils.seed import get_rng, seed_state
+
+    state = seed_state()
+    if _dropout_fallback["seed"] != state or _dropout_fallback["rng"] is None:
+        _dropout_fallback["seed"] = state
+        _dropout_fallback["rng"] = get_rng(offset=_DROPOUT_RNG_OFFSET)
+    return _dropout_fallback["rng"]
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    rng = rng or _default_dropout_rng()
+    mask = (rng.random(x.shape) >= p).astype(DEFAULT_DTYPE) / (1.0 - p)
+    return x * Tensor(mask)
 
 
 def one_hot(targets: np.ndarray, num_classes: int) -> np.ndarray:

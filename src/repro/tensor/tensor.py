@@ -1,20 +1,32 @@
 """Core reverse-mode autograd tensor.
 
 The :class:`Tensor` class wraps a ``numpy.ndarray`` and records enough
-information to back-propagate gradients through a computation graph.  Only
-the operations required by the neural networks in this repository are
-implemented; each is written as a vectorised numpy expression with a matching
-vectorised backward closure.
+information to back-propagate gradients through a computation graph.  Each
+operation is a first-class :class:`~repro.tensor.ops.Op` object (a
+forward/backward pair) dispatched through the active execution backend
+(:mod:`repro.tensor.backend`); ``Tensor.backward`` topologically sorts the
+recorded graph and runs each op's backward in reverse order, letting the
+backend decide where gradient buffers come from.
+
+Under :func:`no_grad` no graph is constructed at all — ops compute their
+forward arrays without saving context and the result carries neither
+children nor an op, which is the fast path ``evaluate()`` and the profiler
+probes run on.
 """
 
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-DEFAULT_DTYPE = np.float32
+from repro.tensor import backend as _backend
+from repro.tensor import ops as _ops
+# DEFAULT_DTYPE / _unbroadcast / the backend selectors are re-exported here
+# for modules that historically imported them from repro.tensor.tensor.
+from repro.tensor.backend import DEFAULT_DTYPE, get_backend, set_backend, use_backend  # noqa: F401
+from repro.tensor.ops import Op, _unbroadcast  # noqa: F401
 
 _GRAD_ENABLED = True
 
@@ -36,28 +48,36 @@ def is_grad_enabled() -> bool:
     return _GRAD_ENABLED
 
 
-def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
-    """Sum ``grad`` over axes that were introduced or broadcast to reach ``shape``."""
-    if grad.shape == shape:
-        return grad
-    # Sum over leading axes added by broadcasting.
-    extra = grad.ndim - len(shape)
-    if extra > 0:
-        grad = grad.sum(axis=tuple(range(extra)))
-    # Sum over axes that were size 1 in the original shape.
-    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
-    if axes:
-        grad = grad.sum(axis=axes, keepdims=True)
-    return grad.reshape(shape)
-
-
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_SCALAR_TYPES = (int, float, np.integer, np.floating)
 
 
 def _as_array(value: ArrayLike, dtype=DEFAULT_DTYPE) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
     return np.asarray(value, dtype=dtype)
+
+
+def apply_op(op: Op, *inputs: "Tensor") -> "Tensor":
+    """Execute ``op`` on ``inputs`` through the active backend.
+
+    When gradients are enabled and at least one input requires grad, the
+    result records the op and its parents; otherwise a bare tensor is
+    returned and the op saves no context (graph-free inference).
+    """
+    be = _backend._active
+    if _GRAD_ENABLED and any(t.requires_grad for t in inputs):
+        op.needs = tuple(t.requires_grad for t in inputs)
+        data = op.forward(be, *[t.data for t in inputs])
+        be.record(op.name)
+        out = Tensor(data, requires_grad=True, _children=inputs, _op=op.name)
+        out._op_obj = op
+        return out
+    op.needs = None
+    data = op.forward(be, *[t.data for t in inputs])
+    be.record(op.name)
+    return Tensor(data)
 
 
 class Tensor:
@@ -72,7 +92,7 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op")
+    __slots__ = ("data", "grad", "requires_grad", "_prev", "_op", "_op_obj")
     __array_priority__ = 200  # ensure ndarray.__mul__(Tensor) defers to us
 
     def __init__(
@@ -87,9 +107,9 @@ class Tensor:
         self.data = np.asarray(data, dtype=DEFAULT_DTYPE)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
-        self._backward: Callable[[], None] = lambda: None
         self._prev: Tuple[Tensor, ...] = _children if _GRAD_ENABLED else ()
         self._op = _op
+        self._op_obj: Optional[Op] = None
 
     # ------------------------------------------------------------------ #
     # Basic introspection
@@ -119,22 +139,22 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        if self.data.size != 1:
+            raise ValueError(
+                f"item() requires a tensor with exactly one element, "
+                f"got shape {self.shape} ({self.data.size} elements)"
+            )
+        return float(self.data.reshape(-1)[0])
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but detached from the graph."""
         return Tensor(self.data, requires_grad=False)
 
     def clone(self) -> "Tensor":
-        out = Tensor(self.data.copy(), requires_grad=self.requires_grad, _children=(self,), _op="clone")
-        if out.requires_grad:
-            def _backward():
-                self._accumulate(out.grad)
-            out._backward = _backward
-        return out
+        return apply_op(_ops.CloneOp(), self)
 
     def zero_grad(self) -> None:
-        self.grad = None
+        _backend._active.release_grad(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}, op={self._op!r})"
@@ -145,19 +165,6 @@ class Tensor:
     # ------------------------------------------------------------------ #
     # Graph utilities
     # ------------------------------------------------------------------ #
-    def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into this tensor's gradient buffer."""
-        if not self.requires_grad:
-            return
-        if self.grad is None:
-            self.grad = np.zeros_like(self.data, dtype=DEFAULT_DTYPE)
-        self.grad += grad.astype(DEFAULT_DTYPE, copy=False)
-
-    @staticmethod
-    def _make(data: np.ndarray, children: Tuple["Tensor", ...], op: str) -> "Tensor":
-        requires = _GRAD_ENABLED and any(c.requires_grad for c in children)
-        return Tensor(data, requires_grad=requires, _children=children, _op=op)
-
     def backward(self, grad: Optional[ArrayLike] = None) -> None:
         """Back-propagate gradients from this tensor through the graph."""
         if not self.requires_grad:
@@ -185,41 +192,45 @@ class Tensor:
                 if id(child) not in visited:
                     stack.append((child, False))
 
+        be = _backend._active
+        release = not be.retain_intermediate_grads
+        pooled = be.pool_buffers
         self.grad = grad.astype(DEFAULT_DTYPE, copy=True).reshape(self.data.shape)
         for node in reversed(topo):
-            if node.grad is not None:
-                node._backward()
+            op = node._op_obj
+            if op is None or node.grad is None:
+                continue
+            if op.needs is None:
+                # needs is cleared when a pooling backend recycles the op's
+                # context; replaying the graph would read freed buffers.
+                raise RuntimeError(
+                    "this graph was already backpropagated on a buffer-pooling "
+                    "backend (its op context was recycled); rebuild the graph "
+                    "or use the reference 'numpy' backend for double backward"
+                )
+            input_grads = op.backward(be, node.grad)
+            for child, g in zip(node._prev, input_grads):
+                if g is not None:
+                    be.accumulate(child, g)
+            if release and node is not self:
+                be.release_grad(node)
+            if pooled:
+                op.release(be)
+                op.needs = None
 
     # ------------------------------------------------------------------ #
     # Elementwise arithmetic
     # ------------------------------------------------------------------ #
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        out = Tensor._make(self.data + other.data, (self, other), "add")
-        if out.requires_grad:
-            def _backward():
-                self._accumulate(_unbroadcast(out.grad, self.shape))
-                other._accumulate(_unbroadcast(out.grad, other.shape))
-            out._backward = _backward
-        return out
+        return apply_op(_ops.AddOp(), self, other)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        out = Tensor._make(self.data * other.data, (self, other), "mul")
-        if out.requires_grad:
-            def _backward():
-                self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
-                other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
-            out._backward = _backward
-        return out
+        return apply_op(_ops.MulOp(), self, other)
 
     def __neg__(self) -> "Tensor":
-        out = Tensor._make(-self.data, (self,), "neg")
-        if out.requires_grad:
-            def _backward():
-                self._accumulate(-out.grad)
-            out._backward = _backward
-        return out
+        return apply_op(_ops.NegOp(), self)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
@@ -227,25 +238,14 @@ class Tensor:
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        out = Tensor._make(self.data / other.data, (self, other), "div")
-        if out.requires_grad:
-            def _backward():
-                self._accumulate(_unbroadcast(out.grad / other.data, self.shape))
-                other._accumulate(
-                    _unbroadcast(-out.grad * self.data / (other.data ** 2), other.shape)
-                )
-            out._backward = _backward
-        return out
+        return apply_op(_ops.DivOp(), self, other)
 
     def __pow__(self, exponent: float) -> "Tensor":
-        if not isinstance(exponent, (int, float)):
-            raise TypeError("only scalar exponents are supported")
-        out = Tensor._make(self.data ** exponent, (self,), "pow")
-        if out.requires_grad:
-            def _backward():
-                self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
-            out._backward = _backward
-        return out
+        if not isinstance(exponent, _SCALAR_TYPES):
+            raise TypeError(
+                f"only scalar exponents are supported, got {type(exponent).__name__}"
+            )
+        return apply_op(_ops.PowOp(float(exponent)), self)
 
     __radd__ = __add__
     __rmul__ = __mul__
@@ -260,102 +260,38 @@ class Tensor:
     # Elementwise functions
     # ------------------------------------------------------------------ #
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
-        out = Tensor._make(out_data, (self,), "exp")
-        if out.requires_grad:
-            def _backward():
-                self._accumulate(out.grad * out_data)
-            out._backward = _backward
-        return out
+        return apply_op(_ops.ExpOp(), self)
 
     def log(self) -> "Tensor":
-        out = Tensor._make(np.log(self.data), (self,), "log")
-        if out.requires_grad:
-            def _backward():
-                self._accumulate(out.grad / self.data)
-            out._backward = _backward
-        return out
+        return apply_op(_ops.LogOp(), self)
 
     def sqrt(self) -> "Tensor":
         return self ** 0.5
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
-        out = Tensor._make(out_data, (self,), "tanh")
-        if out.requires_grad:
-            def _backward():
-                self._accumulate(out.grad * (1.0 - out_data ** 2))
-            out._backward = _backward
-        return out
+        return apply_op(_ops.TanhOp(), self)
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-self.data))
-        out = Tensor._make(out_data, (self,), "sigmoid")
-        if out.requires_grad:
-            def _backward():
-                self._accumulate(out.grad * out_data * (1.0 - out_data))
-            out._backward = _backward
-        return out
+        return apply_op(_ops.SigmoidOp(), self)
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        out = Tensor._make(self.data * mask, (self,), "relu")
-        if out.requires_grad:
-            def _backward():
-                self._accumulate(out.grad * mask)
-            out._backward = _backward
-        return out
+        return apply_op(_ops.ReluOp(), self)
 
     def gelu(self) -> "Tensor":
         """Gaussian error linear unit (tanh approximation)."""
-        c = np.sqrt(2.0 / np.pi).astype(DEFAULT_DTYPE)
-        x = self.data
-        inner = c * (x + 0.044715 * x ** 3)
-        tanh_inner = np.tanh(inner)
-        out_data = 0.5 * x * (1.0 + tanh_inner)
-        out = Tensor._make(out_data, (self,), "gelu")
-        if out.requires_grad:
-            def _backward():
-                sech2 = 1.0 - tanh_inner ** 2
-                d_inner = c * (1.0 + 3 * 0.044715 * x ** 2)
-                grad = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
-                self._accumulate(out.grad * grad)
-            out._backward = _backward
-        return out
+        return apply_op(_ops.GeluOp(), self)
 
     def abs(self) -> "Tensor":
-        sign = np.sign(self.data)
-        out = Tensor._make(np.abs(self.data), (self,), "abs")
-        if out.requires_grad:
-            def _backward():
-                self._accumulate(out.grad * sign)
-            out._backward = _backward
-        return out
+        return apply_op(_ops.AbsOp(), self)
 
     def clip(self, low: float, high: float) -> "Tensor":
-        mask = (self.data >= low) & (self.data <= high)
-        out = Tensor._make(np.clip(self.data, low, high), (self,), "clip")
-        if out.requires_grad:
-            def _backward():
-                self._accumulate(out.grad * mask)
-            out._backward = _backward
-        return out
+        return apply_op(_ops.ClipOp(low, high), self)
 
     # ------------------------------------------------------------------ #
     # Reductions
     # ------------------------------------------------------------------ #
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
-        out = Tensor._make(out_data, (self,), "sum")
-        if out.requires_grad:
-            def _backward():
-                grad = out.grad
-                if axis is not None and not keepdims:
-                    axes = axis if isinstance(axis, tuple) else (axis,)
-                    grad = np.expand_dims(grad, axes)
-                self._accumulate(np.broadcast_to(grad, self.shape).copy())
-            out._backward = _backward
-        return out
+        return apply_op(_ops.SumOp(axis, keepdims), self)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -371,22 +307,7 @@ class Tensor:
         return (centered * centered).mean(axis=axis, keepdims=keepdims)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.max(axis=axis, keepdims=keepdims)
-        out = Tensor._make(out_data, (self,), "max")
-        if out.requires_grad:
-            def _backward():
-                grad = out.grad
-                expanded = out_data
-                if axis is not None and not keepdims:
-                    axes = axis if isinstance(axis, tuple) else (axis,)
-                    grad = np.expand_dims(grad, axes)
-                    expanded = np.expand_dims(out_data, axes)
-                mask = (self.data == expanded).astype(DEFAULT_DTYPE)
-                # Split gradient equally among ties to keep the op well defined.
-                counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-                self._accumulate(mask * grad / counts)
-            out._backward = _backward
-        return out
+        return apply_op(_ops.MaxOp(axis, keepdims), self)
 
     # ------------------------------------------------------------------ #
     # Shape manipulation
@@ -394,25 +315,14 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        out = Tensor._make(self.data.reshape(shape), (self,), "reshape")
-        if out.requires_grad:
-            def _backward():
-                self._accumulate(out.grad.reshape(self.shape))
-            out._backward = _backward
-        return out
+        return apply_op(_ops.ReshapeOp(shape), self)
 
     def transpose(self, *axes) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
-        out = Tensor._make(self.data.transpose(axes), (self,), "transpose")
-        if out.requires_grad:
-            inverse = np.argsort(axes)
-            def _backward():
-                self._accumulate(out.grad.transpose(inverse))
-            out._backward = _backward
-        return out
+        return apply_op(_ops.TransposeOp(axes), self)
 
     def swapaxes(self, a: int, b: int) -> "Tensor":
         axes = list(range(self.ndim))
@@ -420,26 +330,10 @@ class Tensor:
         return self.transpose(tuple(axes))
 
     def __getitem__(self, index) -> "Tensor":
-        out = Tensor._make(self.data[index], (self,), "getitem")
-        if out.requires_grad:
-            def _backward():
-                grad = np.zeros_like(self.data, dtype=DEFAULT_DTYPE)
-                np.add.at(grad, index, out.grad)
-                self._accumulate(grad)
-            out._backward = _backward
-        return out
+        return apply_op(_ops.GetItemOp(index), self)
 
     def pad(self, pad_width) -> "Tensor":
-        out = Tensor._make(np.pad(self.data, pad_width), (self,), "pad")
-        if out.requires_grad:
-            slices = tuple(
-                slice(before, before + dim)
-                for (before, _after), dim in zip(pad_width, self.shape)
-            )
-            def _backward():
-                self._accumulate(out.grad[slices])
-            out._backward = _backward
-        return out
+        return apply_op(_ops.PadOp(pad_width), self)
 
     def flatten(self, start_dim: int = 0) -> "Tensor":
         shape = self.shape[:start_dim] + (-1,)
@@ -450,36 +344,7 @@ class Tensor:
     # ------------------------------------------------------------------ #
     def matmul(self, other: ArrayLike) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        out = Tensor._make(self.data @ other.data, (self, other), "matmul")
-        if out.requires_grad:
-            def _backward():
-                grad = out.grad
-                a, b = self.data, other.data
-                if a.ndim == 1 and b.ndim == 1:
-                    self._accumulate(grad * b)
-                    other._accumulate(grad * a)
-                    return
-                a2 = a if a.ndim > 1 else a.reshape(1, -1)
-                b2 = b if b.ndim > 1 else b.reshape(-1, 1)
-                g2 = grad
-                if a.ndim == 1:
-                    g2 = np.expand_dims(grad, -2)
-                if b.ndim == 1:
-                    g2 = np.expand_dims(g2, -1)
-                grad_a = g2 @ np.swapaxes(b2, -1, -2)
-                grad_b = np.swapaxes(a2, -1, -2) @ g2
-                if a.ndim == 1:
-                    grad_a = grad_a.reshape(a.shape) if grad_a.size == a.size else _unbroadcast(grad_a, (1,) + a.shape).reshape(a.shape)
-                    self._accumulate(_unbroadcast(grad_a, self.shape))
-                else:
-                    self._accumulate(_unbroadcast(grad_a, self.shape))
-                if b.ndim == 1:
-                    grad_b = grad_b.reshape(b.shape) if grad_b.size == b.size else _unbroadcast(grad_b, b.shape + (1,)).reshape(b.shape)
-                    other._accumulate(_unbroadcast(grad_b, other.shape))
-                else:
-                    other._accumulate(_unbroadcast(grad_b, other.shape))
-            out._backward = _backward
-        return out
+        return apply_op(_ops.MatMulOp(), self, other)
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         return self.matmul(other)
@@ -509,18 +374,7 @@ class Tensor:
     @staticmethod
     def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
-        data = np.concatenate([t.data for t in tensors], axis=axis)
-        out = Tensor._make(data, tuple(tensors), "concat")
-        if out.requires_grad:
-            sizes = [t.shape[axis] for t in tensors]
-            offsets = np.cumsum([0] + sizes)
-            def _backward():
-                for t, start, end in zip(tensors, offsets[:-1], offsets[1:]):
-                    index = [slice(None)] * out.grad.ndim
-                    index[axis] = slice(start, end)
-                    t._accumulate(out.grad[tuple(index)])
-            out._backward = _backward
-        return out
+        return apply_op(_ops.ConcatOp(axis), *tensors)
 
     @staticmethod
     def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":

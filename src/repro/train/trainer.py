@@ -76,10 +76,14 @@ class EpochRecord:
 
 
 def default_loss_fn(model: nn.Module, batch: Sequence[np.ndarray]) -> Tensor:
-    """Cross-entropy over an ``(inputs, labels)`` batch."""
+    """Cross-entropy over an ``(inputs, labels)`` batch.
+
+    Runs through the fused :func:`repro.tensor.functional.softmax_cross_entropy`
+    kernel (a single graph node on fusing backends).
+    """
     inputs, labels = batch[0], batch[-1]
     logits = model(inputs)
-    return F.cross_entropy(logits, labels)
+    return F.softmax_cross_entropy(logits, labels)
 
 
 def default_forward_fn(model: nn.Module, batch: Sequence[np.ndarray]) -> Tensor:
@@ -148,7 +152,8 @@ class Trainer:
             def loss_fn(model, batch):
                 logits = model(batch[0])
                 self._last_train_logits = logits
-                return F.cross_entropy(logits, batch[-1], label_smoothing=self.label_smoothing)
+                return F.softmax_cross_entropy(logits, batch[-1],
+                                               label_smoothing=self.label_smoothing)
         self.loss_fn = loss_fn
         self.forward_fn = forward_fn or default_forward_fn
 
@@ -205,6 +210,9 @@ class Trainer:
 
     @no_grad()
     def evaluate(self, loader: Optional[DataLoader] = None) -> Dict[str, float]:
+        # Under no_grad the engine builds no graph nodes at all (and conv
+        # layers reuse their geometry-keyed im2col buffers), so evaluation is
+        # a pure-forward fast path.
         loader = loader or self.val_loader
         if loader is None:
             return {}
@@ -214,7 +222,7 @@ class Trainer:
         for batch in loader:
             logits = self.forward_fn(self.model, batch)
             labels = batch[-1]
-            loss = F.cross_entropy(logits, labels)
+            loss = F.softmax_cross_entropy(logits, labels)
             loss_meter.update(loss.item(), len(labels))
             all_logits.append(logits.data)
             all_labels.append(labels)

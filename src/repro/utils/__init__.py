@@ -1,6 +1,6 @@
 """Small shared utilities: seeding, logging, checkpointing, numeric helpers."""
 
-from repro.utils.seed import seed_everything, get_rng
+from repro.utils.seed import seed_everything, get_rng, root_seed
 from repro.utils.logging import get_logger
 from repro.utils.checkpoint import (
     load_checkpoint,
@@ -12,6 +12,7 @@ from repro.utils.checkpoint import (
 __all__ = [
     "seed_everything",
     "get_rng",
+    "root_seed",
     "get_logger",
     "save_checkpoint",
     "load_checkpoint",

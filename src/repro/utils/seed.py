@@ -15,14 +15,30 @@ import random
 import numpy as np
 
 _ROOT_SEED = 0
+_SEED_EPOCH = 0
 
 
 def seed_everything(seed: int) -> None:
     """Seed Python's and numpy's global random number generators."""
-    global _ROOT_SEED
+    global _ROOT_SEED, _SEED_EPOCH
     _ROOT_SEED = int(seed)
+    _SEED_EPOCH += 1
     random.seed(seed)
     np.random.seed(seed % (2**32 - 1))
+
+
+def root_seed() -> int:
+    """The root seed last installed by :func:`seed_everything`."""
+    return _ROOT_SEED
+
+
+def seed_state() -> tuple:
+    """(root seed, reseed epoch) — changes on *every* ``seed_everything``.
+
+    Lets derived-generator caches (e.g. the dropout fallback RNG) reset even
+    when the same seed value is installed twice.
+    """
+    return (_ROOT_SEED, _SEED_EPOCH)
 
 
 def get_rng(offset: int = 0) -> np.random.Generator:

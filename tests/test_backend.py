@@ -1,0 +1,442 @@
+"""Tests for the execution-backend layer.
+
+Covers the registry surface, exact numerical equivalence between the
+``numpy`` and ``numpy-fast`` backends on a real training run, bit-exact
+fused-vs-unfused kernel parity, per-op counters, the arena allocator, the
+graph-free inference mode, and the small Tensor API fixes that rode along
+(``item()`` errors, numpy scalar exponents, deterministic dropout fallback).
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import (
+    Tensor,
+    available_backends,
+    backend_descriptions,
+    functional as F,
+    get_backend,
+    no_grad,
+    set_backend,
+    use_backend,
+)
+from repro.tensor.backend import Backend, NumpyFastBackend, register_backend
+from repro.utils import seed_everything
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert "numpy" in available_backends()
+        assert "numpy-fast" in available_backends()
+
+    def test_descriptions_are_non_empty(self):
+        descriptions = backend_descriptions()
+        assert descriptions["numpy"]
+        assert descriptions["numpy-fast"]
+
+    def test_default_backend_is_numpy(self):
+        assert get_backend().name == "numpy"
+
+    def test_set_backend_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown backend"):
+            set_backend("no-such-backend")
+
+    def test_set_backend_bad_type_raises(self):
+        with pytest.raises(TypeError):
+            set_backend(42)
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register_backend("numpy")
+            class Duplicate(Backend):
+                pass
+
+    def test_register_non_backend_raises(self):
+        with pytest.raises(TypeError):
+            register_backend("bogus-backend")(dict)
+
+    def test_use_backend_restores_previous(self):
+        assert get_backend().name == "numpy"
+        with use_backend("numpy-fast") as be:
+            assert be.name == "numpy-fast"
+            assert get_backend() is be
+        assert get_backend().name == "numpy"
+
+    def test_use_backend_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_backend("numpy-fast"):
+                raise RuntimeError("boom")
+        assert get_backend().name == "numpy"
+
+
+# --------------------------------------------------------------------------- #
+# Backend equivalence on a real training run
+# --------------------------------------------------------------------------- #
+def _train_small_model(backend, steps=6):
+    """Train a conv+bn+linear model for a few steps; return losses + params."""
+    from repro.optim import SGD
+
+    with use_backend(backend):
+        seed_everything(123)
+        model = nn.Sequential(
+            nn.Conv2d(3, 4, 3, padding=1),
+            nn.BatchNorm2d(4),
+            nn.ReLU(),
+            nn.AvgPool2d(2),
+            nn.Flatten(),
+            nn.Linear(4 * 4 * 4, 5),
+        )
+        optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9, weight_decay=1e-3)
+        rng = np.random.default_rng(9)
+        x = rng.standard_normal((8, 3, 8, 8)).astype(np.float32)
+        y = rng.integers(0, 5, size=8)
+        losses = []
+        for _ in range(steps):
+            optimizer.zero_grad()
+            loss = F.softmax_cross_entropy(model(x), y)
+            loss.backward()
+            optimizer.step()
+            losses.append(float(loss.data))
+        with no_grad():
+            eval_logits = model(x).data.copy()
+        return losses, [p.data.copy() for p in model.parameters()], eval_logits
+
+
+class TestBackendEquivalence:
+    def test_training_run_is_bit_identical(self):
+        losses_np, params_np, eval_np = _train_small_model("numpy")
+        losses_fast, params_fast, eval_fast = _train_small_model("numpy-fast")
+        # *Identical*, not allclose: the fused kernels and the arena replicate
+        # the reference float-op sequence exactly.
+        assert losses_np == losses_fast
+        for a, b in zip(params_np, params_fast):
+            assert np.array_equal(a, b)
+        assert np.array_equal(eval_np, eval_fast)
+
+    def test_adamw_transformer_step_is_bit_identical(self):
+        from repro.optim import AdamW
+
+        def run(backend):
+            with use_backend(backend):
+                seed_everything(5)
+                attn = nn.MultiHeadAttention(8, 2)
+                optimizer = AdamW(attn.parameters(), lr=1e-3, weight_decay=0.01)
+                rng = np.random.default_rng(2)
+                x = rng.standard_normal((2, 5, 8)).astype(np.float32)
+                mask = np.array([[True] * 5, [True, True, True, False, False]])
+                for _ in range(3):
+                    optimizer.zero_grad()
+                    out = attn(Tensor(x), attn_mask=mask)
+                    (out * out).mean().backward()
+                    optimizer.step()
+                return [p.data.copy() for p in attn.parameters()]
+
+        for a, b in zip(run("numpy"), run("numpy-fast")):
+            assert np.array_equal(a, b)
+
+
+# --------------------------------------------------------------------------- #
+# Fused vs unfused kernel parity (bit-exact)
+# --------------------------------------------------------------------------- #
+class TestFusedKernelParity:
+    def _forward_backward(self, fn, arrays, backend):
+        with use_backend(backend):
+            tensors = [Tensor(a, requires_grad=True) for a in arrays]
+            out = fn(*tensors)
+            loss = out if out.size == 1 else out.sum()
+            loss.backward()
+            return out.data.copy(), [t.grad.copy() for t in tensors]
+
+    def _assert_bit_equal(self, fn, arrays):
+        out_np, grads_np = self._forward_backward(fn, arrays, "numpy")
+        out_fast, grads_fast = self._forward_backward(fn, arrays, "numpy-fast")
+        assert np.array_equal(out_np, out_fast)
+        for a, b in zip(grads_np, grads_fast):
+            assert np.array_equal(a, b)
+
+    def test_linear(self):
+        rng = np.random.default_rng(0)
+        self._assert_bit_equal(
+            lambda x, w, b: F.linear(x, w, b),
+            [rng.standard_normal((6, 4)).astype(np.float32),
+             rng.standard_normal((3, 4)).astype(np.float32),
+             rng.standard_normal(3).astype(np.float32)])
+
+    def test_softmax_cross_entropy(self):
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((16, 7)).astype(np.float32)
+        targets = rng.integers(0, 7, size=16)
+        self._assert_bit_equal(
+            lambda x: F.softmax_cross_entropy(x, targets, label_smoothing=0.1), [logits])
+
+    def test_attention_weights(self):
+        rng = np.random.default_rng(2)
+        q = rng.standard_normal((2, 2, 5, 3)).astype(np.float32)
+        k = rng.standard_normal((2, 2, 5, 3)).astype(np.float32)
+        probe = rng.random((2, 2, 5, 5)).astype(np.float32)
+        self._assert_bit_equal(
+            lambda qt, kt: (F.attention_weights(qt, kt, scale=0.4) * Tensor(probe)).sum(),
+            [q, k])
+
+    def test_batch_norm2d(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((4, 3, 6, 6)).astype(np.float32)
+        w = rng.random(3).astype(np.float32) + 0.5
+        b = rng.standard_normal(3).astype(np.float32)
+        probe = rng.random(x.shape).astype(np.float32)
+
+        def fn(xt, wt, bt):
+            out, _, _ = F.batch_norm2d_train(xt, wt, bt, eps=1e-5)
+            return (out * Tensor(probe)).sum()
+
+        self._assert_bit_equal(fn, [x, w, b])
+
+    def test_linear_act_matches_manual_chain(self):
+        # Explicit fused call vs the composed matmul+bias+activation graph.
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((5, 4)).astype(np.float32)
+        w = rng.standard_normal((3, 4)).astype(np.float32)
+        b = rng.standard_normal(3).astype(np.float32)
+        for activation in [None, "relu", "gelu"]:
+            xt, wt, bt = (Tensor(a, requires_grad=True) for a in (x, w, b))
+            fused = F.linear_act(xt, wt, bt, activation=activation)
+            fused.sum().backward()
+
+            xc, wc, bc = (Tensor(a, requires_grad=True) for a in (x, w, b))
+            chain = xc.matmul(wc.transpose()) + bc
+            if activation == "relu":
+                chain = chain.relu()
+            elif activation == "gelu":
+                chain = chain.gelu()
+            chain.sum().backward()
+
+            assert np.array_equal(fused.data, chain.data)
+            assert np.array_equal(xt.grad, xc.grad)
+            assert np.array_equal(wt.grad, wc.grad)
+            assert np.array_equal(bt.grad, bc.grad)
+
+    def test_linear_act_rejects_unknown_activation(self):
+        with pytest.raises(ValueError, match="activation"):
+            F.linear_act(Tensor(np.ones((2, 2))), Tensor(np.ones((2, 2))), activation="swish")
+
+
+# --------------------------------------------------------------------------- #
+# Per-op counters
+# --------------------------------------------------------------------------- #
+class TestOpCounters:
+    def test_counts_and_flops_recorded(self):
+        from repro.profiling import count_ops
+
+        x = Tensor(np.ones((4, 8), dtype=np.float32), requires_grad=True)
+        w = Tensor(np.ones((8, 3), dtype=np.float32), requires_grad=True)
+        with count_ops() as counts:
+            (x @ w).sum().backward()
+        assert counts["matmul"].calls == 1
+        assert counts["matmul"].flops == pytest.approx(2.0 * 4 * 3 * 8)
+        assert counts["sum"].calls == 1
+
+    def test_conv_flops_match_analytic_count(self):
+        from repro.profiling import conv2d_cost, count_ops
+
+        x = Tensor(np.ones((2, 3, 8, 8), dtype=np.float32))
+        w = Tensor(np.ones((4, 3, 3, 3), dtype=np.float32), requires_grad=True)
+        with count_ops() as counts:
+            F.conv2d(x, w, stride=1, padding=1)
+        analytic = conv2d_cost(batch=2, in_channels=3, out_channels=4, kernel=3,
+                               out_h=8, out_w=8)
+        assert counts["conv2d"].calls == 1
+        assert counts["conv2d"].flops == pytest.approx(analytic.flops)
+
+    def test_optimizer_steps_counted(self):
+        from repro.optim import SGD
+        from repro.profiling import count_ops
+
+        p = nn.Parameter(np.ones(4, dtype=np.float32))
+        optimizer = SGD([p], lr=0.1)
+        p.grad = np.ones(4, dtype=np.float32)
+        with count_ops() as counts:
+            optimizer.step()
+        assert counts["sgd_step"].calls == 1
+
+    def test_reset(self):
+        from repro.profiling import op_counters, reset_op_counters
+
+        Tensor(np.ones(3)) + Tensor(np.ones(3))
+        assert op_counters()
+        reset_op_counters()
+        assert not op_counters()
+
+
+# --------------------------------------------------------------------------- #
+# Arena allocator
+# --------------------------------------------------------------------------- #
+class TestArena:
+    def test_take_give_roundtrip(self):
+        be = NumpyFastBackend()
+        buf = be.take((4, 4))
+        be.give(buf)
+        assert be.take((4, 4)) is buf
+
+    def test_views_are_not_pooled(self):
+        be = NumpyFastBackend()
+        base = np.empty((4, 4), dtype=np.float32)
+        be.give(base[:2])
+        assert be.take((2, 4)) is not base
+
+    def test_layout_is_part_of_the_key(self):
+        be = NumpyFastBackend()
+        proto = np.empty((2, 3, 4, 5), dtype=np.float32).transpose(0, 2, 3, 1)
+        buf = be.take_like(proto)
+        assert buf.strides == np.zeros_like(proto).strides
+        be.give(buf)
+        assert be.take_like(proto) is buf
+        # A C-contiguous request of the same shape must not receive it.
+        c_buf = be.take(proto.shape)
+        assert c_buf.flags.c_contiguous
+
+    def test_intermediate_grads_released_and_recycled(self):
+        with use_backend("numpy-fast") as be:
+            be.clear_arena()
+            x = Tensor(np.ones((32, 32), dtype=np.float32), requires_grad=True)
+            y = (x * 2.0)
+            y.sum().backward()
+            # Leaf keeps its grad; the intermediate's buffer went to the arena.
+            assert x.grad is not None
+            assert y.grad is None
+            assert any(bucket for bucket in be._arena.values())
+
+    def test_double_backward_raises_on_pooling_backend(self):
+        with use_backend("numpy-fast"):
+            x = Tensor(np.ones((3, 3), dtype=np.float32), requires_grad=True)
+            loss = (x * 2.0).sum()
+            loss.backward()
+            with pytest.raises(RuntimeError, match="already backpropagated"):
+                loss.backward()
+
+    def test_double_backward_still_allowed_on_reference_backend(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        loss = (x * 2.0).sum()
+        loss.backward()
+        loss.backward()
+        # Historical semantics: intermediate grads persist, so the second
+        # pass compounds through them (2 + 4).
+        np.testing.assert_allclose(x.grad, 6 * np.ones(3))
+
+    def test_zero_grad_recycles_parameter_grads(self):
+        with use_backend("numpy-fast") as be:
+            be.clear_arena()
+            p = nn.Parameter(np.ones((8, 8), dtype=np.float32))
+            (p * 3.0).sum().backward()
+            buf = p.grad
+            p.zero_grad()
+            assert p.grad is None
+            assert be.take_like(p.data) is buf
+
+
+# --------------------------------------------------------------------------- #
+# Graph-free inference mode
+# --------------------------------------------------------------------------- #
+class TestGraphFreeInference:
+    @pytest.mark.parametrize("backend", ["numpy", "numpy-fast"])
+    def test_no_grad_builds_no_graph(self, backend):
+        with use_backend(backend):
+            x = Tensor(np.ones((2, 3)), requires_grad=True)
+            with no_grad():
+                out = (x * 2.0).relu().sum()
+            assert out._op_obj is None
+            assert out._prev == ()
+            assert not out.requires_grad
+
+    def test_conv_inference_reuses_cached_col_buffer(self):
+        from repro.tensor.functional import _IM2COL_CACHE, clear_im2col_cache
+
+        clear_im2col_cache()
+        conv = nn.Conv2d(3, 4, 3, padding=1)
+        x = np.ones((2, 3, 8, 8), dtype=np.float32)
+        with no_grad():
+            first = conv(Tensor(x)).data.copy()
+            assert len(_IM2COL_CACHE) == 1
+            second = conv(Tensor(x)).data.copy()
+            assert len(_IM2COL_CACHE) == 1
+        assert np.array_equal(first, second)
+        # Training-mode forward must not touch the inference cache.
+        conv(Tensor(x, requires_grad=True))
+        assert len(_IM2COL_CACHE) == 1
+        clear_im2col_cache()
+
+    def test_inference_forward_matches_training_forward(self):
+        seed_everything(0)
+        model = nn.Sequential(nn.Conv2d(3, 4, 3, padding=1), nn.ReLU(),
+                              nn.Flatten(), nn.Linear(4 * 64, 5))
+        model.eval()
+        x = np.random.default_rng(0).standard_normal((2, 3, 8, 8)).astype(np.float32)
+        with no_grad():
+            graph_free = model(Tensor(x)).data.copy()
+        graphed = model(Tensor(x, requires_grad=True)).data
+        np.testing.assert_array_equal(graph_free, graphed)
+
+
+# --------------------------------------------------------------------------- #
+# Satellite API fixes
+# --------------------------------------------------------------------------- #
+class TestTensorApiFixes:
+    def test_item_multi_element_raises_value_error(self):
+        with pytest.raises(ValueError, match="one element"):
+            Tensor(np.ones((2, 3))).item()
+
+    def test_item_scalar_still_works(self):
+        assert Tensor(np.asarray(2.5)).item() == 2.5
+        assert Tensor(np.asarray([[4.0]])).item() == 4.0
+
+    @pytest.mark.parametrize("exponent", [np.int64(2), np.float32(2.0), np.float64(2.0)])
+    def test_pow_accepts_numpy_scalars(self, exponent):
+        t = Tensor([2.0, 3.0], requires_grad=True)
+        out = t ** exponent
+        np.testing.assert_allclose(out.data, [4.0, 9.0])
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, [4.0, 6.0])
+
+    def test_pow_still_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_dropout_fallback_rng_is_seeded(self):
+        x = Tensor(np.ones((64, 64)))
+
+        seed_everything(77)
+        a = F.dropout(x, 0.5, training=True).data.copy()
+        seed_everything(77)
+        b = F.dropout(x, 0.5, training=True).data.copy()
+        assert np.array_equal(a, b)
+
+        # Consecutive calls under one seed draw different masks.
+        seed_everything(77)
+        first = F.dropout(x, 0.5, training=True).data.copy()
+        second = F.dropout(x, 0.5, training=True).data.copy()
+        assert not np.array_equal(first, second)
+
+    def test_dropout_explicit_rng_still_honoured(self):
+        x = Tensor(np.ones((16, 16)))
+        a = F.dropout(x, 0.5, training=True, rng=np.random.default_rng(3)).data
+        b = F.dropout(x, 0.5, training=True, rng=np.random.default_rng(3)).data
+        assert np.array_equal(a, b)
+
+
+def test_fuse_linear_activations_preserves_values():
+    seed_everything(11)
+    model = nn.Sequential(nn.Linear(6, 8), nn.ReLU(), nn.Linear(8, 4), nn.GELU(),
+                          nn.Linear(4, 2))
+    x = np.random.default_rng(1).standard_normal((3, 6)).astype(np.float32)
+    before = model(Tensor(x)).data.copy()
+    fused = nn.fuse_linear_activations(model)
+    assert fused == 2
+    assert model[0].activation == "relu"
+    assert isinstance(model[1], nn.Identity)
+    after = model(Tensor(x)).data
+    assert np.array_equal(before, after)
+    # Idempotent: a second pass finds nothing new.
+    assert nn.fuse_linear_activations(model) == 0
