@@ -1,10 +1,11 @@
 """Command-line interface for the Cuttlefish reproduction.
 
-Five subcommands cover the workflows a downstream user needs without writing
+Eight subcommands cover the workflows a downstream user needs without writing
 Python:
 
 * ``train``    — train one registered method on a synthetic task and print
-  its comparison-table row.
+  its comparison-table row; optionally save a checkpoint or export a serving
+  artifact of the trained model.
 * ``compare``  — run several methods on the same task/budget and print the
   paper-style comparison table (Table 1 / 2 / 19 format).
 * ``list-methods`` — print every method in the unified registry with its
@@ -13,6 +14,12 @@ Python:
   the GPU roofline and print the per-stack speedup table (Figure 4).
 * ``rank-trace`` — train briefly while recording per-layer stable ranks and
   print the trajectory table behind Figures 2/3.
+* ``export``   — convert a training checkpoint into a versioned serving
+  artifact (low-rank factors stay factorized; optionally fuse or densify).
+* ``serve``    — boot the micro-batching HTTP inference server on an
+  exported artifact (``/predict``, ``/healthz``, ``/metrics``).
+* ``bench-serve`` — closed-loop load test of an artifact: dynamic
+  micro-batching vs batch-size-1 serving, JSON results.
 
 ``train`` and ``compare`` accept any method registered with
 ``repro.train.methods.register_method`` — including ones a downstream user
@@ -22,9 +29,11 @@ Examples
 --------
 ::
 
-    repro-cuttlefish train --method cuttlefish --task cifar10_small --model resnet18
+    repro-cuttlefish train --method cuttlefish --epochs 8 --export model.npz
     repro-cuttlefish compare --methods full_rank pufferfish cuttlefish --epochs 8
-    repro-cuttlefish list-methods
+    repro-cuttlefish export --checkpoint ckpt.npz --model resnet18 --output model.npz
+    repro-cuttlefish serve --artifact model.npz --port 8080 --max-batch-size 32
+    repro-cuttlefish bench-serve --artifact model.npz --duration 5
     repro-cuttlefish profile --model resnet18 --device v100 --batch-size 1024
     repro-cuttlefish rank-trace --model vgg19 --epochs 6
 """
@@ -89,6 +98,10 @@ def build_parser() -> argparse.ArgumentParser:
     train = sub.add_parser("train", help="train one method and print its result row")
     add_budget_args(train)
     train.add_argument("--method", default="cuttlefish", choices=methods)
+    train.add_argument("--save-checkpoint", default=None, metavar="PATH",
+                       help="write a training checkpoint of the trained model")
+    train.add_argument("--export", default=None, metavar="PATH",
+                       help="export the trained model as a serving artifact")
 
     compare = sub.add_parser("compare", help="run several methods on the same budget")
     add_budget_args(compare)
@@ -109,6 +122,43 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--speedup-threshold", type=float, default=1.5, help="υ")
     profile.add_argument("--image-size", type=int, default=32)
     profile.add_argument("--json", action="store_true")
+
+    export = sub.add_parser("export", help="convert a checkpoint into a serving artifact")
+    export.add_argument("--checkpoint", required=True, help="checkpoint written by save_checkpoint")
+    export.add_argument("--output", required=True, help="artifact destination (.npz)")
+    export.add_argument("--model", default="resnet18", choices=available_models())
+    export.add_argument("--num-classes", type=int, default=10)
+    export.add_argument("--width-mult", type=float, default=0.125)
+    export.add_argument("--input-shape", type=int, nargs="+", default=None,
+                        help="per-sample input shape recorded in the manifest "
+                             "(default: the shape stored in the checkpoint, else 3 32 32)")
+    export.add_argument("--fuse", action="store_true",
+                        help="fold Linear→ReLU/GELU pairs into fused kernels before export")
+    export.add_argument("--dense", action="store_true",
+                        help="merge low-rank factors into dense layers before export "
+                             "(the baseline the factorized artifact is compared against)")
+    export.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser("serve", help="serve an artifact over HTTP with micro-batching")
+    serve.add_argument("--artifact", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--backend", default=None, choices=available_backends(),
+                       help="tensor backend for inference (default: current)")
+    serve.add_argument("--max-batch-size", type=int, default=32)
+    serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    serve.add_argument("--max-queue", type=int, default=256)
+
+    bench_serve = sub.add_parser("bench-serve",
+                                 help="closed-loop load test: micro-batching vs batch-1")
+    bench_serve.add_argument("--artifact", required=True)
+    bench_serve.add_argument("--duration", type=float, default=3.0, help="seconds per config")
+    bench_serve.add_argument("--concurrency", type=int, default=32)
+    bench_serve.add_argument("--max-batch-size", type=int, default=32)
+    bench_serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    bench_serve.add_argument("--transports", nargs="+", default=["engine", "http"],
+                             choices=["engine", "http"])
+    bench_serve.add_argument("--backend", default=None, choices=available_backends())
 
     trace = sub.add_parser("rank-trace", help="per-layer stable-rank trajectories (Figure 2/3)")
     trace.add_argument("--task", default="cifar10_small")
@@ -148,10 +198,49 @@ def _emit_rows(rows: List[ExperimentRow], as_json: bool, stream) -> None:
         stream.write(format_rows(rows) + "\n")
 
 
+def _model_spec(args: argparse.Namespace, num_classes: int) -> dict:
+    """JSON-serialisable build_model spec for the trained architecture."""
+    kwargs = {"num_classes": num_classes, "width_mult": args.width_mult}
+    if args.model in ("resnet18", "resnet50", "wide_resnet50_2"):
+        kwargs["small_input"] = True
+    return {"name": args.model, "kwargs": kwargs}
+
+
 def cmd_train(args: argparse.Namespace, stream=sys.stdout) -> int:
     set_backend(args.backend)
-    row = run_experiment(ExperimentSpec(method=args.method, config=_experiment_config(args)))
+    spec = ExperimentSpec(method=args.method, config=_experiment_config(args))
+    wants_model = args.save_checkpoint or args.export
+    if wants_model:
+        row, context = run_experiment(spec, return_context=True)
+    else:
+        row = run_experiment(spec)
     _emit_rows([row], args.json, stream)
+    if args.save_checkpoint:
+        from repro.utils import save_checkpoint
+
+        save_checkpoint(
+            args.save_checkpoint, context.model,
+            metadata={
+                "method": args.method,
+                "val_accuracy": row.val_accuracy,
+                "model_spec": _model_spec(args, context.task_spec.num_classes),
+                "input_shape": [3, context.task_spec.image_size, context.task_spec.image_size],
+            })
+        stream.write(f"checkpoint written to {args.save_checkpoint}\n")
+    if args.export:
+        from repro.serve import export_artifact
+
+        shape = (3, context.task_spec.image_size, context.task_spec.image_size)
+        example = get_rng(offset=99).standard_normal((8,) + shape).astype(np.float32)
+        manifest = export_artifact(
+            args.export, context.model,
+            model_spec=_model_spec(args, context.task_spec.num_classes),
+            input_shape=shape,
+            metadata={"method": args.method, "val_accuracy": row.val_accuracy},
+            example_batch=example,
+        )
+        stream.write(f"artifact written to {args.export} "
+                     f"(batch_invariant={manifest.get('batch_invariant')})\n")
     return 0
 
 
@@ -237,12 +326,85 @@ def cmd_rank_trace(args: argparse.Namespace, stream=sys.stdout) -> int:
     return 0
 
 
+def cmd_export(args: argparse.Namespace, stream=sys.stdout) -> int:
+    from repro import nn
+    from repro.serve import export_artifact
+    from repro.utils import load_checkpoint, read_checkpoint_meta
+
+    seed_everything(args.seed)
+    # Checkpoints written by `train --save-checkpoint` carry their builder
+    # spec; explicit CLI flags act as a fallback for hand-rolled checkpoints.
+    stored = read_checkpoint_meta(args.checkpoint).get("metadata", {})
+    spec = stored.get("model_spec") or _model_spec(args, args.num_classes)
+    name, kwargs = spec["name"], spec["kwargs"]
+    model = build_model(name, rng=get_rng(offset=args.seed + 1), **kwargs)
+    load_checkpoint(args.checkpoint, model)
+    if args.dense:
+        from repro.core import merge_factorized
+
+        merged = merge_factorized(model)
+        stream.write(f"merged {merged} low-rank layers into dense weights\n")
+    if args.fuse:
+        fused = nn.fuse_linear_activations(model)
+        stream.write(f"fused {fused} Linear→activation pairs\n")
+    if args.input_shape is not None:
+        shape = tuple(args.input_shape)
+    else:
+        shape = tuple(stored.get("input_shape") or (3, 32, 32))
+    example = get_rng(offset=77).standard_normal((8,) + shape).astype(np.float32)
+    manifest = export_artifact(
+        args.output, model,
+        model_spec={"name": name, "kwargs": kwargs},
+        input_shape=shape,
+        metadata={"checkpoint": args.checkpoint},
+        example_batch=example,
+    )
+    stream.write(f"artifact written to {args.output}: {manifest['num_parameters']} params, "
+                 f"ranks={len(manifest['ranks'])} factorized layers, "
+                 f"batch_invariant={manifest.get('batch_invariant')}\n")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace, stream=sys.stdout) -> int:
+    from repro.serve import BatchingPolicy, ModelServer
+
+    policy = BatchingPolicy(max_batch_size=args.max_batch_size,
+                            max_wait_ms=args.max_wait_ms, max_queue=args.max_queue)
+    server = ModelServer(args.artifact, policy=policy, host=args.host, port=args.port,
+                         backend=args.backend)
+    stream.write(f"serving {server.model_name} on {server.url} "
+                 f"(max_batch_size={args.max_batch_size}, max_wait_ms={args.max_wait_ms})\n")
+    stream.flush()
+    server.serve_forever()
+    return 0
+
+
+def cmd_bench_serve(args: argparse.Namespace, stream=sys.stdout) -> int:
+    from repro.serve import bench_artifact
+
+    results = bench_artifact(
+        args.artifact,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        duration_s=args.duration,
+        concurrency=args.concurrency,
+        transports=args.transports,
+        backend=args.backend,
+    )
+    json.dump(results, stream, indent=2, default=float)
+    stream.write("\n")
+    return 0
+
+
 COMMANDS = {
     "train": cmd_train,
     "compare": cmd_compare,
     "list-methods": cmd_list_methods,
     "profile": cmd_profile,
     "rank-trace": cmd_rank_trace,
+    "export": cmd_export,
+    "serve": cmd_serve,
+    "bench-serve": cmd_bench_serve,
 }
 
 

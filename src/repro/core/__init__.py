@@ -13,13 +13,19 @@ from repro.core.stable_rank import (
     stable_rank,
     weight_to_matrix,
 )
-from repro.core.low_rank_layers import LowRankConv2d, LowRankLinear, is_low_rank
+from repro.core.low_rank_layers import (
+    LowRankConv2d,
+    LowRankLinear,
+    is_low_rank,
+    merge_factorized,
+)
 from repro.core.factorize import (
     factorize_conv2d,
     factorize_linear,
     factorize_model,
     factorize_module,
     hybrid_parameter_count,
+    materialize_low_rank,
     reconstruction_error,
     svd_factorize,
     would_reduce_parameters,
@@ -50,6 +56,8 @@ __all__ = [
     "LowRankConv2d",
     "LowRankLinear",
     "is_low_rank",
+    "merge_factorized",
+    "materialize_low_rank",
     "factorize_conv2d",
     "factorize_linear",
     "factorize_model",

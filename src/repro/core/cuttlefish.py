@@ -230,6 +230,42 @@ class CuttlefishManager:
     def full_ranks(self) -> Dict[str, int]:
         return {path: history.full_rank for path, history in self.tracker.histories.items()}
 
+    # ------------------------------------------------------------------ #
+    # Deployment hook
+    # ------------------------------------------------------------------ #
+    def export_artifact(
+        self,
+        path: str,
+        model: nn.Module,
+        model_spec: Optional[Dict] = None,
+        input_shape: Optional[Sequence[int]] = None,
+        example_batch=None,
+        metadata: Optional[Dict] = None,
+    ) -> Dict:
+        """Export the (possibly factorized) trained model for serving.
+
+        Thin wrapper over :func:`repro.serve.export_artifact` that folds what
+        Cuttlefish selected — Ê, K̂, the per-layer ranks and the resulting
+        compression — into the artifact metadata, so a serving fleet can
+        report which training recipe produced the model it is running.  The
+        low-rank factors are exported factorized (the compressed FLOP path);
+        use :func:`repro.core.merge_factorized` first for a dense export.
+        """
+        from repro.serve.artifact import export_artifact  # local: serve imports core
+
+        report = self.report
+        combined = {
+            "method": "cuttlefish",
+            "switch_epoch": report.switch_epoch,
+            "k_hat": report.k_hat,
+            "selected_ranks": {k: int(v) for k, v in report.selected_ranks.items()},
+            "compression_ratio": report.compression_ratio,
+            **(metadata or {}),
+        }
+        return export_artifact(path, model, model_spec=model_spec,
+                               input_shape=input_shape, metadata=combined,
+                               example_batch=example_batch)
+
 
 class CuttlefishCallback(Callback):
     """Trainer callback wiring a :class:`CuttlefishManager` into the training loop."""

@@ -114,6 +114,50 @@ def factorize_model(
     return factorized
 
 
+def materialize_low_rank(
+    model: nn.Module,
+    ranks: Dict[str, int],
+    extra_bn: bool = False,
+) -> List[str]:
+    """Install low-rank layers structurally, *without* SVD-ing current weights.
+
+    Swaps each listed Linear/Conv2d for a freshly initialised factorized layer
+    of the requested rank.  This is the cheap path used when the factor
+    weights are about to be overwritten anyway — e.g. when a serving artifact
+    rebuilds the factorized architecture before loading the stored U/Vᵀ
+    factors.  Contrast :func:`factorize_model`, which preserves the layer's
+    current function via a truncated SVD.
+    """
+    installed: List[str] = []
+    for path, rank in ranks.items():
+        module = model.get_submodule(path)
+        if is_low_rank(module):
+            if int(module.rank) != int(rank):
+                raise ValueError(
+                    f"layer {path!r} is already factorized at rank {module.rank}, "
+                    f"cannot re-materialize at rank {rank}"
+                )
+            continue
+        rank = int(max(1, round(rank)))
+        if isinstance(module, nn.Conv2d):
+            replacement: nn.Module = LowRankConv2d(
+                module.in_channels, module.out_channels, module.kernel_size, rank,
+                stride=module.stride, padding=module.padding,
+                bias=module.bias is not None, extra_bn=extra_bn,
+            )
+        elif isinstance(module, nn.Linear):
+            replacement = LowRankLinear(
+                module.in_features, module.out_features, rank,
+                bias=module.bias is not None, extra_bn=extra_bn,
+            )
+        else:
+            raise TypeError(f"cannot materialize low-rank layer at {path!r}: "
+                            f"unsupported module type {type(module).__name__}")
+        model.set_submodule(path, replacement)
+        installed.append(path)
+    return installed
+
+
 def hybrid_parameter_count(model: nn.Module) -> Dict[str, int]:
     """Parameter counts split into full-rank vs factorized layers (hybrid accounting)."""
     full_rank_params = 0

@@ -83,6 +83,36 @@ class LowRankLinear(nn.Module):
     def factor_parameters(self) -> Tuple[Parameter, Parameter]:
         return self.u, self.vt
 
+    def export_factors(self) -> "OrderedDict[str, np.ndarray]":
+        """The factorized weights in export orientation: U (in, r), Vᵀ (r, out).
+
+        This is the compressed representation written into serving artifacts —
+        the factors stay separate so the served model keeps the reduced
+        (in·r + r·out) FLOP path instead of the dense in·out one.
+        """
+        from collections import OrderedDict
+
+        factors = OrderedDict(u=self.u.data.copy(), vt=self.vt.data.copy())
+        if self.bias is not None:
+            factors["bias"] = self.bias.data.copy()
+        return factors
+
+    def to_dense(self) -> "nn.Linear":
+        """Merge the factors into an equivalent full-rank ``nn.Linear``.
+
+        The dense layer computes x (U Vᵀ) + b in one matmul — numerically
+        close to but not bit-identical with the two-matmul factorized path.
+        Refuses to merge the extra-BatchNorm variant: the normalisation
+        between the factors is not a linear map of the composed weight.
+        """
+        if self.bn is not None:
+            raise ValueError("cannot merge a LowRankLinear with extra_bn=True into a dense layer")
+        dense = nn.Linear(self.in_features, self.out_features, bias=self.bias is not None)
+        dense.weight.data = self.composed_weight().T.astype(np.float32).copy()
+        if self.bias is not None:
+            dense.bias.data = self.bias.data.copy()
+        return dense
+
     def extra_repr(self) -> str:
         return (f"in_features={self.in_features}, out_features={self.out_features}, "
                 f"rank={self.rank}, extra_bn={self.extra_bn}")
@@ -156,6 +186,32 @@ class LowRankConv2d(nn.Module):
     def factor_parameters(self) -> Tuple[Parameter, Parameter]:
         return self.u_weight, self.v_weight
 
+    def export_factors(self) -> "OrderedDict[str, np.ndarray]":
+        """The factorized conv weights in export form: thin k×k conv + 1×1 conv."""
+        from collections import OrderedDict
+
+        factors = OrderedDict(u_weight=self.u_weight.data.copy(),
+                              v_weight=self.v_weight.data.copy())
+        if self.bias is not None:
+            factors["bias"] = self.bias.data.copy()
+        return factors
+
+    def to_dense(self) -> "nn.Conv2d":
+        """Merge the factor pair into an equivalent full-rank ``nn.Conv2d``."""
+        if self.bn is not None:
+            raise ValueError("cannot merge a LowRankConv2d with extra_bn=True into a dense layer")
+        kh, kw = self.kernel_size
+        dense = nn.Conv2d(self.in_channels, self.out_channels, (kh, kw),
+                          stride=self.stride, padding=self.padding,
+                          bias=self.bias is not None)
+        dense.weight.data = (
+            self.composed_weight().T.reshape(self.out_channels, self.in_channels, kh, kw)
+            .astype(np.float32).copy()
+        )
+        if self.bias is not None:
+            dense.bias.data = self.bias.data.copy()
+        return dense
+
     def extra_repr(self) -> str:
         return (f"{self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
                 f"rank={self.rank}, stride={self.stride}, extra_bn={self.extra_bn}")
@@ -164,3 +220,20 @@ class LowRankConv2d(nn.Module):
 def is_low_rank(module: nn.Module) -> bool:
     """True if ``module`` is one of the factorized layer types."""
     return isinstance(module, (LowRankLinear, LowRankConv2d))
+
+
+def merge_factorized(model: nn.Module) -> int:
+    """Replace every low-rank layer in ``model`` by its dense equivalent.
+
+    The inverse of :func:`repro.core.factorize.factorize_model` up to float
+    rounding: each U Vᵀ product is materialised as one dense weight.  Used to
+    produce the dense baseline a factorized serving artifact is compared
+    against.  Returns the number of layers merged; layers using the
+    extra-BatchNorm variant raise (see :meth:`LowRankLinear.to_dense`).
+    """
+    merged = 0
+    for path, module in list(model.named_modules()):
+        if path and is_low_rank(module):
+            model.set_submodule(path, module.to_dense())
+            merged += 1
+    return merged

@@ -1,6 +1,14 @@
 """Neural-network layers and containers (the ``torch.nn`` replacement)."""
 
-from repro.nn.module import Buffer, Identity, Module, ModuleList, Parameter, Sequential
+from repro.nn.module import (
+    Buffer,
+    Identity,
+    Module,
+    ModuleList,
+    Parameter,
+    Sequential,
+    StateDictReport,
+)
 from repro.nn.layers import (
     AdaptiveAvgPool2d,
     AvgPool2d,
@@ -19,7 +27,7 @@ from repro.nn.layers import (
     Tanh,
 )
 from repro.nn.attention import MultiHeadAttention
-from repro.nn.fuse import fuse_linear_activations
+from repro.nn.fuse import apply_fused_activations, fuse_linear_activations, fused_activation_map
 from repro.nn import init
 
 __all__ = [
@@ -29,6 +37,7 @@ __all__ = [
     "ModuleList",
     "Parameter",
     "Sequential",
+    "StateDictReport",
     "AdaptiveAvgPool2d",
     "AvgPool2d",
     "BatchNorm1d",
@@ -45,6 +54,8 @@ __all__ = [
     "Sigmoid",
     "Tanh",
     "MultiHeadAttention",
+    "apply_fused_activations",
     "fuse_linear_activations",
+    "fused_activation_map",
     "init",
 ]

@@ -19,10 +19,13 @@ touch layers whose activation is already set.
 
 from __future__ import annotations
 
+from typing import Dict
+
 from repro.nn.layers import GELU, Linear, ReLU
 from repro.nn.module import Identity, Module, Sequential
 
 _FUSABLE = {ReLU: "relu", GELU: "gelu"}
+_ACTIVATION_CLASSES = {"relu": ReLU, "gelu": GELU}
 
 
 def fuse_linear_activations(model: Module) -> int:
@@ -46,4 +49,49 @@ def fuse_linear_activations(model: Module) -> int:
     return fused
 
 
-__all__ = ["fuse_linear_activations"]
+def fused_activation_map(model: Module) -> Dict[str, str]:
+    """Module path → folded activation name, for every fused Linear in ``model``.
+
+    This is what a serving artifact records so the fusion state survives a
+    round-trip: activations carry no parameters, so ``state_dict`` alone
+    cannot distinguish a fused model from an unfused one.
+    """
+    return {
+        path: module.activation
+        for path, module in model.named_modules()
+        if isinstance(module, Linear) and module.activation is not None
+    }
+
+
+def apply_fused_activations(model: Module, mapping: Dict[str, str]) -> None:
+    """Re-apply a recorded fusion state (see :func:`fused_activation_map`).
+
+    For each ``path → activation`` entry the named Linear gets the activation
+    folded in, and — mirroring :func:`fuse_linear_activations` — the directly
+    following activation module inside the parent ``Sequential`` (if it is of
+    the matching type) is replaced with :class:`Identity` so the nonlinearity
+    is not applied twice.
+    """
+    for path, activation in mapping.items():
+        linear = model.get_submodule(path)
+        if not isinstance(linear, Linear):
+            raise TypeError(f"fused-activation path {path!r} is a "
+                            f"{type(linear).__name__}, expected Linear")
+        if linear.activation not in (None, activation):
+            raise ValueError(f"layer {path!r} already has activation "
+                             f"{linear.activation!r}, cannot fold {activation!r}")
+        linear.activation = activation
+        parts = path.split(".")
+        parent = model.get_submodule(".".join(parts[:-1])) if len(parts) > 1 else model
+        if not isinstance(parent, Sequential):
+            continue
+        children = list(parent.named_children())
+        names = [name for name, _ in children]
+        index = names.index(parts[-1])
+        if index + 1 < len(children):
+            next_name, following = children[index + 1]
+            if isinstance(following, _ACTIVATION_CLASSES[activation]):
+                parent.set_child(next_name, Identity())
+
+
+__all__ = ["fuse_linear_activations", "fused_activation_map", "apply_fused_activations"]

@@ -10,11 +10,23 @@ its factorized counterpart mid-training.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.tensor import Tensor
+
+
+class StateDictReport(NamedTuple):
+    """What :meth:`Module.load_state_dict` could not match up.
+
+    ``missing_keys`` exist on the module but were absent from the supplied
+    state; ``unexpected_keys`` were supplied but have no destination.  Both
+    are empty after a clean load.
+    """
+
+    missing_keys: List[str]
+    unexpected_keys: List[str]
 
 
 class Parameter(Tensor):
@@ -174,7 +186,14 @@ class Module:
             state[name] = buf.data.copy()
         return state
 
-    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> StateDictReport:
+        """Copy ``state`` into this module's parameters and buffers.
+
+        Returns a :class:`StateDictReport` naming the keys that could not be
+        matched, so ``strict=False`` callers can inspect what was skipped
+        instead of having mismatches silently ignored.  With ``strict=True``
+        any mismatch raises instead.  Shape mismatches always raise.
+        """
         own: Dict[str, Tensor] = dict(self.named_parameters())
         own.update(dict(self.named_buffers()))
         missing = set(own) - set(state)
@@ -188,6 +207,7 @@ class Module:
                         f"shape mismatch for {name}: {tensor.data.shape} vs {np.asarray(state[name]).shape}"
                     )
                 tensor.data = np.asarray(state[name], dtype=tensor.data.dtype).copy()
+        return StateDictReport(sorted(missing), sorted(unexpected))
 
     # ------------------------------------------------------------------ #
     # Call protocol

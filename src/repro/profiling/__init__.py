@@ -8,6 +8,7 @@ from repro.profiling.counters import (
     op_counters,
     reset_op_counters,
 )
+from repro.profiling.latency import BatchSizeHistogram, LatencyTracker
 from repro.profiling.tracer import ModuleTrace, trace_shapes
 from repro.profiling.flops import (
     BYTES_PER_ELEMENT,
@@ -40,6 +41,8 @@ __all__ = [
     "counted_flops",
     "op_counters",
     "reset_op_counters",
+    "BatchSizeHistogram",
+    "LatencyTracker",
     "ModuleTrace",
     "trace_shapes",
     "BYTES_PER_ELEMENT",

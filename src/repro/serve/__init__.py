@@ -1,0 +1,66 @@
+"""Model serving: artifact export/load, dynamic micro-batching, HTTP frontend.
+
+The deployment path for trained (and factorized) models:
+
+1. :func:`export_artifact` writes a versioned, self-describing ``.npz``
+   artifact — low-rank factors stay factorized for the compressed FLOP path.
+2. :func:`load_artifact` rebuilds the model without the training stack and
+   returns a :class:`Predictor` (graph-free ``no_grad`` inference).
+3. :class:`DynamicBatcher` coalesces single-sample requests into micro
+   batches under a max-batch-size / max-wait-ms policy with backpressure.
+4. :class:`ModelServer` exposes ``/predict``, ``/healthz`` and ``/metrics``
+   over a stdlib ``ThreadingHTTPServer``; :class:`ServeClient` talks to it.
+5. :mod:`repro.serve.loadgen` drives closed-loop load for benchmarking.
+
+See DESIGN.md §9 for the artifact format, the batching policy, and the
+determinism guarantee (predictions independent of batch composition).
+"""
+
+from repro.serve.artifact import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactError,
+    Predictor,
+    artifact_size_bytes,
+    check_batch_invariance,
+    export_artifact,
+    load_artifact,
+    read_manifest,
+)
+from repro.serve.batcher import (
+    BatcherClosedError,
+    BatchingPolicy,
+    DynamicBatcher,
+    QueueFullError,
+)
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.loadgen import (
+    LoadgenResult,
+    bench_artifact,
+    bench_engine,
+    bench_http,
+    run_closed_loop,
+)
+from repro.serve.server import ModelServer
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactError",
+    "Predictor",
+    "artifact_size_bytes",
+    "check_batch_invariance",
+    "export_artifact",
+    "load_artifact",
+    "read_manifest",
+    "BatcherClosedError",
+    "BatchingPolicy",
+    "DynamicBatcher",
+    "QueueFullError",
+    "ServeClient",
+    "ServeClientError",
+    "LoadgenResult",
+    "bench_artifact",
+    "bench_engine",
+    "bench_http",
+    "run_closed_loop",
+    "ModelServer",
+]

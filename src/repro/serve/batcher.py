@@ -1,0 +1,317 @@
+"""Dynamic micro-batching: coalesce single-sample requests into batches.
+
+The engine is a bounded request queue plus one inference worker thread:
+
+* Producers (HTTP handler threads, benchmark clients) call
+  :meth:`DynamicBatcher.submit` and receive a ``concurrent.futures.Future``.
+  When the queue is full the submit fails fast with :class:`QueueFullError`
+  — backpressure instead of unbounded memory growth.
+* The worker blocks for the first request, then keeps draining the queue
+  until either ``max_batch_size`` samples are collected or ``max_wait_ms``
+  has elapsed since the *first* request of the batch arrived (so the wait
+  bound is a latency bound, not a rate bound).  The coalesced batch runs
+  through the model once, graph-free, and each future receives its slice.
+* Requests may carry several samples; one carrying more than
+  ``max_batch_size`` is executed alone, chunked into max-batch-size pieces.
+* :meth:`close` stops intake, optionally drains queued work, and fails any
+  futures that remain after a non-draining shutdown.
+
+Only the worker thread ever runs the model, so the engine needs no locking
+around model state and is safe with backends that keep global scratch (the
+``numpy-fast`` arena).  Determinism under batching comes from the
+:class:`~repro.serve.artifact.Predictor` padding rule — results are
+bit-identical no matter how requests happen to be grouped (DESIGN.md §9).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro import nn
+from repro.profiling.latency import BatchSizeHistogram, LatencyTracker
+from repro.serve.artifact import Predictor
+
+
+class QueueFullError(RuntimeError):
+    """The request queue is at capacity; the caller should retry or shed load."""
+
+
+class BatcherClosedError(RuntimeError):
+    """The batcher no longer accepts requests."""
+
+
+@dataclass
+class BatchingPolicy:
+    """Knobs of the coalescing loop.
+
+    ``max_batch_size``  — largest number of samples fused into one forward.
+    ``max_wait_ms``     — longest a request may sit waiting for companions,
+                          measured from its enqueue time.
+    ``max_queue``       — bound on queued requests (backpressure).
+    """
+
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+    max_queue: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+
+
+class _Request:
+    __slots__ = ("samples", "n", "future", "enqueued_at")
+
+    def __init__(self, samples: np.ndarray):
+        self.samples = samples                   # always (n, *sample_shape)
+        self.n = samples.shape[0]
+        self.future: Future = Future()
+        self.enqueued_at = time.perf_counter()
+
+
+_SHUTDOWN = object()
+
+
+class DynamicBatcher:
+    """Thread-safe request coalescing in front of a single-threaded predictor."""
+
+    def __init__(
+        self,
+        predictor: Union[Predictor, nn.Module, Callable[[np.ndarray], np.ndarray]],
+        policy: Optional[BatchingPolicy] = None,
+        name: str = "batcher",
+    ):
+        if isinstance(predictor, nn.Module):
+            predictor = Predictor(predictor)
+        self.predict = predictor
+        self.policy = policy or BatchingPolicy()
+        self.name = name
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.policy.max_queue)
+        self._closed = False
+        self._lock = threading.Lock()
+
+        # Observability (exposed via the server's /metrics endpoint).
+        self.queue_latency = LatencyTracker()     # enqueue → batch start
+        self.compute_latency = LatencyTracker()   # forward pass per batch
+        self.request_latency = LatencyTracker()   # enqueue → future resolved
+        self.batch_sizes = BatchSizeHistogram(max_batch_size=self.policy.max_batch_size)
+        self.requests_total = 0
+        self.errors_total = 0
+
+        self._worker = threading.Thread(target=self._run, name=f"{name}-worker", daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------ #
+    # Producer side
+    # ------------------------------------------------------------------ #
+    def submit(self, sample: np.ndarray, timeout: Optional[float] = 0.0) -> Future:
+        """Enqueue one sample (shape ``sample_shape``); returns its future.
+
+        ``timeout`` bounds how long to wait for queue space: ``0`` fails
+        immediately when full (the server's behaviour — shed load), ``None``
+        blocks until space frees up.
+        """
+        array = np.asarray(sample, dtype=np.float32)
+        return self._enqueue(array[None, ...], timeout)
+
+    def submit_batch(self, samples: np.ndarray, timeout: Optional[float] = 0.0) -> Future:
+        """Enqueue a multi-sample request of shape ``(n, *sample_shape)``.
+
+        The whole request resolves through one future; requests wider than
+        ``max_batch_size`` are executed alone, in max-batch-size chunks.
+        """
+        array = np.asarray(samples, dtype=np.float32)
+        if array.ndim < 1 or array.shape[0] < 1:
+            raise ValueError("submit_batch expects at least one sample")
+        return self._enqueue(array, timeout)
+
+    def _enqueue(self, samples: np.ndarray, timeout: Optional[float]) -> Future:
+        with self._lock:
+            if self._closed:
+                raise BatcherClosedError(f"{self.name} is shut down")
+            self.requests_total += 1
+        request = _Request(samples)
+        try:
+            if timeout == 0.0:
+                self._queue.put_nowait(request)
+            else:
+                self._queue.put(request, timeout=timeout)
+        except queue.Full:
+            with self._lock:
+                self.errors_total += 1
+            raise QueueFullError(
+                f"{self.name}: request queue is full "
+                f"({self.policy.max_queue} pending requests)"
+            ) from None
+        # close() may have raced us between the _closed check and the put: if
+        # the worker is already gone, nothing will ever drain this request —
+        # sweep the queue so the future fails instead of hanging its caller.
+        if self._closed and not self._worker.is_alive():
+            self._fail_pending(BatcherClosedError(f"{self.name} is shut down"))
+        return request.future
+
+    def __call__(self, samples: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
+        """Synchronous convenience: submit and wait for the result."""
+        future = self.submit_batch(samples, timeout=None)
+        return future.result(timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # Worker side
+    # ------------------------------------------------------------------ #
+    def _collect(self, first: _Request) -> List[_Request]:
+        """Coalesce up to ``max_batch_size`` samples, bounded by max_wait_ms."""
+        batch = [first]
+        total = first.n
+        deadline = first.enqueued_at + self.policy.max_wait_ms / 1e3
+        while total < self.policy.max_batch_size:
+            remaining = deadline - time.perf_counter()
+            try:
+                item = self._queue.get_nowait() if remaining <= 0 else \
+                    self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                # Hand the sentinel to the outer loop via the carry slot —
+                # re-queueing could block on a full bounded queue.
+                self._carry = item
+                break
+            if total + item.n > self.policy.max_batch_size:
+                # Would overflow the batch: run it in the next cycle.  Re-queueing
+                # would reorder requests, so handle it immediately after this
+                # batch via the carry slot.
+                self._carry = item
+                break
+            batch.append(item)
+            total += item.n
+        return batch
+
+    def _run(self) -> None:
+        self._carry: Optional[Any] = None
+        while True:
+            if self._carry is not None:
+                item, self._carry = self._carry, None
+            else:
+                item = self._queue.get()
+            if item is _SHUTDOWN:
+                break
+            first = item
+            if first.n >= self.policy.max_batch_size:
+                batch = [first]
+            else:
+                batch = self._collect(first)
+            self._execute(batch)
+        self._fail_pending(BatcherClosedError(f"{self.name} shut down before execution"))
+
+    def _execute(self, batch: List[_Request]) -> None:
+        started = time.perf_counter()
+        for request in batch:
+            self.queue_latency.observe(started - request.enqueued_at)
+        total = sum(request.n for request in batch)
+        self.batch_sizes.observe(total)
+        try:
+            stacked = batch[0].samples if len(batch) == 1 else \
+                np.concatenate([request.samples for request in batch], axis=0)
+            if total > self.policy.max_batch_size:
+                # A single oversized request: chunk it so memory stays bounded.
+                step = self.policy.max_batch_size
+                outputs = np.concatenate(
+                    [self.predict(stacked[i:i + step]) for i in range(0, total, step)],
+                    axis=0,
+                )
+            else:
+                outputs = self.predict(stacked)
+        except Exception as error:  # noqa: BLE001 — forwarded to the callers
+            with self._lock:
+                self.errors_total += len(batch)
+            for request in batch:
+                if not request.future.set_running_or_notify_cancel():
+                    continue
+                request.future.set_exception(error)
+            return
+        self.compute_latency.observe(time.perf_counter() - started)
+        offset = 0
+        done = time.perf_counter()
+        for request in batch:
+            slice_ = outputs[offset:offset + request.n]
+            offset += request.n
+            self.request_latency.observe(done - request.enqueued_at)
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_result(slice_)
+
+    def _fail_pending(self, error: Exception) -> None:
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                continue
+            if item.future.set_running_or_notify_cancel():
+                item.future.set_exception(error)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self, drain: bool = True, timeout: Optional[float] = 30.0) -> None:
+        """Stop accepting requests and shut the worker down.
+
+        ``drain=True`` lets every queued request finish first; ``False``
+        fails queued-but-unstarted requests with :class:`BatcherClosedError`.
+        Safe to call more than once.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if not drain:
+            self._fail_pending(BatcherClosedError(f"{self.name} closed without draining"))
+        self._queue.put(_SHUTDOWN)
+        self._worker.join(timeout=timeout)
+        if self._worker.is_alive():
+            raise RuntimeError(f"{self.name}: worker did not stop within {timeout}s")
+        # Final sweep: fail anything a racing submit slipped in after the
+        # worker drained past the sentinel (see _enqueue).
+        self._fail_pending(BatcherClosedError(f"{self.name} is shut down"))
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __enter__(self) -> "DynamicBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close(drain=True)
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        """Snapshot of the engine counters (feeds the /metrics endpoint)."""
+        with self._lock:
+            requests, errors = self.requests_total, self.errors_total
+        return {
+            "requests_total": requests,
+            "errors_total": errors,
+            "queue_depth": self._queue.qsize(),
+            "batches_total": self.batch_sizes.batches,
+            "samples_total": self.batch_sizes.samples,
+            "mean_batch_size": self.batch_sizes.mean_batch_size(),
+            "batch_size_histogram": self.batch_sizes.as_dict(),
+            "queue_wait_ms": self.queue_latency.summary(unit="ms"),
+            "compute_ms": self.compute_latency.summary(unit="ms"),
+            "request_latency_ms": self.request_latency.summary(unit="ms"),
+        }
+
+
+__all__ = ["BatchingPolicy", "DynamicBatcher", "QueueFullError", "BatcherClosedError"]

@@ -1,0 +1,79 @@
+"""Minimal stdlib HTTP client for a :class:`~repro.serve.server.ModelServer`.
+
+Used by the closed-loop load generator, the CI smoke job and the quickstart
+example; downstream users can talk to the server with any HTTP client — the
+wire format is plain JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+
+class ServeClientError(RuntimeError):
+    """The server answered with an error status (or the transport failed).
+
+    ``status`` is the HTTP code, or 0 for transport-level failures
+    (connection reset/refused, timeout) so closed-loop clients can treat
+    both uniformly as retryable errors.
+    """
+
+    def __init__(self, status: int, body: Dict[str, Any]):
+        super().__init__(f"HTTP {status}: {body.get('error', body)}")
+        self.status = status
+        self.body = body
+
+
+class ServeClient:
+    """Blocking JSON client: ``predict``, ``healthz``, ``metrics``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, path: str, payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        url = f"{self.base_url}{path}"
+        data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request = urllib.request.Request(
+            url, data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+            method="POST" if data else "GET",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                body = json.loads(error.read().decode("utf-8"))
+            except (ValueError, OSError):
+                body = {"error": str(error)}
+            raise ServeClientError(error.code, body) from None
+        except (urllib.error.URLError, OSError) as error:
+            # Connection reset/refused, timeouts: surface as a retryable
+            # transport error instead of leaking raw socket exceptions.
+            raise ServeClientError(0, {"error": str(error)}) from None
+
+    # ------------------------------------------------------------------ #
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Send a batch ``(n, *sample_shape)``; returns outputs ``(n, ...)``."""
+        payload = {"inputs": np.asarray(inputs, dtype=np.float32).tolist()}
+        return np.asarray(self._request("/predict", payload)["outputs"], dtype=np.float32)
+
+    def predict_one(self, sample: np.ndarray) -> np.ndarray:
+        """Send a single sample (no batch axis); returns its output vector."""
+        payload = {"input": np.asarray(sample, dtype=np.float32).tolist()}
+        return np.asarray(self._request("/predict", payload)["outputs"], dtype=np.float32)
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("/metrics")
+
+
+__all__ = ["ServeClient", "ServeClientError"]

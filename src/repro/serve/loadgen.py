@@ -1,0 +1,237 @@
+"""Closed-loop load generation against the serving stack.
+
+``run_closed_loop`` drives N concurrent clients, each repeating
+send-one-sample → wait-for-the-answer for a fixed duration; throughput is the
+completed-request rate and the latency distribution comes straight from the
+client-side clock.  Two transports share the harness:
+
+* **engine** — clients call :meth:`DynamicBatcher.submit` directly.  This
+  isolates the batching policy from HTTP transport cost (which on a
+  single-core host adds the same constant to every request regardless of
+  policy) and is the configuration the headline batched-vs-batch-1 speedup
+  is measured in.
+* **http** — clients go through :class:`~repro.serve.client.ServeClient`
+  and the full ``ThreadingHTTPServer`` path, measuring what a network
+  client actually observes.
+
+Closed-loop means offered load adapts to service rate, so the comparison
+between policies is fair: every configuration is driven to saturation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.profiling.latency import LatencyTracker
+from repro.serve.batcher import DynamicBatcher, QueueFullError
+from repro.serve.client import ServeClient, ServeClientError
+
+
+@dataclass
+class LoadgenResult:
+    """Aggregate view of one closed-loop run."""
+
+    transport: str
+    concurrency: int
+    duration_s: float
+    requests: int
+    errors: int
+    throughput_rps: float
+    latency_ms: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "transport": self.transport,
+            "concurrency": self.concurrency,
+            "duration_s": self.duration_s,
+            "requests": self.requests,
+            "errors": self.errors,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": self.latency_ms,
+        }
+
+
+def run_closed_loop(
+    send: Callable[[np.ndarray], Any],
+    samples: np.ndarray,
+    concurrency: int,
+    duration_s: float,
+    transport: str = "custom",
+    warmup_s: float = 0.0,
+) -> LoadgenResult:
+    """Drive ``send`` from ``concurrency`` threads for ``duration_s`` seconds.
+
+    ``send`` receives one sample (no batch axis) and must block until the
+    answer is available.  ``samples`` is a pool the clients cycle through.
+    Transient overload errors (queue full / HTTP 503) count as errors and the
+    client retries after a short backoff — closed-loop clients must not die
+    on backpressure.
+    """
+    latency = LatencyTracker(window=1 << 16)
+    counters = {"requests": 0, "errors": 0}
+    lock = threading.Lock()
+    stop_at = time.perf_counter() + warmup_s + duration_s
+    measure_from = time.perf_counter() + warmup_s
+
+    def client(worker_id: int) -> None:
+        index = worker_id
+        while True:
+            now = time.perf_counter()
+            if now >= stop_at:
+                return
+            sample = samples[index % len(samples)]
+            index += concurrency
+            started = time.perf_counter()
+            try:
+                send(sample)
+            except (QueueFullError, ServeClientError):
+                if started >= measure_from:
+                    with lock:
+                        counters["errors"] += 1
+                time.sleep(0.002)
+                continue
+            finished = time.perf_counter()
+            if started >= measure_from:
+                latency.observe(finished - started)
+                with lock:
+                    counters["requests"] += 1
+
+    threads = [threading.Thread(target=client, args=(i,), daemon=True)
+               for i in range(concurrency)]
+    started_wall = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = max(time.perf_counter() - max(started_wall, measure_from - warmup_s) - warmup_s,
+                  1e-9)
+    with lock:
+        requests, errors = counters["requests"], counters["errors"]
+    return LoadgenResult(
+        transport=transport,
+        concurrency=concurrency,
+        duration_s=elapsed,
+        requests=requests,
+        errors=errors,
+        throughput_rps=requests / elapsed,
+        latency_ms=latency.summary(unit="ms"),
+    )
+
+
+def bench_engine(
+    batcher: DynamicBatcher,
+    samples: np.ndarray,
+    concurrency: int = 32,
+    duration_s: float = 5.0,
+    warmup_s: float = 0.5,
+) -> LoadgenResult:
+    """Closed-loop load directly against the micro-batching engine."""
+
+    def send(sample: np.ndarray) -> None:
+        batcher.submit(sample, timeout=None).result(timeout=60.0)
+
+    return run_closed_loop(send, samples, concurrency, duration_s,
+                           transport="engine", warmup_s=warmup_s)
+
+
+def bench_http(
+    url: str,
+    samples: np.ndarray,
+    concurrency: int = 16,
+    duration_s: float = 5.0,
+    warmup_s: float = 0.5,
+    timeout: float = 60.0,
+) -> LoadgenResult:
+    """Closed-loop load through the HTTP front end (one client per thread)."""
+    local = threading.local()
+
+    def send(sample: np.ndarray) -> None:
+        client: Optional[ServeClient] = getattr(local, "client", None)
+        if client is None:
+            client = ServeClient(url, timeout=timeout)
+            local.client = client
+        client.predict_one(sample)
+
+    return run_closed_loop(send, samples, concurrency, duration_s,
+                           transport="http", warmup_s=warmup_s)
+
+
+def bench_artifact(
+    artifact_path: str,
+    max_batch_size: int = 32,
+    max_wait_ms: float = 2.0,
+    duration_s: float = 3.0,
+    concurrency: int = 32,
+    transports: Sequence[str] = ("engine", "http"),
+    backend: Optional[str] = None,
+    warmup_s: float = 0.5,
+    rng_seed: int = 0,
+) -> Dict[str, Any]:
+    """Benchmark one artifact: dynamic micro-batching vs batch-size-1 serving.
+
+    For every transport the same closed-loop load (single-sample requests,
+    ``concurrency`` clients) is driven against two policies — the batching
+    policy under test and a ``max_batch_size=1`` baseline — and the
+    throughput ratio is reported as ``speedup``.  Both policies run the same
+    predictor (same canonicalization, same backend), so the ratio isolates
+    exactly what request coalescing buys.
+    """
+    from repro.serve.artifact import load_artifact
+    from repro.serve.batcher import BatchingPolicy
+    from repro.serve.server import ModelServer
+
+    predictor = load_artifact(artifact_path, backend=backend)
+    shape = predictor.input_shape
+    if shape is None:
+        raise ValueError(f"artifact {artifact_path!r} records no input_shape; "
+                         f"re-export with input_shape=... to benchmark it")
+    rng = np.random.default_rng(rng_seed)
+    samples = rng.standard_normal((max(64, 2 * concurrency),) + shape).astype(np.float32)
+
+    policies = {
+        "batched": BatchingPolicy(max_batch_size=max_batch_size, max_wait_ms=max_wait_ms),
+        "batch1": BatchingPolicy(max_batch_size=1, max_wait_ms=0.0),
+    }
+    results: Dict[str, Any] = {
+        "artifact": artifact_path,
+        "model": (predictor.manifest.get("model") or {}).get("name"),
+        "batch_invariant": predictor.manifest.get("batch_invariant"),
+        "policy": {"max_batch_size": max_batch_size, "max_wait_ms": max_wait_ms},
+        "concurrency": concurrency,
+        "duration_s": duration_s,
+        "transports": {},
+    }
+    for transport in transports:
+        per_policy: Dict[str, Any] = {}
+        for label, policy in policies.items():
+            if transport == "engine":
+                batcher = DynamicBatcher(predictor, policy=policy, name=f"bench-{label}")
+                try:
+                    run = bench_engine(batcher, samples, concurrency=concurrency,
+                                       duration_s=duration_s, warmup_s=warmup_s)
+                finally:
+                    batcher.close(drain=True)
+            elif transport == "http":
+                server = ModelServer(predictor, policy=policy, port=0)
+                server.start()
+                try:
+                    run = bench_http(server.url, samples, concurrency=concurrency,
+                                     duration_s=duration_s, warmup_s=warmup_s)
+                finally:
+                    server.stop()
+            else:
+                raise ValueError(f"unknown transport {transport!r}; use 'engine' or 'http'")
+            per_policy[label] = run.as_dict()
+        batched = per_policy["batched"]["throughput_rps"]
+        baseline = per_policy["batch1"]["throughput_rps"]
+        per_policy["speedup"] = batched / baseline if baseline > 0 else float("inf")
+        results["transports"][transport] = per_policy
+    return results
+
+
+__all__ = ["LoadgenResult", "run_closed_loop", "bench_engine", "bench_http", "bench_artifact"]

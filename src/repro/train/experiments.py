@@ -231,13 +231,18 @@ def projected_training_hours(config: VisionExperimentConfig, num_classes: int,
 # --------------------------------------------------------------------------- #
 # The generic experiment runner
 # --------------------------------------------------------------------------- #
-def run_experiment(spec: ExperimentSpec) -> ExperimentRow:
+def run_experiment(spec: ExperimentSpec, return_context: bool = False):
     """Run one registered method on one vision task; return its table row.
 
     The lifecycle is identical for every method (see
     :class:`repro.train.methods.Method`): build → prepare → optimizer/
     scheduler → configure → trainer → execute → finalize, after which the
     paper-scale roofline projection prices the reported time column.
+
+    With ``return_context=True`` the return value is ``(row, context)`` —
+    the context carries the trained ``context.model``, which is what the CLI
+    ``train --export`` / ``--save-checkpoint`` paths hand to the serving
+    exporter.
     """
     config = spec.config or VisionExperimentConfig()
     # Fail fast — before any training — on unknown names or misspelled kwargs.
@@ -281,7 +286,7 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentRow:
                                                    float(config.epochs), 0.0)
     params_fraction = (result.params_fraction if result.params_fraction is not None
                        else result.params / max(context.full_rank_params, 1))
-    return ExperimentRow(
+    row = ExperimentRow(
         method=spec.method,
         params=result.params,
         params_fraction=params_fraction,
@@ -291,6 +296,9 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentRow:
         speedup_vs_full_rank=full_rank_projected / max(projected, 1e-12),
         extra=result.extra,
     )
+    if return_context:
+        return row, context
+    return row
 
 
 def run_vision_method(method: str, config: Optional[VisionExperimentConfig] = None,

@@ -3,6 +3,8 @@
 from repro.utils.seed import seed_everything, get_rng, root_seed
 from repro.utils.logging import get_logger
 from repro.utils.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointError,
     load_checkpoint,
     read_checkpoint_meta,
     restore_model,
@@ -14,6 +16,8 @@ __all__ = [
     "get_rng",
     "root_seed",
     "get_logger",
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
     "save_checkpoint",
     "load_checkpoint",
     "read_checkpoint_meta",

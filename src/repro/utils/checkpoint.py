@@ -25,8 +25,16 @@ import numpy as np
 
 from repro import nn
 
+#: Bump when the on-disk layout changes incompatibly.  Version history:
+#: 1 — meta block with ranks/extra_bn/num_parameters/metadata + state/ arrays.
+CHECKPOINT_FORMAT_VERSION = 1
+
 _META_KEY = "__checkpoint_meta__"
 _STATE_PREFIX = "state/"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, malformed, or from an incompatible version."""
 
 
 def _factorized_ranks(model: nn.Module) -> Dict[str, int]:
@@ -64,6 +72,7 @@ def save_checkpoint(path: str, model: nn.Module, metadata: Optional[Dict] = None
         (epoch, validation accuracy, Cuttlefish report fields, …).
     """
     meta = {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
         "ranks": _factorized_ranks(model),
         "extra_bn": _uses_extra_bn(model),
         "num_parameters": int(model.num_parameters()),
@@ -77,10 +86,36 @@ def save_checkpoint(path: str, model: nn.Module, metadata: Optional[Dict] = None
 
 
 def read_checkpoint_meta(path: str) -> Dict:
-    """Return the metadata block of a checkpoint without touching the weights."""
-    with np.load(path) as archive:
-        raw = archive[_META_KEY].tobytes().decode("utf-8")
-    return json.loads(raw)
+    """Return the metadata block of a checkpoint without touching the weights.
+
+    Raises :class:`CheckpointError` — naming the file and the fix — when the
+    file is not a checkpoint, lacks its metadata block, or was written by an
+    incompatible format version.
+    """
+    if not os.path.exists(path):
+        raise CheckpointError(f"checkpoint {path!r} does not exist")
+    try:
+        with np.load(path) as archive:
+            if _META_KEY not in archive.files:
+                raise CheckpointError(
+                    f"{path!r} has no checkpoint metadata block ({_META_KEY!r}): it is "
+                    f"not a repro checkpoint, or was written before format versioning. "
+                    f"Re-save it with repro.utils.save_checkpoint on current code."
+                )
+            raw = archive[_META_KEY].tobytes().decode("utf-8")
+        meta = json.loads(raw)
+    except CheckpointError:
+        raise
+    except Exception as error:  # corrupt zip, truncated file, garbled meta JSON ...
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {error}") from error
+    version = meta.get("format_version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has format_version={version!r}, but this build reads "
+            f"version {CHECKPOINT_FORMAT_VERSION}. Re-train or re-save the checkpoint "
+            f"with the matching code revision."
+        )
+    return meta
 
 
 def load_checkpoint(
@@ -123,6 +158,11 @@ def load_checkpoint(
             for key in archive.files
             if key.startswith(_STATE_PREFIX)
         }
+    if not state:
+        raise CheckpointError(
+            f"checkpoint {path!r} contains no {_STATE_PREFIX!r} weight arrays — the file "
+            f"is truncated or was not written by repro.utils.save_checkpoint"
+        )
     model.load_state_dict(state, strict=strict)
     return meta
 

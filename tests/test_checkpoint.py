@@ -1,5 +1,7 @@
 """Checkpointing of full-rank and factorized models (repro.utils.checkpoint)."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -7,6 +9,8 @@ from repro import nn
 from repro.core import CuttlefishConfig, CuttlefishManager, factorize_model, full_rank_of
 from repro.models import resnet18
 from repro.utils import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointError,
     get_rng,
     load_checkpoint,
     read_checkpoint_meta,
@@ -130,6 +134,51 @@ class TestFactorizedRoundtrip:
         factorize_model(other, {path_a: 5}, skip_non_reducing=False)  # wrong rank
         with pytest.raises(ValueError):
             load_checkpoint(path, other)
+
+
+class TestFormatVersioning:
+    def test_saved_checkpoints_carry_the_format_version(self, tmp_path):
+        model = _small_mlp()
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, model)
+        assert read_checkpoint_meta(path)["format_version"] == CHECKPOINT_FORMAT_VERSION
+
+    def test_missing_file_is_loud(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            read_checkpoint_meta(str(tmp_path / "nope.npz"))
+
+    def test_non_checkpoint_npz_is_loud(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        np.savez(path, weights=np.zeros(3))
+        with pytest.raises(CheckpointError, match="metadata block"):
+            read_checkpoint_meta(path)
+
+    def test_version_mismatch_names_both_versions(self, tmp_path):
+        model = _small_mlp()
+        path = str(tmp_path / "old.npz")
+        save_checkpoint(path, model)
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        meta = json.loads(arrays["__checkpoint_meta__"].tobytes().decode())
+        meta["format_version"] = CHECKPOINT_FORMAT_VERSION + 7
+        arrays["__checkpoint_meta__"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        np.savez(path, **arrays)
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint(path, _small_mlp())
+        message = str(excinfo.value)
+        assert str(CHECKPOINT_FORMAT_VERSION + 7) in message
+        assert str(CHECKPOINT_FORMAT_VERSION) in message
+
+    def test_checkpoint_without_weights_is_loud(self, tmp_path):
+        model = _small_mlp()
+        path = str(tmp_path / "empty.npz")
+        save_checkpoint(path, model)
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files
+                      if not key.startswith("state/")}
+        np.savez(path, **arrays)
+        with pytest.raises(CheckpointError, match="no 'state/'"):
+            load_checkpoint(path, _small_mlp())
 
 
 class TestCuttlefishCheckpointFlow:

@@ -20,6 +20,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_serving_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["export", "--checkpoint", "c.npz", "--output", "a.npz"])
+        assert args.command == "export" and args.model == "resnet18"
+        args = parser.parse_args(["serve", "--artifact", "a.npz", "--port", "0"])
+        assert args.command == "serve" and args.max_batch_size == 32
+        args = parser.parse_args(["bench-serve", "--artifact", "a.npz",
+                                  "--transports", "engine"])
+        assert args.command == "bench-serve" and args.transports == ["engine"]
+
     def test_train_defaults(self):
         args = build_parser().parse_args(["train"])
         assert args.command == "train"
@@ -141,3 +151,61 @@ class TestRankTraceCommand:
         table = json.loads(out)
         assert all(len(series) == 2 for series in table.values())
         assert all(0.0 < ratio <= 1.0 for series in table.values() for ratio in series)
+
+
+class TestServingCommands:
+    def _train_artifact(self, tmp_path):
+        """Train a tiny model and export checkpoint + artifact in one CLI call."""
+        checkpoint = str(tmp_path / "ckpt.npz")
+        artifact = str(tmp_path / "model.npz")
+        code, out = _run([
+            "train", "--method", "full_rank", "--epochs", "1", "--max-batches", "2",
+            "--width-mult", "0.125", "--save-checkpoint", checkpoint,
+            "--export", artifact,
+        ])
+        assert code == 0
+        assert "checkpoint written" in out and "artifact written" in out
+        return checkpoint, artifact
+
+    def test_train_exports_checkpoint_and_artifact(self, tmp_path):
+        import numpy as np
+
+        from repro.serve import load_artifact
+        from repro.utils import read_checkpoint_meta
+
+        checkpoint, artifact = self._train_artifact(tmp_path)
+        meta = read_checkpoint_meta(checkpoint)
+        assert meta["metadata"]["method"] == "full_rank"
+        predictor = load_artifact(artifact)
+        assert predictor.input_shape is not None    # recorded from the task spec
+        out = predictor(np.zeros((4,) + predictor.input_shape, dtype=np.float32))
+        assert out.shape[0] == 4
+
+    def test_export_command_roundtrips_a_checkpoint(self, tmp_path):
+        checkpoint, _ = self._train_artifact(tmp_path)
+        artifact = str(tmp_path / "exported.npz")
+        code, out = _run([
+            "export", "--checkpoint", checkpoint, "--output", artifact,
+        ])
+        assert code == 0
+        assert "artifact written" in out
+
+        from repro.serve import read_manifest
+
+        # Builder spec and input shape come from the checkpoint metadata.
+        manifest = read_manifest(artifact)
+        assert manifest["model"]["name"] == "resnet18"
+        assert manifest["input_shape"] == [3, 16, 16]
+
+    def test_bench_serve_emits_speedup_json(self, tmp_path):
+        _, artifact = self._train_artifact(tmp_path)
+        code, out = _run([
+            "bench-serve", "--artifact", artifact, "--duration", "0.3",
+            "--concurrency", "4", "--transports", "engine",
+        ])
+        assert code == 0
+        payload = json.loads(out)
+        engine = payload["transports"]["engine"]
+        assert engine["batched"]["requests"] > 0
+        assert engine["batch1"]["requests"] > 0
+        assert engine["speedup"] > 0.0

@@ -125,6 +125,31 @@ class TestModeAndState:
         with pytest.raises(ValueError):
             net.load_state_dict(state)
 
+    def test_non_strict_load_reports_missing_and_unexpected(self):
+        net = TinyNet()
+        state = net.state_dict()
+        removed = sorted(state)[0]
+        del state[removed]
+        state["bogus.weight"] = np.zeros(2, dtype=np.float32)
+        report = net.load_state_dict(state, strict=False)
+        assert report.missing_keys == [removed]
+        assert report.unexpected_keys == ["bogus.weight"]
+        missing, unexpected = report          # NamedTuple unpacking spelling
+        assert (missing, unexpected) == (report.missing_keys, report.unexpected_keys)
+
+    def test_clean_load_reports_empty(self):
+        net1, net2 = TinyNet(), TinyNet()
+        report = net2.load_state_dict(net1.state_dict())
+        assert report.missing_keys == []
+        assert report.unexpected_keys == []
+
+    def test_non_strict_load_still_copies_matching_keys(self):
+        net1, net2 = TinyNet(), TinyNet()
+        state = net1.state_dict()
+        state["bogus"] = np.zeros(1, dtype=np.float32)
+        net2.load_state_dict(state, strict=False)
+        np.testing.assert_allclose(net2.fc1.weight.data, net1.fc1.weight.data)
+
 
 class TestContainers:
     def test_sequential_forward(self):

@@ -1,0 +1,248 @@
+"""Dynamic micro-batching engine (repro.serve.batcher): coalescing policy,
+backpressure, shutdown semantics, and the bit-parity guarantee."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.serve import (
+    BatcherClosedError,
+    BatchingPolicy,
+    DynamicBatcher,
+    Predictor,
+    QueueFullError,
+)
+from repro.tensor import no_grad
+from repro.utils import get_rng, seed_everything
+
+
+def _mlp_predictor():
+    seed_everything(7)
+    model = build_model("mlp", in_features=16, hidden_sizes=[32, 32], num_classes=5)
+    model.eval()
+    return Predictor(model)
+
+
+def _echo_predict(batch):
+    """Identity 'model': returns its input (keeps engine tests instant)."""
+    return np.asarray(batch, dtype=np.float32)
+
+
+class TestPolicy:
+    def test_rejects_nonpositive_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_batch_size=0)
+
+    def test_rejects_negative_wait(self):
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_wait_ms=-1.0)
+
+    def test_rejects_nonpositive_queue(self):
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_queue=0)
+
+
+class TestCoalescing:
+    def test_coalesces_waiting_requests_into_one_batch(self):
+        with DynamicBatcher(_echo_predict,
+                            BatchingPolicy(max_batch_size=8, max_wait_ms=50.0)) as batcher:
+            x = get_rng(offset=1).standard_normal((8, 4)).astype(np.float32)
+            futures = [batcher.submit(x[i]) for i in range(8)]
+            rows = np.concatenate([f.result(timeout=10.0) for f in futures], axis=0)
+            np.testing.assert_array_equal(rows, x)
+        stats = batcher.stats()
+        assert stats["requests_total"] == 8
+        # The first request may execute alone before the others enqueue, but
+        # coalescing must kick in: far fewer batches than requests.
+        assert stats["batches_total"] <= 4
+        assert stats["mean_batch_size"] >= 2.0
+
+    def test_empty_queue_blocks_without_spinning_and_recovers(self):
+        with DynamicBatcher(_echo_predict,
+                            BatchingPolicy(max_batch_size=4, max_wait_ms=1.0)) as batcher:
+            time.sleep(0.1)                       # worker idles on an empty queue
+            assert batcher.stats()["batches_total"] == 0
+            out = batcher.submit(np.ones(3, dtype=np.float32)).result(timeout=5.0)
+            np.testing.assert_array_equal(out, np.ones((1, 3), dtype=np.float32))
+
+    def test_max_wait_bounds_latency_for_lone_request(self):
+        with DynamicBatcher(_echo_predict,
+                            BatchingPolicy(max_batch_size=64, max_wait_ms=20.0)) as batcher:
+            start = time.perf_counter()
+            batcher.submit(np.zeros(2, dtype=np.float32)).result(timeout=5.0)
+            elapsed = time.perf_counter() - start
+            assert elapsed < 1.0                  # did not wait for 63 companions
+
+    def test_request_larger_than_max_batch_is_chunked(self):
+        with DynamicBatcher(_echo_predict,
+                            BatchingPolicy(max_batch_size=4, max_wait_ms=1.0)) as batcher:
+            x = get_rng(offset=2).standard_normal((11, 3)).astype(np.float32)
+            out = batcher.submit_batch(x).result(timeout=10.0)
+            np.testing.assert_array_equal(out, x)
+            hist = batcher.stats()["batch_size_histogram"]
+            assert hist[">4"] >= 1                # recorded as one oversized batch
+
+    def test_multi_sample_requests_never_split_across_batches(self):
+        with DynamicBatcher(_echo_predict,
+                            BatchingPolicy(max_batch_size=4, max_wait_ms=50.0)) as batcher:
+            a = batcher.submit_batch(np.full((3, 2), 1.0, dtype=np.float32))
+            b = batcher.submit_batch(np.full((3, 2), 2.0, dtype=np.float32))
+            np.testing.assert_array_equal(a.result(timeout=5.0), np.full((3, 2), 1.0))
+            np.testing.assert_array_equal(b.result(timeout=5.0), np.full((3, 2), 2.0))
+
+    def test_synchronous_call_convenience(self):
+        with DynamicBatcher(_echo_predict) as batcher:
+            x = np.arange(6, dtype=np.float32).reshape(2, 3)
+            np.testing.assert_array_equal(batcher(x), x)
+
+
+class TestBackpressure:
+    def test_queue_full_raises(self):
+        release = threading.Event()
+
+        def slow_predict(batch):
+            release.wait(timeout=10.0)
+            return np.asarray(batch)
+
+        batcher = DynamicBatcher(slow_predict,
+                                 BatchingPolicy(max_batch_size=1, max_wait_ms=0.0, max_queue=2))
+        try:
+            sample = np.zeros(2, dtype=np.float32)
+            batcher.submit(sample)                 # taken by the worker, blocks
+            time.sleep(0.05)
+            batcher.submit(sample)                 # queue slot 1
+            batcher.submit(sample)                 # queue slot 2
+            with pytest.raises(QueueFullError):
+                batcher.submit(sample)             # over capacity
+            assert batcher.stats()["errors_total"] >= 1
+        finally:
+            release.set()
+            batcher.close(drain=True)
+
+    def test_submit_with_timeout_waits_for_space(self):
+        release = threading.Event()
+
+        def slow_predict(batch):
+            release.wait(timeout=10.0)
+            return np.asarray(batch)
+
+        batcher = DynamicBatcher(slow_predict,
+                                 BatchingPolicy(max_batch_size=1, max_wait_ms=0.0, max_queue=1))
+        try:
+            sample = np.zeros(2, dtype=np.float32)
+            batcher.submit(sample)
+            time.sleep(0.05)
+            batcher.submit(sample)                 # fills the queue
+            threading.Timer(0.1, release.set).start()
+            future = batcher.submit(sample, timeout=5.0)   # blocks until space frees
+            future.result(timeout=10.0)
+        finally:
+            release.set()
+            batcher.close(drain=True)
+
+
+class TestShutdown:
+    def test_close_drains_in_flight_requests(self):
+        batcher = DynamicBatcher(_echo_predict,
+                                 BatchingPolicy(max_batch_size=2, max_wait_ms=0.0, max_queue=64))
+        x = get_rng(offset=3).standard_normal((16, 3)).astype(np.float32)
+        futures = [batcher.submit(x[i]) for i in range(16)]
+        batcher.close(drain=True)
+        rows = np.concatenate([f.result(timeout=5.0) for f in futures], axis=0)
+        np.testing.assert_array_equal(rows, x)
+
+    def test_close_without_drain_fails_pending_futures(self):
+        release = threading.Event()
+
+        def slow_predict(batch):
+            release.wait(timeout=10.0)
+            return np.asarray(batch)
+
+        batcher = DynamicBatcher(slow_predict,
+                                 BatchingPolicy(max_batch_size=1, max_wait_ms=0.0, max_queue=16))
+        first = batcher.submit(np.zeros(2, dtype=np.float32))
+        time.sleep(0.05)                           # worker picks up the first request
+        pending = [batcher.submit(np.zeros(2, dtype=np.float32)) for _ in range(4)]
+        release.set()
+        batcher.close(drain=False)
+        first.result(timeout=5.0)                  # in-flight request still completes
+        for future in pending:
+            with pytest.raises(BatcherClosedError):
+                future.result(timeout=5.0)
+
+    def test_submit_after_close_raises(self):
+        batcher = DynamicBatcher(_echo_predict)
+        batcher.close()
+        with pytest.raises(BatcherClosedError):
+            batcher.submit(np.zeros(2, dtype=np.float32))
+
+    def test_close_is_idempotent(self):
+        batcher = DynamicBatcher(_echo_predict)
+        batcher.close()
+        batcher.close()
+
+
+class TestErrorPropagation:
+    def test_predictor_exception_reaches_every_caller(self):
+        def broken_predict(batch):
+            raise RuntimeError("kernel exploded")
+
+        with DynamicBatcher(broken_predict,
+                            BatchingPolicy(max_batch_size=4, max_wait_ms=20.0)) as batcher:
+            futures = [batcher.submit(np.zeros(2, dtype=np.float32)) for _ in range(3)]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="kernel exploded"):
+                    future.result(timeout=5.0)
+            assert batcher.stats()["errors_total"] == 3
+        # The worker survives the error and the batcher still shuts down cleanly.
+
+
+class TestConcurrentProducers:
+    def test_many_threads_all_get_their_own_answer(self):
+        predictor = _mlp_predictor()
+        x = get_rng(offset=4).standard_normal((48, 16)).astype(np.float32)
+        # The guarantee under concurrency is bit-parity with one-at-a-time
+        # serving (the canonical reference), whatever batches actually form.
+        expected = np.concatenate([predictor(x[i:i + 1]) for i in range(48)], axis=0)
+        results = [None] * 48
+        with DynamicBatcher(predictor,
+                            BatchingPolicy(max_batch_size=8, max_wait_ms=5.0)) as batcher:
+            def producer(i):
+                results[i] = batcher.submit(x[i]).result(timeout=30.0)[0]
+
+            threads = [threading.Thread(target=producer, args=(i,)) for i in range(48)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        np.testing.assert_array_equal(np.stack(results), expected)
+
+
+class TestBitParity:
+    """Batched and one-at-a-time serving must produce identical bits."""
+
+    def test_batched_equals_one_at_a_time_mlp(self):
+        predictor = _mlp_predictor()
+        x = get_rng(offset=5).standard_normal((24, 16)).astype(np.float32)
+        with DynamicBatcher(predictor,
+                            BatchingPolicy(max_batch_size=16, max_wait_ms=20.0)) as batched:
+            futures = [batched.submit(x[i]) for i in range(24)]
+            coalesced = np.concatenate([f.result(timeout=30.0) for f in futures], axis=0)
+        with DynamicBatcher(predictor,
+                            BatchingPolicy(max_batch_size=1, max_wait_ms=0.0)) as single:
+            one_at_a_time = np.concatenate(
+                [single.submit(x[i]).result(timeout=30.0) for i in range(24)], axis=0)
+        np.testing.assert_array_equal(coalesced, one_at_a_time)
+
+    def test_batched_equals_direct_model_call(self):
+        predictor = _mlp_predictor()
+        x = get_rng(offset=6).standard_normal((16, 16)).astype(np.float32)
+        with no_grad():
+            direct = predictor.model(x).data
+        with DynamicBatcher(predictor,
+                            BatchingPolicy(max_batch_size=16, max_wait_ms=20.0)) as batcher:
+            out = batcher(x)
+        np.testing.assert_array_equal(out, direct)

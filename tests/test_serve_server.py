@@ -1,0 +1,214 @@
+"""HTTP inference server (repro.serve.server): endpoints, parity, metrics,
+error handling, and concurrent clients — all over a real ThreadingHTTPServer
+on an ephemeral port."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import factorize_model, full_rank_of
+from repro.models import build_model
+from repro.serve import (
+    BatchingPolicy,
+    ModelServer,
+    ServeClient,
+    ServeClientError,
+    export_artifact,
+    load_artifact,
+)
+from repro.tensor import no_grad
+from repro.utils import get_rng, seed_everything
+
+MLP_SPEC = {"name": "mlp",
+            "kwargs": {"in_features": 20, "hidden_sizes": [40, 40], "num_classes": 6}}
+
+
+@pytest.fixture
+def mlp_artifact(tmp_path):
+    seed_everything(21)
+    model = build_model(MLP_SPEC["name"], **MLP_SPEC["kwargs"])
+    model.eval()
+    path = str(tmp_path / "mlp.npz")
+    export_artifact(path, model, model_spec=MLP_SPEC, input_shape=(20,))
+    return path, model
+
+
+@pytest.fixture
+def server(mlp_artifact):
+    path, model = mlp_artifact
+    instance = ModelServer(path, policy=BatchingPolicy(max_batch_size=8, max_wait_ms=5.0),
+                           port=0)
+    instance.start()
+    yield instance, model
+    instance.stop()
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        instance, _ = server
+        health = ServeClient(instance.url).healthz()
+        assert health["status"] == "ok"
+        assert health["model"] == "mlp"
+        assert health["uptime_s"] >= 0.0
+
+    def test_predict_batch_bit_identical_to_direct_model(self, server):
+        instance, model = server
+        x = get_rng(offset=2).standard_normal((8, 20)).astype(np.float32)
+        with no_grad():
+            direct = model(x).data
+        out = ServeClient(instance.url).predict(x)
+        np.testing.assert_array_equal(out, direct)
+
+    def test_predict_single_input_spelling(self, server):
+        instance, model = server
+        x = get_rng(offset=2).standard_normal((8, 20)).astype(np.float32)
+        with no_grad():
+            direct = model(x).data
+        client = ServeClient(instance.url)
+        single = client.predict_one(x[0])
+        # One-at-a-time must agree with the batch rows (canonicalized geometry).
+        np.testing.assert_array_equal(single, direct[0])
+
+    def test_predict_returns_argmax(self, server):
+        instance, model = server
+        x = get_rng(offset=2).standard_normal((4, 20)).astype(np.float32)
+        client = ServeClient(instance.url)
+        body = client._request("/predict", {"inputs": x.tolist()})
+        with no_grad():
+            expected = np.argmax(model(x).data, axis=-1)
+        assert body["argmax"] == [int(i) for i in expected]
+
+    def test_metrics_populated_after_traffic(self, server):
+        instance, _ = server
+        client = ServeClient(instance.url)
+        x = get_rng(offset=2).standard_normal((4, 20)).astype(np.float32)
+        for i in range(4):
+            client.predict_one(x[i])
+        metrics = client.metrics()
+        assert metrics["http"]["requests_total"] >= 4
+        assert metrics["engine"]["requests_total"] >= 4
+        assert metrics["e2e_latency_ms"]["count"] >= 4
+        assert metrics["e2e_latency_ms"]["p99"] >= metrics["e2e_latency_ms"]["p50"] >= 0
+        histogram = metrics["engine"]["batch_size_histogram"]
+        assert sum(histogram.values()) == metrics["engine"]["batches_total"]
+
+    def test_unknown_route_404(self, server):
+        instance, _ = server
+        with pytest.raises(ServeClientError) as excinfo:
+            ServeClient(instance.url)._request("/nope")
+        assert excinfo.value.status == 404
+
+    def test_malformed_body_400(self, server):
+        instance, _ = server
+        client = ServeClient(instance.url)
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("/predict", {"wrong_key": [1, 2, 3]})
+        assert excinfo.value.status == 400
+
+    def test_wrong_sample_shape_400(self, server):
+        instance, _ = server
+        with pytest.raises(ServeClientError) as excinfo:
+            ServeClient(instance.url).predict(np.zeros((2, 7), dtype=np.float32))
+        assert excinfo.value.status == 400
+        assert "shape" in excinfo.value.body["error"]
+
+    def test_ragged_inputs_400(self, server):
+        instance, _ = server
+        client = ServeClient(instance.url)
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("/predict", {"inputs": [[1.0, 2.0], [3.0]]})
+        assert excinfo.value.status == 400
+
+
+class TestConcurrentClients:
+    def test_parallel_single_requests_bit_identical(self, server):
+        instance, model = server
+        x = get_rng(offset=3).standard_normal((24, 20)).astype(np.float32)
+        with no_grad():
+            direct = model(x).data
+        results = [None] * 24
+        errors = []
+
+        def hit(i):
+            try:
+                results[i] = ServeClient(instance.url).predict_one(x[i])
+            except Exception as error:  # noqa: BLE001 - collected for assertion
+                errors.append(error)
+
+        threads = [threading.Thread(target=hit, args=(i,)) for i in range(24)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        np.testing.assert_array_equal(np.stack(results), direct)
+        # Traffic of 24 singles through a max-batch-8 engine must have coalesced.
+        stats = instance.batcher.stats()
+        assert stats["batches_total"] < 24
+
+
+class TestFactorizedServing:
+    def test_low_rank_artifact_served_bit_identically(self, tmp_path):
+        seed_everything(5)
+        model = build_model("resnet18", num_classes=10, width_mult=0.125)
+        paths = [p for p in model.factorization_candidates()
+                 if p.startswith(("layer1.", "layer2.", "layer3."))]
+        ranks = {p: max(1, full_rank_of(model.get_submodule(p)) // 4) for p in paths}
+        factorize_model(model, ranks, skip_non_reducing=False)
+        model.eval()
+        path = str(tmp_path / "lowrank.npz")
+        export_artifact(path, model,
+                        model_spec={"name": "resnet18",
+                                    "kwargs": {"num_classes": 10, "width_mult": 0.125}},
+                        input_shape=(3, 32, 32))
+
+        x = get_rng(offset=6).standard_normal((8, 3, 32, 32)).astype(np.float32)
+        with no_grad():
+            direct = model(x).data
+        server = ModelServer(path, policy=BatchingPolicy(max_batch_size=8, max_wait_ms=5.0),
+                             port=0)
+        server.start()
+        try:
+            client = ServeClient(server.url)
+            np.testing.assert_array_equal(client.predict(x), direct)      # batched
+            np.testing.assert_array_equal(client.predict_one(x[3]), direct[3])  # unbatched
+        finally:
+            server.stop()
+
+
+class TestLifecycle:
+    def test_stop_drains_and_rejects_new_work(self, mlp_artifact):
+        path, _ = mlp_artifact
+        instance = ModelServer(path, port=0).start()
+        url = instance.url
+        client = ServeClient(url)
+        client.predict_one(np.zeros(20, dtype=np.float32))
+        instance.stop()
+        with pytest.raises((ServeClientError, OSError)):
+            client.predict_one(np.zeros(20, dtype=np.float32))
+
+    def test_stop_without_start_returns_promptly(self, mlp_artifact):
+        path, _ = mlp_artifact
+        instance = ModelServer(path, port=0)
+        done = threading.Event()
+
+        def stopper():
+            instance.stop()
+            done.set()
+
+        threading.Thread(target=stopper, daemon=True).start()
+        assert done.wait(timeout=5.0), "stop() hung on a never-started server"
+
+    def test_context_manager(self, mlp_artifact):
+        path, _ = mlp_artifact
+        with ModelServer(path, port=0) as instance:
+            assert ServeClient(instance.url).healthz()["status"] == "ok"
+
+    def test_serves_predictor_and_in_memory_model(self, mlp_artifact):
+        path, model = mlp_artifact
+        predictor = load_artifact(path)
+        with ModelServer(predictor, port=0) as instance:
+            assert ServeClient(instance.url).healthz()["status"] == "ok"
+        with ModelServer(model, port=0, name="inmem") as instance:
+            assert ServeClient(instance.url).healthz()["model"] == "inmem"
