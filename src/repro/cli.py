@@ -91,6 +91,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--backend", default="numpy", choices=available_backends(),
                        help="tensor execution backend (numpy-fast pools buffers "
                             "and fuses hot-path kernels; identical results)")
+        p.add_argument("--loader", default="auto", choices=["auto", "legacy", "pipeline"],
+                       help="input pipeline: 'legacy' per-sample loader, the "
+                            "vectorized streaming 'pipeline' (counter-based "
+                            "augmentation RNG), or 'auto' (pipeline when "
+                            "--prefetch > 0, legacy otherwise)")
+        p.add_argument("--prefetch", type=int, default=0, metavar="DEPTH",
+                       help="prefetch depth: batches materialised ahead of the "
+                            "training step on producer threads (0 = synchronous)")
+        p.add_argument("--loader-workers", type=int, default=1, metavar="N",
+                       help="producer threads for the prefetching loader "
+                            "(results are bit-identical at any worker count)")
         p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
     methods = available_methods()
@@ -184,6 +195,9 @@ def _experiment_config(args: argparse.Namespace) -> VisionExperimentConfig:
         weight_decay=args.weight_decay,
         seed=args.seed,
         max_batches_per_epoch=args.max_batches,
+        loader=args.loader,
+        prefetch_depth=args.prefetch,
+        loader_workers=args.loader_workers,
     )
 
 
@@ -208,13 +222,24 @@ def _model_spec(args: argparse.Namespace, num_classes: int) -> dict:
 
 def cmd_train(args: argparse.Namespace, stream=sys.stdout) -> int:
     set_backend(args.backend)
-    spec = ExperimentSpec(method=args.method, config=_experiment_config(args))
+    config = _experiment_config(args)
+    spec = ExperimentSpec(method=args.method, config=config)
     wants_model = args.save_checkpoint or args.export
-    if wants_model:
+    uses_pipeline = config.uses_pipeline_loader()
+    if wants_model or uses_pipeline:
         row, context = run_experiment(spec, return_context=True)
     else:
         row = run_experiment(spec)
     _emit_rows([row], args.json, stream)
+    if uses_pipeline and context.trainer is not None:
+        stats = context.trainer.pipeline_stats
+        # With --json the stats line would corrupt the machine-readable
+        # stdout payload — send it to stderr there instead.
+        out = sys.stderr if args.json else stream
+        out.write(
+            f"pipeline: {stats.describe()} "
+            f"(loader=pipeline prefetch={config.prefetch_depth} "
+            f"workers={config.loader_workers})\n")
     if args.save_checkpoint:
         from repro.utils import save_checkpoint
 

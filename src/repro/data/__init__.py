@@ -8,6 +8,20 @@ from repro.data.augment import (
     RandomHorizontalFlip,
     standard_eval_transform,
     standard_train_transform,
+    supports_batch,
+)
+from repro.data.pipeline import (
+    BatchStream,
+    CollateArena,
+    PipelineLoader,
+    PrefetchingLoader,
+    build_loaders,
+)
+from repro.data.sampler import (
+    Sampler,
+    SequentialSampler,
+    ShardedSampler,
+    ShuffledSampler,
 )
 from repro.data.synthetic import (
     GLUE_TASKS,
@@ -32,6 +46,16 @@ __all__ = [
     "RandomHorizontalFlip",
     "standard_eval_transform",
     "standard_train_transform",
+    "supports_batch",
+    "BatchStream",
+    "CollateArena",
+    "PipelineLoader",
+    "PrefetchingLoader",
+    "build_loaders",
+    "Sampler",
+    "SequentialSampler",
+    "ShardedSampler",
+    "ShuffledSampler",
     "GLUE_TASKS",
     "MLMCorpusSpec",
     "TextTaskSpec",

@@ -25,16 +25,35 @@ class Dataset:
 
 
 class ArrayDataset(Dataset):
-    """Dataset over parallel numpy arrays (e.g. images and labels)."""
+    """Dataset over parallel numpy arrays (e.g. images and labels).
 
-    def __init__(self, *arrays: np.ndarray, transform: Optional[Callable] = None):
+    ``transform`` applies to the first array's items (the inputs) and
+    ``target_transform`` to the last array's items (the targets).  Both are
+    validated eagerly: a non-callable raises ``TypeError`` at construction,
+    and ``target_transform`` demands at least two arrays — with a single
+    array the "target" would silently be the input itself.
+    """
+
+    def __init__(self, *arrays: np.ndarray, transform: Optional[Callable] = None,
+                 target_transform: Optional[Callable] = None):
         if not arrays:
             raise ValueError("ArrayDataset needs at least one array")
         lengths = {len(a) for a in arrays}
         if len(lengths) != 1:
             raise ValueError(f"arrays have mismatched lengths: {sorted(lengths)}")
+        if transform is not None and not callable(transform):
+            raise TypeError(f"transform must be callable, got {type(transform).__name__}")
+        if target_transform is not None:
+            if not callable(target_transform):
+                raise TypeError(
+                    f"target_transform must be callable, got {type(target_transform).__name__}")
+            if len(arrays) < 2:
+                raise ValueError(
+                    "target_transform needs a distinct target array; this dataset has "
+                    f"{len(arrays)} array — pass (inputs, targets) to use it")
         self.arrays = arrays
         self.transform = transform
+        self.target_transform = target_transform
 
     def __len__(self) -> int:
         return len(self.arrays[0])
@@ -43,20 +62,36 @@ class ArrayDataset(Dataset):
         items = tuple(a[index] for a in self.arrays)
         if self.transform is not None:
             items = (self.transform(items[0]),) + items[1:]
+        if self.target_transform is not None:
+            items = items[:-1] + (self.target_transform(items[-1]),)
         return items if len(items) > 1 else items[0]
 
 
 class Subset(Dataset):
-    """View over a subset of another dataset's indices."""
+    """View over a subset of another dataset's indices.
+
+    Indices are validated at construction against the base dataset's length,
+    and lookups are range-checked — an out-of-range index raises a loud
+    ``IndexError`` instead of deferring to numpy's silent negative-index
+    wraparound.
+    """
 
     def __init__(self, dataset: Dataset, indices: Sequence[int]):
         self.dataset = dataset
-        self.indices = list(indices)
+        self.indices = [int(i) for i in indices]
+        n = len(dataset)
+        bad = [i for i in self.indices if not -n <= i < n]
+        if bad:
+            raise IndexError(
+                f"Subset indices {bad[:5]} out of range for dataset of length {n}")
 
     def __len__(self) -> int:
         return len(self.indices)
 
     def __getitem__(self, index: int):
+        n = len(self.indices)
+        if not -n <= index < n:
+            raise IndexError(f"Subset index {index} out of range for length {n}")
         return self.dataset[self.indices[index]]
 
 
@@ -92,6 +127,13 @@ class DataLoader:
         self.collate_fn = collate_fn or _default_collate
         self._rng = get_rng(offset=seed_offset)
 
+    def set_epoch(self, epoch: int) -> None:
+        """No-op: the legacy loader's shuffle stream advances statefully.
+
+        Present so the loader satisfies the :class:`~repro.data.pipeline.
+        BatchStream` protocol consumers code against.
+        """
+
     def __len__(self) -> int:
         n = len(self.dataset)
         if self.drop_last:
@@ -110,9 +152,18 @@ class DataLoader:
 
 
 def train_val_split(dataset: Dataset, val_fraction: float = 0.1, seed_offset: int = 11) -> Tuple[Subset, Subset]:
-    """Deterministically split a dataset into train/validation subsets."""
+    """Deterministically split a dataset into train/validation subsets.
+
+    ``val_fraction`` must lie in ``[0, 1]``.  The boundary values are
+    well-defined rather than degenerate: ``0.0`` returns an empty validation
+    subset (every sample trains), ``1.0`` an empty train subset — both are
+    ordinary :class:`Subset` objects that report length 0 and iterate to
+    nothing.
+    """
+    if not 0.0 <= val_fraction <= 1.0:
+        raise ValueError(f"val_fraction must be within [0, 1], got {val_fraction}")
     n = len(dataset)
     rng = get_rng(offset=seed_offset)
     order = rng.permutation(n)
-    n_val = int(round(n * val_fraction))
+    n_val = min(int(round(n * val_fraction)), n)
     return Subset(dataset, order[n_val:]), Subset(dataset, order[:n_val])

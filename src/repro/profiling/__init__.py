@@ -9,6 +9,7 @@ from repro.profiling.counters import (
     reset_op_counters,
 )
 from repro.profiling.latency import BatchSizeHistogram, LatencyTracker
+from repro.profiling.pipeline import PipelineStats, instrument
 from repro.profiling.tracer import ModuleTrace, trace_shapes
 from repro.profiling.flops import (
     BYTES_PER_ELEMENT,
@@ -43,6 +44,8 @@ __all__ = [
     "reset_op_counters",
     "BatchSizeHistogram",
     "LatencyTracker",
+    "PipelineStats",
+    "instrument",
     "ModuleTrace",
     "trace_shapes",
     "BYTES_PER_ELEMENT",

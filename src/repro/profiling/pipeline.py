@@ -1,0 +1,100 @@
+"""Input-pipeline observability: stall-time vs compute-time accounting.
+
+The co-design question the streaming pipeline answers is "does the training
+step wait on data, or does data wait on the training step?".
+:class:`PipelineStats` accumulates exactly that split:
+
+* **stall** — wall time the consumer spent blocked inside ``next(batch)``,
+  i.e. the input pipeline was the bottleneck;
+* **compute** — wall time between receiving a batch and asking for the next
+  one, i.e. the model was the bottleneck.
+
+``Trainer`` keeps one per epoch (reported in the epoch logs) and one
+cumulative; benchmarks wrap raw loaders with :func:`instrument` to measure
+loader-only throughput.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator
+
+
+@dataclass
+class PipelineStats:
+    """Stall/compute/throughput counters for one batch stream consumer."""
+
+    stall_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    batches: int = 0
+    samples: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def observe_stall(self, seconds: float) -> None:
+        self.stall_seconds += seconds
+        self.batches += 1
+
+    def observe_compute(self, seconds: float, samples: int = 0) -> None:
+        self.compute_seconds += seconds
+        self.samples += samples
+
+    def merge(self, other: "PipelineStats") -> None:
+        self.stall_seconds += other.stall_seconds
+        self.compute_seconds += other.compute_seconds
+        self.batches += other.batches
+        self.samples += other.samples
+
+    @property
+    def total_seconds(self) -> float:
+        return self.stall_seconds + self.compute_seconds
+
+    @property
+    def samples_per_sec(self) -> float:
+        total = self.total_seconds
+        return self.samples / total if total > 0 else 0.0
+
+    @property
+    def stall_fraction(self) -> float:
+        total = self.total_seconds
+        return self.stall_seconds / total if total > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "stall_seconds": self.stall_seconds,
+            "compute_seconds": self.compute_seconds,
+            "stall_fraction": self.stall_fraction,
+            "batches": self.batches,
+            "samples": self.samples,
+            "samples_per_sec": self.samples_per_sec,
+            **self.extra,
+        }
+
+    def describe(self) -> str:
+        return (f"stall={self.stall_seconds:.3f}s compute={self.compute_seconds:.3f}s "
+                f"(stall {100 * self.stall_fraction:.1f}%) "
+                f"{self.samples_per_sec:.1f} samples/s")
+
+
+def instrument(stream: Iterable, stats: PipelineStats) -> Iterator:
+    """Yield from ``stream``, attributing blocked time to ``stats`` as stall.
+
+    Time between yields (the consumer's work) counts as compute; the first
+    field of each batch provides the sample count when it has a length.
+    """
+    iterator = iter(stream)
+    while True:
+        requested = time.perf_counter()
+        try:
+            batch = next(iterator)
+        except StopIteration:
+            return
+        delivered = time.perf_counter()
+        stats.observe_stall(delivered - requested)
+        yield batch
+        first = batch[0] if isinstance(batch, tuple) and batch else batch
+        stats.observe_compute(time.perf_counter() - delivered,
+                              samples=len(first) if hasattr(first, "__len__") else 0)
+
+
+__all__ = ["PipelineStats", "instrument"]

@@ -21,6 +21,12 @@ around model state and is safe with backends that keep global scratch (the
 ``numpy-fast`` arena).  Determinism under batching comes from the
 :class:`~repro.serve.artifact.Predictor` padding rule — results are
 bit-identical no matter how requests happen to be grouped (DESIGN.md §9).
+
+The bounded queue, shutdown sentinel and pending-request sweep are the
+shared :mod:`repro.utils.concurrency` primitives — the same machinery the
+data pipeline's prefetcher runs on — and the worker keeps a stall-vs-compute
+split (:class:`~repro.profiling.pipeline.PipelineStats`) that ``/metrics``
+surfaces as engine utilization.
 """
 
 from __future__ import annotations
@@ -36,7 +42,9 @@ import numpy as np
 
 from repro import nn
 from repro.profiling.latency import BatchSizeHistogram, LatencyTracker
+from repro.profiling.pipeline import PipelineStats
 from repro.serve.artifact import Predictor
+from repro.utils.concurrency import CLOSED, ClosableQueue
 
 
 class QueueFullError(RuntimeError):
@@ -80,9 +88,6 @@ class _Request:
         self.enqueued_at = time.perf_counter()
 
 
-_SHUTDOWN = object()
-
-
 class DynamicBatcher:
     """Thread-safe request coalescing in front of a single-threaded predictor."""
 
@@ -97,7 +102,7 @@ class DynamicBatcher:
         self.predict = predictor
         self.policy = policy or BatchingPolicy()
         self.name = name
-        self._queue: "queue.Queue" = queue.Queue(maxsize=self.policy.max_queue)
+        self._queue = ClosableQueue(maxsize=self.policy.max_queue)
         self._closed = False
         self._lock = threading.Lock()
 
@@ -106,6 +111,7 @@ class DynamicBatcher:
         self.compute_latency = LatencyTracker()   # forward pass per batch
         self.request_latency = LatencyTracker()   # enqueue → future resolved
         self.batch_sizes = BatchSizeHistogram(max_batch_size=self.policy.max_batch_size)
+        self.worker_stats = PipelineStats()       # worker stall vs inference time
         self.requests_total = 0
         self.errors_total = 0
 
@@ -181,7 +187,7 @@ class DynamicBatcher:
                     self._queue.get(timeout=remaining)
             except queue.Empty:
                 break
-            if item is _SHUTDOWN:
+            if item is CLOSED:
                 # Hand the sentinel to the outer loop via the carry slot —
                 # re-queueing could block on a full bounded queue.
                 self._carry = item
@@ -199,18 +205,25 @@ class DynamicBatcher:
     def _run(self) -> None:
         self._carry: Optional[Any] = None
         while True:
+            waited_from = time.perf_counter()
             if self._carry is not None:
                 item, self._carry = self._carry, None
             else:
                 item = self._queue.get()
-            if item is _SHUTDOWN:
+            if item is CLOSED:
                 break
             first = item
             if first.n >= self.policy.max_batch_size:
                 batch = [first]
             else:
                 batch = self._collect(first)
+            # Idle-plus-coalescing wait is "stall", the forward pass is
+            # "compute" — the serving twin of the trainer's data-stall split.
+            executing_from = time.perf_counter()
+            self.worker_stats.observe_stall(executing_from - waited_from)
             self._execute(batch)
+            self.worker_stats.observe_compute(time.perf_counter() - executing_from,
+                                              samples=sum(r.n for r in batch))
         self._fail_pending(BatcherClosedError(f"{self.name} shut down before execution"))
 
     def _execute(self, batch: List[_Request]) -> None:
@@ -250,15 +263,11 @@ class DynamicBatcher:
                 request.future.set_result(slice_)
 
     def _fail_pending(self, error: Exception) -> None:
-        while True:
-            try:
-                item = self._queue.get_nowait()
-            except queue.Empty:
-                break
-            if item is _SHUTDOWN:
-                continue
+        def fail(item) -> None:
             if item.future.set_running_or_notify_cancel():
                 item.future.set_exception(error)
+
+        self._queue.drain(fail)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -276,7 +285,7 @@ class DynamicBatcher:
             self._closed = True
         if not drain:
             self._fail_pending(BatcherClosedError(f"{self.name} closed without draining"))
-        self._queue.put(_SHUTDOWN)
+        self._queue.close()
         self._worker.join(timeout=timeout)
         if self._worker.is_alive():
             raise RuntimeError(f"{self.name}: worker did not stop within {timeout}s")
@@ -311,6 +320,10 @@ class DynamicBatcher:
             "queue_wait_ms": self.queue_latency.summary(unit="ms"),
             "compute_ms": self.compute_latency.summary(unit="ms"),
             "request_latency_ms": self.request_latency.summary(unit="ms"),
+            "worker": {
+                **self.worker_stats.as_dict(),
+                "utilization": 1.0 - self.worker_stats.stall_fraction,
+            },
         }
 
 

@@ -16,6 +16,10 @@ client-side clock.  Two transports share the harness:
 
 Closed-loop means offered load adapts to service rate, so the comparison
 between policies is fair: every configuration is driven to saturation.
+
+The client fleet itself is the shared :func:`repro.utils.concurrency.
+run_worker_threads` fan-out — the same primitive the pipeline benchmark
+drives its producers with.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ import numpy as np
 from repro.profiling.latency import LatencyTracker
 from repro.serve.batcher import DynamicBatcher, QueueFullError
 from repro.serve.client import ServeClient, ServeClientError
+from repro.utils.concurrency import run_worker_threads
 
 
 @dataclass
@@ -101,13 +106,8 @@ def run_closed_loop(
                 with lock:
                     counters["requests"] += 1
 
-    threads = [threading.Thread(target=client, args=(i,), daemon=True)
-               for i in range(concurrency)]
     started_wall = time.perf_counter()
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
+    run_worker_threads(client, concurrency, name=f"loadgen-{transport}")
     elapsed = max(time.perf_counter() - max(started_wall, measure_from - warmup_s) - warmup_s,
                   1e-9)
     with lock:

@@ -44,7 +44,7 @@ from repro.core import (
     full_rank_of,
     profile_layer_stacks,
 )
-from repro.data import DataLoader, make_vision_task
+from repro.data import DataLoader, build_loaders, make_vision_task
 from repro.models import build_model
 from repro.optim import SGD, build_paper_cifar_schedule
 from repro.profiling import V100, DeviceSpec, predict_iteration_time
@@ -99,6 +99,34 @@ class VisionExperimentConfig:
     seed: int = 0
     small_input: bool = True
 
+    # Input pipeline.  ``legacy`` is the seed-faithful per-sample DataLoader;
+    # ``pipeline`` is the vectorized streaming loader (counter-based
+    # augmentation RNG), optionally prefetched on background producer
+    # threads; ``auto`` resolves to ``pipeline`` when ``prefetch_depth > 0``
+    # and ``legacy`` otherwise.  The two families differ in shuffle-stream
+    # and augmentation bits, so rows are only comparable within one family
+    # (an explicit ``legacy`` with prefetch_depth > 0 raises rather than
+    # silently switching families); within the pipeline family results are
+    # bit-identical at every prefetch depth/worker count.
+    loader: str = "auto"
+    prefetch_depth: int = 0
+    loader_workers: int = 1
+    reuse_collate_buffers: bool = False
+
+    def uses_pipeline_loader(self) -> bool:
+        if self.loader == "pipeline":
+            return True
+        if self.loader == "auto":
+            return self.prefetch_depth > 0
+        if self.loader == "legacy":
+            if self.prefetch_depth > 0:
+                raise ValueError(
+                    "prefetching requires the pipeline loader: got "
+                    f"loader='legacy' with prefetch_depth={self.prefetch_depth} "
+                    "(use loader='pipeline' or 'auto')")
+            return False
+        raise ValueError(f"unknown loader {self.loader!r}; use 'auto', 'legacy' or 'pipeline'")
+
     # Paper-scale reference used for the K decision and the projected-time column.
     device: DeviceSpec = V100
     paper_batch_size: int = 1024
@@ -129,8 +157,16 @@ class ExperimentSpec:
 # --------------------------------------------------------------------------- #
 def _build_task(config: VisionExperimentConfig):
     train_ds, val_ds, spec = make_vision_task(config.task)
-    train_loader = DataLoader(train_ds, batch_size=config.batch_size, shuffle=True)
-    val_loader = DataLoader(val_ds, batch_size=config.batch_size)
+    if config.uses_pipeline_loader():
+        train_loader, val_loader = build_loaders(
+            train_ds, val_ds, config.batch_size,
+            prefetch_depth=config.prefetch_depth,
+            workers=config.loader_workers,
+            reuse_buffers=config.reuse_collate_buffers,
+        )
+    else:
+        train_loader = DataLoader(train_ds, batch_size=config.batch_size, shuffle=True)
+        val_loader = DataLoader(val_ds, batch_size=config.batch_size)
     return train_loader, val_loader, spec
 
 

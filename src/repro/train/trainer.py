@@ -17,6 +17,15 @@ granularities:
 
 This keeps the training loop itself free of any Cuttlefish-specific logic and
 identical across the full-rank baseline and every low-rank method.
+
+Data flows in through the :class:`~repro.data.pipeline.BatchStream` protocol
+— any length-aware iterable of stacked-array batch tuples works (the legacy
+``DataLoader``, the vectorized ``PipelineLoader``, a ``PrefetchingLoader``
+around either).  The trainer advances the stream's epoch (``set_epoch``)
+before every training epoch so epoch-keyed shuffling and counter-based
+augmentation stay deterministic, and it splits wall time per epoch into
+*data stall* (blocked in ``next(batch)``) versus *step compute* — the
+numbers that say whether the input pipeline or the model is the bottleneck.
 """
 
 from __future__ import annotations
@@ -28,8 +37,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro import nn
-from repro.data.dataset import DataLoader
+from repro.data.pipeline import BatchStream
 from repro.optim import LRScheduler, Optimizer
+from repro.profiling.pipeline import PipelineStats
 from repro.tensor import Tensor, functional as F, no_grad
 from repro.train.metrics import AverageMeter, top_k_accuracy
 from repro.utils import get_logger
@@ -120,8 +130,8 @@ class Trainer:
         self,
         model: nn.Module,
         optimizer: Optimizer,
-        train_loader: DataLoader,
-        val_loader: Optional[DataLoader] = None,
+        train_loader: BatchStream,
+        val_loader: Optional[BatchStream] = None,
         loss_fn: Optional[Callable] = None,
         forward_fn: Optional[Callable] = None,
         scheduler: Optional[LRScheduler] = None,
@@ -144,6 +154,14 @@ class Trainer:
         self.max_batches_per_epoch = max_batches_per_epoch
         self.history: List[EpochRecord] = []
         self.total_train_seconds = 0.0
+        # Epoch counter fed to the stream's ``set_epoch`` — monotonic across
+        # repeated ``fit`` calls so multi-phase methods (IMP rewinds,
+        # Cuttlefish's two phases) never replay an epoch's augmentation bits.
+        self.epochs_completed = 0
+        # Data-stall vs step-compute accounting (see repro.profiling.pipeline):
+        # cumulative across the trainer's life plus the most recent epoch.
+        self.pipeline_stats = PipelineStats()
+        self.last_epoch_pipeline_stats: Optional[PipelineStats] = None
         # Logits of the most recent training batch, recorded by the default
         # loss path so train_epoch can report a real running accuracy.
         self._last_train_logits: Optional[Tensor] = None
@@ -162,35 +180,73 @@ class Trainer:
     # ------------------------------------------------------------------ #
     def train_epoch(self) -> Dict[str, float]:
         self.model.train()
+        epoch = self.epochs_completed
+        set_epoch = getattr(self.train_loader, "set_epoch", None)
+        if set_epoch is not None:
+            set_epoch(epoch)
+        stats = PipelineStats()
         loss_meter, acc_meter = AverageMeter(), AverageMeter()
-        for batch_index, batch in enumerate(self.train_loader):
-            if self.max_batches_per_epoch is not None and batch_index >= self.max_batches_per_epoch:
-                break
-            for callback in self.callbacks:
-                callback.on_batch_begin(self, batch_index, batch)
-            self._last_train_logits = None
-            loss = self.loss_fn(self.model, batch)
-            if self.loss_hook is not None:
-                extra = self.loss_hook(self.model)
-                if extra is not None:
-                    loss = loss + extra
-            self.optimizer.zero_grad()
-            loss.backward()
-            if self.grad_hook is not None:
-                self.grad_hook(self.model)
-            self.optimizer.step()
-            batch_size = len(batch[-1])
-            loss_meter.update(loss.item(), batch_size)
-            batch_accuracy = self._batch_accuracy(batch)
-            if batch_accuracy is not None:
-                acc_meter.update(batch_accuracy, batch_size)
-            batch_logs = {"loss": loss.item()}
-            if batch_accuracy is not None:
-                batch_logs["accuracy"] = batch_accuracy
-            for callback in self.callbacks:
-                callback.on_batch_end(self, batch_index, batch_logs)
+        iterator = iter(self.train_loader)
+        batch_index = 0
+        try:
+            while True:
+                requested = time.perf_counter()
+                try:
+                    batch = next(iterator)
+                except StopIteration:
+                    break
+                # The cap check sits *after* the fetch on purpose: the old
+                # enumerate loop materialised batch ``max`` before breaking,
+                # and the legacy loader's per-sample transforms draw from a
+                # stateful stream — skipping that fetch would shift every
+                # later epoch's augmentation bits away from the seed capture.
+                if self.max_batches_per_epoch is not None and batch_index >= self.max_batches_per_epoch:
+                    break
+                delivered = time.perf_counter()
+                stats.observe_stall(delivered - requested)
+                for callback in self.callbacks:
+                    callback.on_batch_begin(self, batch_index, batch)
+                self._last_train_logits = None
+                loss = self.loss_fn(self.model, batch)
+                if self.loss_hook is not None:
+                    extra = self.loss_hook(self.model)
+                    if extra is not None:
+                        loss = loss + extra
+                self.optimizer.zero_grad()
+                loss.backward()
+                if self.grad_hook is not None:
+                    self.grad_hook(self.model)
+                self.optimizer.step()
+                batch_size = len(batch[-1])
+                loss_meter.update(loss.item(), batch_size)
+                batch_accuracy = self._batch_accuracy(batch)
+                if batch_accuracy is not None:
+                    acc_meter.update(batch_accuracy, batch_size)
+                batch_logs = {"loss": loss.item()}
+                if batch_accuracy is not None:
+                    batch_logs["accuracy"] = batch_accuracy
+                for callback in self.callbacks:
+                    callback.on_batch_end(self, batch_index, batch_logs)
+                stats.observe_compute(time.perf_counter() - delivered, batch_size)
+                batch_index += 1
+        finally:
+            # A prefetching stream keeps producer threads behind its
+            # iterator; closing the generator (early break, error) shuts
+            # them down deterministically instead of leaking them.
+            close = getattr(iterator, "close", None)
+            if close is not None:
+                close()
         self._last_train_logits = None
-        return {"loss": loss_meter.average, "accuracy": acc_meter.average}
+        self.epochs_completed += 1
+        self.last_epoch_pipeline_stats = stats
+        self.pipeline_stats.merge(stats)
+        return {
+            "loss": loss_meter.average,
+            "accuracy": acc_meter.average,
+            "data_stall_seconds": stats.stall_seconds,
+            "data_compute_seconds": stats.compute_seconds,
+            "samples_per_sec": stats.samples_per_sec,
+        }
 
     def _batch_accuracy(self, batch) -> Optional[float]:
         """Running top-1 accuracy from the training logits, when they apply.
@@ -209,7 +265,7 @@ class Trainer:
         return top_k_accuracy(logits.data, labels, k=1)
 
     @no_grad()
-    def evaluate(self, loader: Optional[DataLoader] = None) -> Dict[str, float]:
+    def evaluate(self, loader: Optional[BatchStream] = None) -> Dict[str, float]:
         # Under no_grad the engine builds no graph nodes at all (and conv
         # layers reuse their geometry-keyed im2col buffers), so evaluation is
         # a pure-forward fast path.
@@ -263,14 +319,23 @@ class Trainer:
                 lr=self.optimizer.lr,
                 epoch_seconds=elapsed,
                 num_parameters=self.model.num_parameters(),
+                extra={
+                    "data_stall_seconds": train_stats.get("data_stall_seconds", 0.0),
+                    "data_compute_seconds": train_stats.get("data_compute_seconds", 0.0),
+                    "samples_per_sec": train_stats.get("samples_per_sec", 0.0),
+                },
             )
             self.history.append(record)
             if verbose:
                 logger.info(
-                    "epoch %d loss=%.4f val_acc=%s lr=%.4g params=%d",
+                    "epoch %d loss=%.4f val_acc=%s lr=%.4g params=%d "
+                    "stall=%.3fs compute=%.3fs (%.1f samples/s)",
                     epoch, record.train_loss,
                     f"{record.val_accuracy:.4f}" if record.val_accuracy is not None else "n/a",
                     record.lr, record.num_parameters,
+                    record.extra["data_stall_seconds"],
+                    record.extra["data_compute_seconds"],
+                    record.extra["samples_per_sec"],
                 )
 
             logs = {"train_loss": record.train_loss, **{f"val_{k}": v for k, v in val_stats.items()}}

@@ -1,7 +1,24 @@
 """Small shared utilities: seeding, logging, checkpointing, numeric helpers."""
 
-from repro.utils.seed import seed_everything, get_rng, root_seed
+from repro.utils.seed import (
+    counter_bits,
+    counter_integers,
+    counter_uniforms,
+    get_epoch_rng,
+    get_rng,
+    root_seed,
+    sample_integers,
+    sample_uniforms,
+    seed_everything,
+)
 from repro.utils.logging import get_logger
+from repro.utils.concurrency import (
+    CLOSED,
+    BackgroundProducer,
+    ClosableQueue,
+    ProducerFailure,
+    run_worker_threads,
+)
 from repro.utils.checkpoint import (
     CHECKPOINT_FORMAT_VERSION,
     CheckpointError,
@@ -14,7 +31,18 @@ from repro.utils.checkpoint import (
 __all__ = [
     "seed_everything",
     "get_rng",
+    "get_epoch_rng",
     "root_seed",
+    "counter_bits",
+    "counter_integers",
+    "counter_uniforms",
+    "sample_integers",
+    "sample_uniforms",
+    "CLOSED",
+    "BackgroundProducer",
+    "ClosableQueue",
+    "ProducerFailure",
+    "run_worker_threads",
     "get_logger",
     "CHECKPOINT_FORMAT_VERSION",
     "CheckpointError",

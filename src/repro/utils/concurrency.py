@@ -1,0 +1,206 @@
+"""Bounded-queue and producer-thread primitives shared across the system.
+
+Three layers use exactly the same pattern — a bounded queue between producer
+and consumer threads, a shutdown sentinel, loud propagation of producer
+exceptions and a sweep that fails anything left behind:
+
+* the data pipeline's :class:`~repro.data.pipeline.PrefetchingLoader`
+  (producer threads materialise batches ahead of the training loop);
+* the serving engine's :class:`~repro.serve.batcher.DynamicBatcher`
+  (HTTP handler threads feed one inference worker);
+* the load generator's closed-loop client fleet.
+
+This module is that pattern, written once.  ``ClosableQueue`` is a bounded
+``queue.Queue`` plus a shared ``CLOSED`` sentinel and drain helpers;
+``BackgroundProducer`` runs an iterable into a queue on a daemon thread,
+forwarding exceptions as :class:`ProducerFailure` items instead of dying
+silently; ``run_worker_threads`` is the start-then-join fan-out used by
+benchmarks and the load generator.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Iterable, List, Optional
+
+
+class _Closed:
+    """Singleton shutdown sentinel (its repr aids queue debugging)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<CLOSED>"
+
+
+#: Shutdown sentinel shared by every queue user.  Consumers receiving it must
+#: stop; it is never a valid payload.
+CLOSED = _Closed()
+
+
+class ProducerFailure:
+    """An exception captured on a producer thread, queued for the consumer.
+
+    Producers must never die silently: wrapping the exception and enqueueing
+    it lets the consumer re-raise on *its* thread, with the producer-side
+    traceback attached as ``__cause__``.
+    """
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException):
+        self.error = error
+
+    def reraise(self) -> None:
+        raise self.error
+
+
+class ClosableQueue:
+    """A bounded queue with a shutdown sentinel and a pending-item sweep.
+
+    Thin wrapper over ``queue.Queue`` — it deliberately re-exports the
+    blocking semantics (``queue.Full`` / ``queue.Empty``) so callers keep
+    precise control over timeouts and backpressure, and adds the three
+    operations every producer/consumer pair here needs: ``close`` (enqueue
+    the sentinel), ``put_cooperative`` (a put that gives up when a stop event
+    fires, so producers never deadlock against a full queue at shutdown) and
+    ``drain`` (sweep remaining real items, e.g. to fail their futures).
+    """
+
+    def __init__(self, maxsize: int = 0):
+        self._queue: "queue.Queue" = queue.Queue(maxsize=maxsize)
+
+    # -- producer side -------------------------------------------------- #
+    def put(self, item: Any, timeout: Optional[float] = None) -> None:
+        """Blocking put; raises ``queue.Full`` on timeout."""
+        self._queue.put(item, timeout=timeout)
+
+    def put_nowait(self, item: Any) -> None:
+        self._queue.put_nowait(item)
+
+    def put_cooperative(self, item: Any, stop: threading.Event,
+                        poll_s: float = 0.05) -> bool:
+        """Put, polling ``stop`` while the queue is full.
+
+        Returns ``False`` (item dropped) when ``stop`` fires first — the
+        consumer has gone away and nothing will ever drain the queue.
+        """
+        while not stop.is_set():
+            try:
+                self._queue.put(item, timeout=poll_s)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def close(self) -> None:
+        """Enqueue the shutdown sentinel (blocking until there is room)."""
+        self._queue.put(CLOSED)
+
+    # -- consumer side -------------------------------------------------- #
+    def get(self, timeout: Optional[float] = None) -> Any:
+        """Blocking get; raises ``queue.Empty`` on timeout."""
+        return self._queue.get(timeout=timeout)
+
+    def get_nowait(self) -> Any:
+        return self._queue.get_nowait()
+
+    def drain(self, on_item: Optional[Callable[[Any], None]] = None) -> int:
+        """Pop everything queued right now; sentinel items are discarded.
+
+        ``on_item`` sees each real item (used to fail pending futures).
+        Returns the number of real items swept.
+        """
+        swept = 0
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return swept
+            if item is CLOSED:
+                continue
+            swept += 1
+            if on_item is not None:
+                on_item(item)
+
+    def qsize(self) -> int:
+        return self._queue.qsize()
+
+
+class BackgroundProducer:
+    """Run ``source()`` (an iterable factory) into a queue on a daemon thread.
+
+    Items flow through ``queue``; an exception raised by the source is
+    wrapped in :class:`ProducerFailure` and queued in its place, and the
+    ``CLOSED`` sentinel always follows the final item so consumers know the
+    stream ended.  ``stop()`` asks the producer to cease, drains the queue so
+    a blocked put can finish, and joins the thread — the shutdown path is
+    deterministic, never "daemon thread dies with the process".
+    """
+
+    def __init__(
+        self,
+        source: Callable[[], Iterable[Any]],
+        out: ClosableQueue,
+        name: str = "producer",
+        stop: Optional[threading.Event] = None,
+    ):
+        self.queue = out
+        self.stop_event = stop or threading.Event()
+        self._source = source
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+
+    def start(self) -> "BackgroundProducer":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        try:
+            for item in self._source():
+                if not self.queue.put_cooperative(item, self.stop_event):
+                    return  # consumer is gone; skip the sentinel too
+        except BaseException as error:  # noqa: BLE001 — forwarded to the consumer
+            self.queue.put_cooperative(ProducerFailure(error), self.stop_event)
+        self.queue.put_cooperative(CLOSED, self.stop_event)
+
+    def stop(self, timeout: Optional[float] = 10.0) -> None:
+        """Signal, unblock and join the producer.  Safe to call repeatedly."""
+        self.stop_event.set()
+        # A producer blocked on put() polls the stop event between attempts;
+        # draining just accelerates its exit under heavy queueing.
+        self.queue.drain()
+        if self._thread.is_alive():
+            self._thread.join(timeout=timeout)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._thread.join(timeout=timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+
+def run_worker_threads(target: Callable[[int], None], count: int,
+                       name: str = "worker") -> List[threading.Thread]:
+    """Start ``count`` daemon threads running ``target(worker_id)``; join all.
+
+    The fan-out/join used by the closed-loop load generator and the pipeline
+    benchmark.  Returns the (joined) threads for inspection.
+    """
+    threads = [
+        threading.Thread(target=target, args=(i,), name=f"{name}-{i}", daemon=True)
+        for i in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return threads
+
+
+__all__ = [
+    "CLOSED",
+    "BackgroundProducer",
+    "ClosableQueue",
+    "ProducerFailure",
+    "run_worker_threads",
+]

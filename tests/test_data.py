@@ -81,6 +81,57 @@ class TestDatasetsAndLoader:
         val_items = {int(val[i]) for i in range(len(val))}
         assert not train_items & val_items
 
+    def test_train_val_split_zero_fraction_gives_empty_val(self):
+        ds = ArrayDataset(np.arange(10))
+        train, val = train_val_split(ds, val_fraction=0.0)
+        assert len(train) == 10 and len(val) == 0
+        assert list(iter(DataLoader(val, batch_size=4))) == []
+        assert len(DataLoader(val, batch_size=4)) == 0
+
+    def test_train_val_split_full_fraction_gives_empty_train(self):
+        ds = ArrayDataset(np.arange(10))
+        train, val = train_val_split(ds, val_fraction=1.0)
+        assert len(train) == 0 and len(val) == 10
+        assert list(iter(DataLoader(train, batch_size=4))) == []
+
+    def test_train_val_split_rejects_out_of_range_fraction(self):
+        ds = ArrayDataset(np.arange(10))
+        with pytest.raises(ValueError):
+            train_val_split(ds, val_fraction=-0.1)
+        with pytest.raises(ValueError):
+            train_val_split(ds, val_fraction=1.5)
+
+    def test_array_dataset_target_transform(self):
+        ds = ArrayDataset(np.arange(5, dtype=np.float32), np.arange(5),
+                          target_transform=lambda y: y + 100)
+        x, y = ds[2]
+        assert x == 2.0 and y == 102
+
+    def test_array_dataset_rejects_non_callable_transforms(self):
+        with pytest.raises(TypeError):
+            ArrayDataset(np.arange(3), transform="not-a-function")
+        with pytest.raises(TypeError):
+            ArrayDataset(np.arange(3), np.arange(3), target_transform=3.14)
+
+    def test_target_transform_requires_a_target_array(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.arange(3), target_transform=lambda y: y)
+
+    def test_subset_out_of_range_index_raises(self):
+        sub = Subset(ArrayDataset(np.arange(10)), [1, 3, 5])
+        with pytest.raises(IndexError):
+            sub[3]
+        with pytest.raises(IndexError):
+            sub[-4]
+        assert sub[-1] == 5      # in-range negatives keep list semantics
+
+    def test_subset_validates_indices_against_dataset(self):
+        ds = ArrayDataset(np.arange(10))
+        with pytest.raises(IndexError):
+            Subset(ds, [0, 10])
+        with pytest.raises(IndexError):
+            Subset(ds, [-11])
+
 
 class TestAugmentation:
     def test_normalize_standardises_channels(self, rng):

@@ -246,3 +246,18 @@ class TestBitParity:
                             BatchingPolicy(max_batch_size=16, max_wait_ms=20.0)) as batcher:
             out = batcher(x)
         np.testing.assert_array_equal(out, direct)
+
+
+class TestWorkerObservability:
+    def test_stats_report_worker_stall_compute_split(self):
+        with DynamicBatcher(_echo_predict,
+                            BatchingPolicy(max_batch_size=4, max_wait_ms=1.0)) as batcher:
+            x = get_rng(offset=3).standard_normal((6, 4)).astype(np.float32)
+            for i in range(6):
+                batcher.submit(x[i]).result(timeout=10.0)
+            worker = batcher.stats()["worker"]
+        assert worker["samples"] == 6
+        assert worker["batches"] >= 1
+        assert worker["compute_seconds"] >= 0.0
+        assert 0.0 <= worker["utilization"] <= 1.0
+        assert worker["utilization"] == pytest.approx(1.0 - worker["stall_fraction"])
