@@ -102,6 +102,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--loader-workers", type=int, default=1, metavar="N",
                        help="producer threads for the prefetching loader "
                             "(results are bit-identical at any worker count)")
+        p.add_argument("--world-size", type=int, default=1, metavar="N",
+                       help="data-parallel replicas: N threaded workers train "
+                            "on ShardedSampler shards with a deterministic "
+                            "gradient all-reduce and Goyal lr scaling "
+                            "(N > 1 implies --loader pipeline; results are "
+                            "bit-stable across reruns and thread schedules)")
+        p.add_argument("--no-lr-scaling", action="store_true",
+                       help="disable the Goyal world_size x lr scaling rule "
+                            "under --world-size > 1")
         p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
     methods = available_methods()
@@ -198,6 +207,8 @@ def _experiment_config(args: argparse.Namespace) -> VisionExperimentConfig:
         loader=args.loader,
         prefetch_depth=args.prefetch,
         loader_workers=args.loader_workers,
+        world_size=args.world_size,
+        dp_lr_scaling=not args.no_lr_scaling,
     )
 
 
@@ -239,7 +250,21 @@ def cmd_train(args: argparse.Namespace, stream=sys.stdout) -> int:
         out.write(
             f"pipeline: {stats.describe()} "
             f"(loader=pipeline prefetch={config.prefetch_depth} "
-            f"workers={config.loader_workers})\n")
+            f"workers={config.loader_workers} world_size={config.world_size})\n")
+        wall = stats.extra.get("wall_seconds", 0.0)
+        if config.world_size > 1 and wall > 0:
+            # describe()'s samples/sec divides by summed per-replica thread
+            # time; replicas overlap, so wall-clock throughput is the honest
+            # data-parallel number.
+            out.write(f"data-parallel throughput: {stats.samples / wall:.1f} "
+                      f"samples/s over {wall:.3f}s wall\n")
+        last = context.trainer.last_epoch_pipeline_stats
+        if config.world_size > 1 and last is not None:
+            per_replica = " ".join(
+                f"r{rank}={last.extra.get(f'replica{rank}_stall_seconds', 0.0):.3f}s"
+                f"/{last.extra.get(f'replica{rank}_compute_seconds', 0.0):.3f}s"
+                for rank in range(config.world_size))
+            out.write(f"replicas (stall/compute, last epoch): {per_replica}\n")
     if args.save_checkpoint:
         from repro.utils import save_checkpoint
 

@@ -16,6 +16,8 @@ from repro.data.pipeline import (
     PipelineLoader,
     PrefetchingLoader,
     build_loaders,
+    build_replica_loaders,
+    shard_loader,
 )
 from repro.data.sampler import (
     Sampler,
@@ -52,6 +54,8 @@ __all__ = [
     "PipelineLoader",
     "PrefetchingLoader",
     "build_loaders",
+    "build_replica_loaders",
+    "shard_loader",
     "Sampler",
     "SequentialSampler",
     "ShardedSampler",

@@ -39,7 +39,7 @@ import numpy as np
 
 from repro.data.augment import supports_batch
 from repro.data.dataset import ArrayDataset, Dataset, Subset, _default_collate
-from repro.data.sampler import Sampler, SequentialSampler, ShuffledSampler
+from repro.data.sampler import Sampler, SequentialSampler, ShardedSampler, ShuffledSampler
 from repro.utils import CLOSED, BackgroundProducer, ClosableQueue, ProducerFailure
 
 Batch = Tuple[np.ndarray, ...]
@@ -321,6 +321,77 @@ class PrefetchingLoader(BatchStream):
                 producer.stop()
 
 
+def shard_loader(loader: BatchStream, rank: int, world_size: int) -> BatchStream:
+    """Derive rank ``rank``'s shard view of a pipeline loader.
+
+    Returns a new :class:`PipelineLoader` over the same dataset, batch size
+    and RNG keys whose sampler is the :class:`~repro.data.sampler.ShardedSampler`
+    slice for ``(rank, world_size)`` — every rank sees ``1/world_size`` of the
+    same epoch-keyed global permutation, padded to equal length.  A
+    :class:`PrefetchingLoader` wrapper is re-applied around the sharded inner
+    loader with the same depth/worker settings.
+    """
+    if isinstance(loader, PrefetchingLoader):
+        inner = shard_loader(loader.loader, rank, world_size)
+        return PrefetchingLoader(inner, depth=loader.depth, workers=loader.workers)
+    if not isinstance(loader, PipelineLoader):
+        raise TypeError(
+            f"shard_loader needs a PipelineLoader (or a PrefetchingLoader "
+            f"around one), got {type(loader).__name__} — data-parallel "
+            f"training requires the streaming pipeline")
+    sampler = loader.sampler
+    shuffle = isinstance(sampler, ShuffledSampler) or bool(getattr(sampler, "shuffle", False))
+    seed_offset = getattr(sampler, "seed_offset", 7)
+    sharded = ShardedSampler(len(loader.dataset), rank=rank, world_size=world_size,
+                             shuffle=shuffle, seed_offset=seed_offset)
+    return PipelineLoader(
+        loader.dataset, loader.batch_size,
+        drop_last=loader.drop_last,
+        sampler=sharded,
+        collate_fn=loader.collate_fn,
+        reuse_buffers=loader.arena is not None,
+        arena_slots=loader.arena.slots if loader.arena is not None else 4,
+    )
+
+
+def build_replica_loaders(
+    train_dataset: Dataset,
+    batch_size: int,
+    world_size: int,
+    prefetch_depth: int = 0,
+    workers: int = 1,
+    reuse_buffers: bool = False,
+    seed_offset: int = 7,
+):
+    """One sharded train loader per rank for data-parallel training.
+
+    Rank ``r`` gets a :class:`PipelineLoader` over ``train_dataset`` whose
+    sampler is ``ShardedSampler(n, rank=r, world_size)`` — all ranks share the
+    epoch's global permutation and split it into disjoint, equal-length
+    shards (padded by cyclic repetition), which is what keeps the replica
+    workers in lockstep for the all-reduce.  With ``prefetch_depth > 0`` each
+    rank's loader is additionally prefetched on its own producer threads.
+    """
+    if world_size < 1:
+        raise ValueError(f"world_size must be >= 1, got {world_size}")
+    n = len(train_dataset)
+    workers = max(1, workers)
+    queued = workers * max(1, -(-prefetch_depth // workers)) if prefetch_depth > 0 else 0
+    loaders = []
+    for rank in range(world_size):
+        sampler = ShardedSampler(n, rank=rank, world_size=world_size,
+                                 shuffle=True, seed_offset=seed_offset)
+        loader: BatchStream = PipelineLoader(
+            train_dataset, batch_size, sampler=sampler,
+            seed_offset=seed_offset, reuse_buffers=reuse_buffers,
+            arena_slots=max(4, queued + workers + 2),
+        )
+        if prefetch_depth > 0:
+            loader = PrefetchingLoader(loader, depth=prefetch_depth, workers=workers)
+        loaders.append(loader)
+    return loaders
+
+
 def build_loaders(
     train_dataset: Dataset,
     val_dataset: Optional[Dataset],
@@ -339,8 +410,6 @@ def build_loaders(
     validation loader stays synchronous and sequential (evaluation transforms
     carry no randomness, and keeping it simple makes eval order stable).
     """
-    from repro.data.sampler import ShardedSampler
-
     sampler = None
     if world_size > 1:
         sampler = ShardedSampler(len(train_dataset), rank=rank, world_size=world_size,
@@ -371,4 +440,6 @@ __all__ = [
     "PipelineLoader",
     "PrefetchingLoader",
     "build_loaders",
+    "build_replica_loaders",
+    "shard_loader",
 ]

@@ -32,14 +32,35 @@ class LRScheduler:
         raise NotImplementedError
 
     def step(self, epoch: int = None) -> float:
-        self.last_epoch = self.last_epoch + 1 if epoch is None else epoch
+        """Advance to the next epoch (or jump to ``epoch`` — the resume path).
+
+        An explicit ``step(epoch=k)`` positions the scheduler at epoch ``k``;
+        a following argless ``step()`` continues from ``k + 1``, so resumed
+        runs and fresh runs walk the same lr sequence for every scheduler.
+        """
+        if epoch is None:
+            self.last_epoch = self.last_epoch + 1
+        else:
+            epoch = int(epoch)
+            if epoch < 0:
+                raise ValueError(f"step(epoch=...) needs a non-negative epoch, got {epoch}")
+            self.last_epoch = epoch
         lr = self.get_lr(self.last_epoch)
         self.optimizer.lr = lr
         return lr
 
     def scale_base_lr(self, factor: float) -> None:
-        """Scale the base learning rate (used when switching to low-rank training)."""
+        """Scale the base learning rate (used when switching to low-rank training).
+
+        Applied mid-run this must *compose* with schedule state already
+        consumed — e.g. ``MultiStepLR`` milestones that have passed keep
+        their decay on top of the new base — so the current epoch's lr is
+        re-derived and re-installed immediately rather than leaving the
+        optimizer on a value derived from the unscaled base until the next
+        ``step()``.
+        """
         self.base_lr *= factor
+        self.optimizer.lr = self.get_lr(max(self.last_epoch, 0))
 
 
 class ConstantLR(LRScheduler):
@@ -60,11 +81,20 @@ class MultiStepLR(LRScheduler):
 
 
 class LinearWarmup(LRScheduler):
-    """Linearly interpolate from ``start_lr`` to ``base_lr`` over ``warmup_epochs``."""
+    """Linearly interpolate from ``start_lr`` to ``base_lr`` over ``warmup_epochs``.
+
+    This is the Goyal et al. large-minibatch recipe — the schedule
+    data-parallel training pairs with its ``k×`` lr scaling.
+    """
 
     def __init__(self, optimizer: Optimizer, warmup_epochs: int, start_lr: float,
                  base_lr: float = None):
-        self.warmup_epochs = max(int(warmup_epochs), 1)
+        warmup_epochs = int(warmup_epochs)
+        if warmup_epochs < 1:
+            raise ValueError(
+                f"LinearWarmup needs warmup_epochs >= 1, got {warmup_epochs} "
+                "(use ConstantLR when no warmup is wanted)")
+        self.warmup_epochs = warmup_epochs
         self.start_lr = start_lr
         super().__init__(optimizer, base_lr)
 

@@ -270,7 +270,15 @@ class NumpyFastBackend(Backend):
         dt = np.dtype(dtype)
         bucket = self._arena.get((shape, dt.str, self._c_strides(shape, dt.itemsize)))
         if bucket:
-            return bucket.pop()
+            # list.pop() is atomic, but the emptiness check above is not —
+            # under data-parallel training several replica threads share this
+            # arena, and two of them may race past `if bucket` with one
+            # buffer left.  Losing the race means allocating fresh, never
+            # sharing a buffer.
+            try:
+                return bucket.pop()
+            except IndexError:
+                pass
         return np.empty(shape, dtype=dt)
 
     def take_zeros(self, shape: Tuple[int, ...], dtype=DEFAULT_DTYPE) -> np.ndarray:
@@ -283,7 +291,10 @@ class NumpyFastBackend(Backend):
         key = (prototype.shape, np.dtype(DEFAULT_DTYPE).str, prototype.strides)
         bucket = self._arena.get(key)
         if bucket:
-            return bucket.pop()
+            try:
+                return bucket.pop()  # raced empty: see take()
+            except IndexError:
+                pass
         return np.empty_like(prototype, dtype=DEFAULT_DTYPE)
 
     def give(self, array: Optional[np.ndarray]) -> None:

@@ -44,7 +44,7 @@ from repro.core import (
     full_rank_of,
     profile_layer_stacks,
 )
-from repro.data import DataLoader, build_loaders, make_vision_task
+from repro.data import DataLoader, build_loaders, build_replica_loaders, make_vision_task
 from repro.models import build_model
 from repro.optim import SGD, build_paper_cifar_schedule
 from repro.profiling import V100, DeviceSpec, predict_iteration_time
@@ -113,19 +113,42 @@ class VisionExperimentConfig:
     loader_workers: int = 1
     reuse_collate_buffers: bool = False
 
+    # Data-parallel training (repro.distributed).  ``world_size > 1`` runs N
+    # threaded replica workers over ShardedSampler shards with a
+    # deterministic gradient all-reduce; it *requires* the pipeline loader
+    # family (shards are epoch-keyed sampler slices).  ``dp_lr_scaling``
+    # applies the Goyal linear-scaling rule: peak lr × world_size, warming up
+    # from the single-replica lr (the effective batch is
+    # ``world_size × batch_size``).
+    world_size: int = 1
+    dp_lr_scaling: bool = True
+
     def uses_pipeline_loader(self) -> bool:
+        if self.world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {self.world_size}")
         if self.loader == "pipeline":
             return True
         if self.loader == "auto":
-            return self.prefetch_depth > 0
+            return self.prefetch_depth > 0 or self.world_size > 1
         if self.loader == "legacy":
             if self.prefetch_depth > 0:
                 raise ValueError(
                     "prefetching requires the pipeline loader: got "
                     f"loader='legacy' with prefetch_depth={self.prefetch_depth} "
                     "(use loader='pipeline' or 'auto')")
+            if self.world_size > 1:
+                raise ValueError(
+                    "data-parallel training requires the pipeline loader: got "
+                    f"loader='legacy' with world_size={self.world_size} "
+                    "(use loader='pipeline' or 'auto')")
             return False
         raise ValueError(f"unknown loader {self.loader!r}; use 'auto', 'legacy' or 'pipeline'")
+
+    def effective_peak_lr(self) -> float:
+        """Goyal linear-scaling rule: peak lr × world_size when enabled."""
+        if self.world_size > 1 and self.dp_lr_scaling:
+            return self.peak_lr * self.world_size
+        return self.peak_lr
 
     # Paper-scale reference used for the K decision and the projected-time column.
     device: DeviceSpec = V100
@@ -156,7 +179,15 @@ class ExperimentSpec:
 # Builders
 # --------------------------------------------------------------------------- #
 def _build_task(config: VisionExperimentConfig):
+    """Build (train_loader, val_loader, task_spec, replica_loaders).
+
+    ``replica_loaders`` is ``None`` except under data-parallel training
+    (``world_size > 1``), where it holds one ShardedSampler-backed pipeline
+    loader per rank; ``train_loader`` then stays the *global* (unsharded)
+    pipeline loader so non-rank-aware consumers see the whole dataset.
+    """
     train_ds, val_ds, spec = make_vision_task(config.task)
+    replica_loaders = None
     if config.uses_pipeline_loader():
         train_loader, val_loader = build_loaders(
             train_ds, val_ds, config.batch_size,
@@ -164,10 +195,17 @@ def _build_task(config: VisionExperimentConfig):
             workers=config.loader_workers,
             reuse_buffers=config.reuse_collate_buffers,
         )
+        if config.world_size > 1:
+            replica_loaders = build_replica_loaders(
+                train_ds, config.batch_size, config.world_size,
+                prefetch_depth=config.prefetch_depth,
+                workers=config.loader_workers,
+                reuse_buffers=config.reuse_collate_buffers,
+            )
     else:
         train_loader = DataLoader(train_ds, batch_size=config.batch_size, shuffle=True)
         val_loader = DataLoader(val_ds, batch_size=config.batch_size)
-    return train_loader, val_loader, spec
+    return train_loader, val_loader, spec, replica_loaders
 
 
 def _build_model(config: VisionExperimentConfig, num_classes: int,
@@ -193,8 +231,15 @@ def _build_optimizer(model: nn.Module, config: VisionExperimentConfig) -> SGD:
 
 
 def _build_scheduler(optimizer: SGD, config: VisionExperimentConfig):
-    return build_paper_cifar_schedule(optimizer, config.epochs, config.peak_lr,
-                                      start_lr=config.peak_lr / 8,
+    peak_lr = config.effective_peak_lr()
+    if peak_lr != config.peak_lr:
+        # Goyal warmup: start from the *single-replica* lr and ramp linearly
+        # to the world_size-scaled peak over the warmup epochs.
+        start_lr = config.peak_lr
+    else:
+        start_lr = config.peak_lr / 8
+    return build_paper_cifar_schedule(optimizer, config.epochs, peak_lr,
+                                      start_lr=start_lr,
                                       warmup_epochs=config.warmup_epochs)
 
 
@@ -285,7 +330,7 @@ def run_experiment(spec: ExperimentSpec, return_context: bool = False):
     method = build_method(spec.method, **spec.method_kwargs)
 
     seed_everything(config.seed)
-    train_loader, val_loader, task_spec = _build_task(config)
+    train_loader, val_loader, task_spec, replica_loaders = _build_task(config)
     model = _build_model(config, task_spec.num_classes)
     context = ExperimentContext(
         config=config,
@@ -303,8 +348,7 @@ def run_experiment(spec: ExperimentSpec, return_context: bool = False):
     context.optimizer = context.optimizer_factory(context.model)
     context.scheduler = context.scheduler_factory(context.optimizer) if method.uses_scheduler else None
     method.configure(context)
-    context.trainer = Trainer(
-        context.model, context.optimizer, train_loader, val_loader,
+    trainer_kwargs = dict(
         scheduler=context.scheduler,
         callbacks=method.callbacks(),
         loss_hook=method.loss_hook(),
@@ -312,6 +356,19 @@ def run_experiment(spec: ExperimentSpec, return_context: bool = False):
         label_smoothing=config.label_smoothing if method.uses_label_smoothing else 0.0,
         max_batches_per_epoch=config.max_batches_per_epoch,
     )
+    if config.world_size > 1:
+        from repro.distributed import DataParallelTrainer
+
+        context.trainer = DataParallelTrainer(
+            context.model, context.optimizer, train_loader, val_loader,
+            world_size=config.world_size, replica_loaders=replica_loaders,
+            **trainer_kwargs,
+        )
+    else:
+        context.trainer = Trainer(
+            context.model, context.optimizer, train_loader, val_loader,
+            **trainer_kwargs,
+        )
     method.execute(context)
     result = method.finalize(context)
 

@@ -29,9 +29,16 @@ def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
 
 
 def f1_score(predictions: np.ndarray, targets: np.ndarray, positive_class: int = 1) -> float:
-    """Binary F1 score, used for QQP and MRPC."""
+    """Binary F1 score, used for QQP and MRPC.
+
+    Degenerate inputs are well-defined: with no true positives (including a
+    batch with no positive predictions, no positive targets, or no samples at
+    all) both precision and recall are 0/0 — the score is defined as 0.0.
+    """
     predictions = np.asarray(predictions)
     targets = np.asarray(targets)
+    if predictions.size == 0 or targets.size == 0:
+        return 0.0
     tp = float(np.sum((predictions == positive_class) & (targets == positive_class)))
     fp = float(np.sum((predictions == positive_class) & (targets != positive_class)))
     fn = float(np.sum((predictions != positive_class) & (targets == positive_class)))
@@ -43,9 +50,15 @@ def f1_score(predictions: np.ndarray, targets: np.ndarray, positive_class: int =
 
 
 def matthews_corrcoef(predictions: np.ndarray, targets: np.ndarray) -> float:
-    """Matthews correlation coefficient, used for CoLA."""
+    """Matthews correlation coefficient, used for CoLA.
+
+    Single-class targets or predictions (and empty batches) zero the
+    denominator — the 0/0 case is defined as 0.0, matching sklearn.
+    """
     predictions = np.asarray(predictions)
     targets = np.asarray(targets)
+    if predictions.size == 0 or targets.size == 0:
+        return 0.0
     tp = float(np.sum((predictions == 1) & (targets == 1)))
     tn = float(np.sum((predictions == 0) & (targets == 0)))
     fp = float(np.sum((predictions == 1) & (targets == 0)))
@@ -57,9 +70,15 @@ def matthews_corrcoef(predictions: np.ndarray, targets: np.ndarray) -> float:
 
 
 def spearman_correlation(predictions: np.ndarray, targets: np.ndarray) -> float:
-    """Spearman rank correlation, used for STS-B."""
+    """Spearman rank correlation, used for STS-B.
+
+    Constant (zero-variance) arrays and empty batches have no defined rank
+    correlation (0/0 inside the formula) — both return 0.0 instead of NaN.
+    """
     predictions = np.asarray(predictions).reshape(-1)
     targets = np.asarray(targets).reshape(-1)
+    if predictions.size == 0 or targets.size == 0:
+        return 0.0
     if np.allclose(predictions, predictions[0]) or np.allclose(targets, targets[0]):
         return 0.0
     rho, _ = stats.spearmanr(predictions, targets)
@@ -108,9 +127,15 @@ class AverageMeter:
 
     @property
     def average(self) -> float:
+        """Running mean; 0.0 before the first ``update`` (never 0/0)."""
         if self.count == 0:
             return 0.0
         return self.total / self.count
+
+    @property
+    def avg(self) -> float:
+        """Torch-style alias for :attr:`average` (same empty-meter semantics)."""
+        return self.average
 
     def reset(self) -> None:
         self.total = 0.0

@@ -18,6 +18,7 @@ from repro.utils.concurrency import (
     ClosableQueue,
     ProducerFailure,
     run_worker_threads,
+    start_worker_threads,
 )
 from repro.utils.checkpoint import (
     CHECKPOINT_FORMAT_VERSION,
@@ -43,6 +44,7 @@ __all__ = [
     "ClosableQueue",
     "ProducerFailure",
     "run_worker_threads",
+    "start_worker_threads",
     "get_logger",
     "CHECKPOINT_FORMAT_VERSION",
     "CheckpointError",

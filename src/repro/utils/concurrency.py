@@ -179,12 +179,13 @@ class BackgroundProducer:
         return self._thread.is_alive()
 
 
-def run_worker_threads(target: Callable[[int], None], count: int,
-                       name: str = "worker") -> List[threading.Thread]:
-    """Start ``count`` daemon threads running ``target(worker_id)``; join all.
+def start_worker_threads(target: Callable[[int], None], count: int,
+                         name: str = "worker") -> List[threading.Thread]:
+    """Start ``count`` daemon threads running ``target(worker_id)``; no join.
 
-    The fan-out/join used by the closed-loop load generator and the pipeline
-    benchmark.  Returns the (joined) threads for inspection.
+    The non-blocking half of :func:`run_worker_threads`, for callers that
+    orchestrate the workers while they run (the data-parallel training engine
+    participates in per-step barriers with its replica workers).
     """
     threads = [
         threading.Thread(target=target, args=(i,), name=f"{name}-{i}", daemon=True)
@@ -192,6 +193,17 @@ def run_worker_threads(target: Callable[[int], None], count: int,
     ]
     for thread in threads:
         thread.start()
+    return threads
+
+
+def run_worker_threads(target: Callable[[int], None], count: int,
+                       name: str = "worker") -> List[threading.Thread]:
+    """Start ``count`` daemon threads running ``target(worker_id)``; join all.
+
+    The fan-out/join used by the closed-loop load generator and the pipeline
+    benchmark.  Returns the (joined) threads for inspection.
+    """
+    threads = start_worker_threads(target, count, name=name)
     for thread in threads:
         thread.join()
     return threads
@@ -203,4 +215,5 @@ __all__ = [
     "ClosableQueue",
     "ProducerFailure",
     "run_worker_threads",
+    "start_worker_threads",
 ]

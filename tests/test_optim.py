@@ -188,3 +188,60 @@ class TestSchedulers:
         opt = self._opt(1.0)
         MultiStepLR(opt, milestones=[1], gamma=0.5)
         assert opt.lr == 1.0
+
+
+class TestSchedulerResumeAndScaling:
+    """Resume ordering (`step(epoch=k)` then `step()` -> k+1), mid-run
+    `scale_base_lr` composition with passed milestones, and loud warmup
+    validation."""
+
+    def _opt(self, lr):
+        return SGD([make_param([0.0])], lr=lr)
+
+    @pytest.mark.parametrize("build", [
+        lambda opt: ConstantLR(opt),
+        lambda opt: MultiStepLR(opt, milestones=[2, 4], gamma=0.1),
+        lambda opt: LinearWarmup(opt, warmup_epochs=3, start_lr=0.1),
+        lambda opt: WarmupMultiStepLR(opt, warmup_epochs=2, start_lr=0.1,
+                                      milestones=[4]),
+        lambda opt: CosineAnnealingLR(opt, total_epochs=8),
+    ])
+    def test_explicit_step_then_argless_continues_from_k_plus_one(self, build):
+        fresh = build(self._opt(0.8))
+        sequence = [fresh.optimizer.lr] + [fresh.step() for _ in range(5)]
+
+        resumed = build(self._opt(0.8))
+        resumed.step(epoch=3)             # the resume path
+        assert resumed.last_epoch == 3
+        assert resumed.optimizer.lr == pytest.approx(sequence[3])
+        continued = resumed.step()        # must continue from epoch 4
+        assert resumed.last_epoch == 4
+        assert continued == pytest.approx(sequence[4])
+
+    def test_negative_resume_epoch_raises(self):
+        sched = ConstantLR(self._opt(1.0))
+        with pytest.raises(ValueError, match="non-negative"):
+            sched.step(epoch=-1)
+
+    def test_scale_base_lr_composes_with_passed_milestones(self):
+        opt = self._opt(1.0)
+        sched = MultiStepLR(opt, milestones=[1, 3], gamma=0.1)
+        sched.step(epoch=2)               # one milestone passed: lr = 0.1
+        assert opt.lr == pytest.approx(0.1)
+        sched.scale_base_lr(0.5)
+        # Composes: scaled base *and* the decay already earned, immediately.
+        assert opt.lr == pytest.approx(0.05)
+        # Argless step continues to epoch 3 — second milestone fires on the
+        # scaled base, stacking both decays.
+        assert sched.step() == pytest.approx(0.005)
+        assert sched.last_epoch == 3
+
+    def test_scale_base_lr_applies_immediately(self):
+        opt = self._opt(0.9)
+        sched = ConstantLR(opt)
+        sched.scale_base_lr(1.0 / 3.0)
+        assert opt.lr == pytest.approx(0.3)   # before any further step()
+
+    def test_linear_warmup_zero_epochs_raises(self):
+        with pytest.raises(ValueError, match="warmup_epochs"):
+            LinearWarmup(self._opt(0.8), warmup_epochs=0, start_lr=0.1)

@@ -278,3 +278,53 @@ class TestTrainer:
         trainer = Trainer(model, SGD(model.parameters(), lr=0.1), train_loader)
         trainer.fit(1)
         assert np.isnan(trainer.best_val_accuracy())
+
+
+class TestDegenerateMetricInputs:
+    """0/0 cases must be defined as 0.0, never NaN or ZeroDivisionError."""
+
+    def test_f1_no_positive_predictions(self):
+        preds = np.zeros(6, dtype=np.int64)
+        targets = np.array([0, 0, 1, 1, 0, 1])
+        assert f1_score(preds, targets) == 0.0
+
+    def test_f1_no_positive_targets(self):
+        preds = np.array([1, 0, 1, 0])
+        targets = np.zeros(4, dtype=np.int64)
+        assert f1_score(preds, targets) == 0.0
+
+    def test_f1_empty_batch(self):
+        assert f1_score(np.array([]), np.array([])) == 0.0
+
+    def test_matthews_single_class_targets(self):
+        preds = np.array([0, 1, 0, 1])
+        targets = np.zeros(4, dtype=np.int64)
+        value = matthews_corrcoef(preds, targets)
+        assert value == 0.0 and np.isfinite(value)
+
+    def test_matthews_single_class_predictions(self):
+        preds = np.ones(4, dtype=np.int64)
+        targets = np.array([0, 1, 0, 1])
+        assert matthews_corrcoef(preds, targets) == 0.0
+
+    def test_matthews_empty_batch(self):
+        assert matthews_corrcoef(np.array([]), np.array([])) == 0.0
+
+    def test_spearman_constant_predictions(self):
+        preds = np.full(5, 2.5)
+        targets = np.arange(5.0)
+        assert spearman_correlation(preds, targets) == 0.0
+
+    def test_spearman_constant_targets(self):
+        assert spearman_correlation(np.arange(5.0), np.full(5, 1.0)) == 0.0
+
+    def test_spearman_empty_batch(self):
+        assert spearman_correlation(np.array([]), np.array([])) == 0.0
+
+    def test_average_meter_well_defined_before_first_update(self):
+        meter = AverageMeter()
+        assert meter.average == 0.0
+        assert meter.avg == 0.0          # torch-style alias, same semantics
+        meter.update(3.0, n=2)
+        assert meter.avg == pytest.approx(3.0)
+        assert meter.avg == meter.average
