@@ -3,7 +3,9 @@
 Trains the ResNet cell (resnet18 at reduced width) over synthetic CIFAR-style
 data with the thread-based :class:`repro.distributed.DataParallelTrainer` and
 reports epoch throughput (samples over wall time) per world size, plus the
-per-replica stall/compute split from the pipeline stats.
+per-replica stall/compute split from the pipeline stats.  The measurement
+bodies live in ``repro.bench.workloads`` — the same code the registered
+``dataparallel`` suite times under ``repro bench run``.
 
 Two assertions gate the run:
 
@@ -17,7 +19,8 @@ Two assertions gate the run:
   BLAS-bound numpy kernels that release the GIL, so the speedup needs real
   cores — on smaller hosts the ratio is recorded in the JSON but not fatal.
 
-Results go to ``benchmarks/output/dataparallel.json``.
+Results go to ``benchmarks/output/dataparallel.json`` plus the versioned
+``repro.bench`` contract (``dataparallel.bench.json`` + ``history.jsonl``).
 
 Usage::
 
@@ -28,73 +31,25 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import time
+import sys
 
 import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 OUTPUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "output")
 SCALING_TARGET = 1.5
 SCALING_WORLD_SIZE = 4
 
 
-def build_dataset(n: int, image_size: int, num_classes: int = 4):
-    from repro.data import ArrayDataset
-    from repro.utils import get_rng
-
-    rng = get_rng(offset=31)
-    images = rng.standard_normal((n, 3, image_size, image_size)).astype(np.float32)
-    labels = rng.integers(0, num_classes, size=n).astype(np.int64)
-    return ArrayDataset(images, labels)
-
-
-def build_training(dataset, batch_size: int, width_mult: float, world_size: int):
-    from repro.data import PipelineLoader, build_replica_loaders
-    from repro.distributed import DataParallelTrainer
-    from repro.models import build_model
-    from repro.optim import SGD
-    from repro.utils import get_rng, seed_everything
-
-    seed_everything(0)
-    model = build_model("resnet18", num_classes=4, width_mult=width_mult,
-                        small_input=True, rng=get_rng(offset=1))
-    optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
-    train_loader = PipelineLoader(dataset, batch_size, shuffle=True)
-    replica_loaders = build_replica_loaders(dataset, batch_size, world_size)
-    return DataParallelTrainer(model, optimizer, train_loader,
-                               world_size=world_size,
-                               replica_loaders=replica_loaders)
-
-
-def measure(dataset, batch_size: int, width_mult: float, world_size: int,
-            epochs: int) -> dict:
-    trainer = build_training(dataset, batch_size, width_mult, world_size)
-    trainer.train_epoch()  # warm-up (allocator, caches)
-    start = time.perf_counter()
-    samples = 0
-    last = {}
-    for _ in range(epochs):
-        last = trainer.train_epoch()
-        samples += trainer.last_epoch_pipeline_stats.samples
-    wall = time.perf_counter() - start
-    stats = trainer.last_epoch_pipeline_stats
-    return {
-        "world_size": world_size,
-        "samples_per_sec": samples / wall if wall > 0 else 0.0,
-        "wall_seconds": wall,
-        "final_loss": last.get("loss"),
-        "replica_stall_seconds": [
-            stats.extra.get(f"replica{rank}_stall_seconds", 0.0)
-            for rank in range(world_size)],
-        "replica_compute_seconds": [
-            stats.extra.get(f"replica{rank}_compute_seconds", 0.0)
-            for rank in range(world_size)],
-    }
-
-
 def check_parity(dataset, batch_size: int, width_mult: float, epochs: int) -> dict:
     """world_size=1 bit-parity vs the plain Trainer + ws=2 rerun stability."""
+    from repro.bench.workloads import build_dp_training
     from repro.data import PipelineLoader
     from repro.models import build_model
     from repro.optim import SGD
@@ -111,7 +66,7 @@ def check_parity(dataset, batch_size: int, width_mult: float, epochs: int) -> di
         return losses, [p.data.copy() for p in model.parameters()]
 
     def data_parallel(world_size):
-        trainer = build_training(dataset, batch_size, width_mult, world_size)
+        trainer = build_dp_training(dataset, batch_size, width_mult, world_size)
         losses = [trainer.train_epoch()["loss"] for _ in range(epochs)]
         return losses, [p.data.copy() for p in trainer.model.parameters()]
 
@@ -131,8 +86,11 @@ def check_parity(dataset, batch_size: int, width_mult: float, epochs: int) -> di
 
 
 def main(argv=None) -> int:
+    from repro.bench import add_standard_flags, emit_script_result, get_suite
+    from repro.bench.workloads import build_dp_dataset, dataparallel_throughput
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--tiny", action="store_true", help="CI smoke mode")
+    add_standard_flags(parser, "dataparallel", output_dir=OUTPUT_DIR)
     parser.add_argument("--samples", type=int, default=None,
                         help="dataset size (default 1024, tiny 128)")
     parser.add_argument("--epochs", type=int, default=None,
@@ -142,7 +100,6 @@ def main(argv=None) -> int:
     parser.add_argument("--image-size", type=int, default=None,
                         help="input resolution (default 16, tiny 8)")
     parser.add_argument("--world-sizes", type=int, nargs="+", default=[1, 2, 4])
-    parser.add_argument("--json-path", default=os.path.join(OUTPUT_DIR, "dataparallel.json"))
     args = parser.parse_args(argv)
 
     n = args.samples or (128 if args.tiny else 1024)
@@ -151,14 +108,16 @@ def main(argv=None) -> int:
     width_mult = 0.125 if args.tiny else args.width_mult
     cores = os.cpu_count() or 1
 
-    dataset = build_dataset(n, image_size)
+    dataset = build_dp_dataset(n, image_size)
     results = {"samples": n, "batch_size": args.batch_size, "epochs": epochs,
                "image_size": image_size, "width_mult": width_mult,
                "cpu_count": cores, "world_sizes": {}}
 
     print(f"{'world_size':>10} | {'samples/s':>10} | {'wall':>8} | per-replica compute")
     for world_size in args.world_sizes:
-        row = measure(dataset, args.batch_size, width_mult, world_size, epochs)
+        row = dataparallel_throughput(dataset, batch_size=args.batch_size,
+                                      width_mult=width_mult,
+                                      world_size=world_size, epochs=epochs)
         results["world_sizes"][str(world_size)] = row
         compute = " ".join(f"{s:.2f}s" for s in row["replica_compute_seconds"])
         print(f"{world_size:>10} | {row['samples_per_sec']:>8.0f}/s "
@@ -188,10 +147,27 @@ def main(argv=None) -> int:
           f"{results['meets_scaling_target']} "
           f"(enforced={results['scaling_target_enforced']}, cores={cores})")
 
-    os.makedirs(os.path.dirname(args.json_path), exist_ok=True)
-    with open(args.json_path, "w") as handle:
-        json.dump(results, handle, indent=2)
-    print(f"[bench_dataparallel] wrote {args.json_path}")
+    ws1 = results["world_sizes"].get("1", {}).get("samples_per_sec")
+    ws2 = results["world_sizes"].get("2", {}).get("samples_per_sec")
+    if ws1 and ws2:
+        emit_script_result(
+            args, "dataparallel", results,
+            {
+                "ws1_samples_per_sec": (ws1, "samples/s", True),
+                "ws2_samples_per_sec": (ws2, "samples/s", True),
+                "ws2_scaling": (ws2 / ws1, "x", True),
+            },
+            specs=get_suite("dataparallel").metrics)
+    else:
+        # Custom --world-sizes without both 1 and 2 cannot fill the registered
+        # suite's declared metrics; keep the legacy summary only.
+        import json
+
+        os.makedirs(os.path.dirname(args.json_path), exist_ok=True)
+        with open(args.json_path, "w") as handle:
+            json.dump(results, handle, indent=2)
+        print(f"[bench_dataparallel] wrote {args.json_path} "
+              f"(ws 1+2 not both measured; contract skipped)")
 
     if not all(results["parity"].values()):
         raise SystemExit("FAIL: data-parallel determinism contract violated")

@@ -19,10 +19,13 @@ Two measurements per configuration:
   batch; prefetching should hide loader time behind compute, pushing the
   stall fraction toward zero.
 
-The harness also asserts bit-parity: every prefetched configuration must
-deliver batches identical to the synchronous pipeline, and records whether
-the vectorized loader clears the 2x samples/sec target over the legacy one.
-Results go to ``benchmarks/output/pipeline.json``.
+The measurement bodies live in ``repro.bench.workloads`` — the same code the
+registered ``pipeline`` suite times under ``repro bench run``.  The harness
+additionally asserts bit-parity: every prefetched configuration must deliver
+batches identical to the synchronous pipeline, and records whether the
+vectorized loader clears the 2x samples/sec target over the legacy one.
+Results go to ``benchmarks/output/pipeline.json`` plus the versioned
+``repro.bench`` contract (``pipeline.bench.json`` + ``history.jsonl``).
 
 Usage::
 
@@ -33,76 +36,18 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import time
+import sys
 
 import numpy as np
 
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
 OUTPUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "output")
-
-
-def build_dataset(n: int, image_size: int = 32):
-    from repro.data import ArrayDataset, standard_train_transform
-    from repro.utils import get_rng
-
-    rng = get_rng(offset=31)
-    images = rng.random((n, 3, image_size, image_size), dtype=np.float64).astype(np.float32)
-    labels = rng.integers(0, 10, size=n).astype(np.int64)
-    return ArrayDataset(images, labels,
-                        transform=standard_train_transform(image_size, crop_padding=2))
-
-
-def build_loaders(dataset, batch_size: int):
-    from repro.data import DataLoader, PipelineLoader, PrefetchingLoader
-
-    def pipeline():
-        return PipelineLoader(dataset, batch_size, shuffle=True)
-
-    return {
-        "legacy": lambda: DataLoader(dataset, batch_size, shuffle=True),
-        "vectorized": pipeline,
-        "prefetch-d2": lambda: PrefetchingLoader(pipeline(), depth=2),
-        "prefetch-d4-w2": lambda: PrefetchingLoader(pipeline(), depth=4, workers=2),
-    }
-
-
-def drain(loader, epochs: int, compute=None) -> dict:
-    """Iterate ``epochs`` epochs; return stall/compute split and samples/sec."""
-    from repro.profiling import PipelineStats, instrument
-
-    stats = PipelineStats()
-    for epoch in range(epochs):
-        set_epoch = getattr(loader, "set_epoch", None)
-        if set_epoch is not None:
-            set_epoch(epoch)
-        for batch in instrument(loader, stats):
-            if compute is not None:
-                compute(batch)
-    return stats.as_dict()
-
-
-def make_compute(ms_target: float):
-    """A GIL-releasing stand-in for one training step (~``ms_target`` ms)."""
-    size = 192
-    a = np.random.default_rng(0).standard_normal((size, size)).astype(np.float32)
-    # Calibrate repetitions so the simulated step costs ~ms_target.
-    reps, elapsed = 1, 0.0
-    while True:
-        start = time.perf_counter()
-        for _ in range(reps):
-            a @ a
-        elapsed = time.perf_counter() - start
-        if elapsed * 1e3 >= ms_target / 4 or reps >= 1 << 14:
-            break
-        reps *= 4
-    reps = max(1, int(reps * ms_target / max(elapsed * 1e3, 1e-6)))
-
-    def compute(batch):
-        for _ in range(reps):
-            a @ a
-
-    return compute
 
 
 def check_parity(dataset, batch_size: int) -> bool:
@@ -124,8 +69,11 @@ def check_parity(dataset, batch_size: int) -> bool:
 
 
 def main(argv=None) -> int:
+    from repro.bench import add_standard_flags, emit_script_result, get_suite
+    from repro.bench.workloads import build_pipeline_dataset, loader_throughput
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--tiny", action="store_true", help="CI smoke mode")
+    add_standard_flags(parser, "pipeline", output_dir=OUTPUT_DIR)
     parser.add_argument("--samples", type=int, default=None,
                         help="dataset size (default 2048, tiny 256)")
     parser.add_argument("--epochs", type=int, default=None,
@@ -133,28 +81,20 @@ def main(argv=None) -> int:
     parser.add_argument("--batch-size", type=int, default=32)
     parser.add_argument("--step-ms", type=float, default=4.0,
                         help="simulated training-step cost for the overlap run")
-    parser.add_argument("--json-path", default=os.path.join(OUTPUT_DIR, "pipeline.json"))
     args = parser.parse_args(argv)
 
-    from repro.utils import seed_everything
-
-    seed_everything(0)
     n = args.samples or (256 if args.tiny else 2048)
     epochs = args.epochs or (1 if args.tiny else 3)
-    dataset = build_dataset(n)
-    factories = build_loaders(dataset, args.batch_size)
 
-    results = {"samples": n, "batch_size": args.batch_size, "epochs": epochs,
-               "loader_only": {}, "overlapped": {}}
+    measured = loader_throughput(samples=n, batch_size=args.batch_size,
+                                 epochs=epochs, step_ms=args.step_ms)
+    results = {"samples": n, "batch_size": args.batch_size, "epochs": epochs}
+    results.update(measured)
 
     print(f"{'config':>16} | {'loader-only':>14} | {'overlapped':>14} | stall%")
-    compute = make_compute(args.step_ms)
-    for name, factory in factories.items():
-        drain(factory(), 1)  # warm-up epoch (allocator, caches)
-        loader_only = drain(factory(), epochs)
-        overlapped = drain(factory(), epochs, compute=compute)
-        results["loader_only"][name] = loader_only
-        results["overlapped"][name] = overlapped
+    for name in measured["loader_only"]:
+        loader_only = measured["loader_only"][name]
+        overlapped = measured["overlapped"][name]
         print(f"{name:>16} | {loader_only['samples_per_sec']:10.0f} s/s "
               f"| {overlapped['samples_per_sec']:10.0f} s/s "
               f"| {100 * overlapped['stall_fraction']:5.1f}%")
@@ -164,13 +104,14 @@ def main(argv=None) -> int:
     sync_overlap = results["overlapped"]["vectorized"]["samples_per_sec"]
     best_prefetch = max(
         results["overlapped"][name]["samples_per_sec"]
-        for name in factories if name.startswith("prefetch"))
+        for name in results["overlapped"] if name.startswith("prefetch"))
     legacy_overlap = results["overlapped"]["legacy"]["samples_per_sec"]
     results["speedups"] = {
         "vectorized_vs_legacy_loader_only": vectorized / max(legacy, 1e-9),
         "prefetch_vs_sync_overlapped": best_prefetch / max(sync_overlap, 1e-9),
         "pipeline_vs_legacy_overlapped": best_prefetch / max(legacy_overlap, 1e-9),
     }
+    dataset = build_pipeline_dataset(n)
     results["parity_prefetch_vs_sync"] = check_parity(dataset, args.batch_size)
     results["meets_2x_target"] = bool(
         results["speedups"]["pipeline_vs_legacy_overlapped"] >= 2.0
@@ -183,10 +124,15 @@ def main(argv=None) -> int:
     if not results["parity_prefetch_vs_sync"]:
         raise SystemExit("FAIL: prefetched batches diverged from the synchronous pipeline")
 
-    os.makedirs(os.path.dirname(args.json_path), exist_ok=True)
-    with open(args.json_path, "w") as handle:
-        json.dump(results, handle, indent=2)
-    print(f"[bench_pipeline] wrote {args.json_path}")
+    emit_script_result(
+        args, "pipeline", results,
+        {
+            "legacy_samples_per_sec": (legacy, "samples/s", True),
+            "vectorized_samples_per_sec": (vectorized, "samples/s", True),
+            "vectorized_speedup": (vectorized / max(legacy, 1e-9), "x", True),
+            "prefetch_overlapped_samples_per_sec": (best_prefetch, "samples/s", True),
+        },
+        specs=get_suite("pipeline").metrics)
     return 0
 
 

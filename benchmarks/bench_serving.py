@@ -14,7 +14,10 @@ The serving analogue of ``bench_throughput.py``.  For the ResNet serving cell
 Both policies run the identical predictor (same batch canonicalization, same
 backend), so the ratio isolates what request coalescing buys on one host.
 Results are printed as a table and written as JSON to
-``benchmarks/output/serving.json``.
+``benchmarks/output/serving.json`` plus the versioned ``repro.bench``
+contract (``serving.bench.json`` + ``history.jsonl``), keyed on the dense
+artifact's engine-transport numbers — the same cell the registered
+``serving`` suite times under ``repro bench run``.
 
 Usage::
 
@@ -32,7 +35,10 @@ import sys
 import numpy as np
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 OUTPUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "output")
 
@@ -111,9 +117,10 @@ def export_cell_artifacts(directory: str) -> dict:
 
 
 def main(argv=None) -> int:
+    from repro.bench import add_standard_flags
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--tiny", action="store_true",
-                        help="CI smoke mode: ~1 s per config, engine transport only")
+    add_standard_flags(parser, "serving", output_dir=OUTPUT_DIR)
     parser.add_argument("--duration", type=float, default=None,
                         help="seconds per (transport, policy) config (default 4, tiny 1)")
     parser.add_argument("--concurrency", type=int, default=None,
@@ -125,7 +132,6 @@ def main(argv=None) -> int:
     parser.add_argument("--backend", default="numpy-fast")
     parser.add_argument("--variants", nargs="+", default=["dense", "factorized"],
                         choices=["dense", "factorized", "merged_dense"])
-    parser.add_argument("--json-path", default=os.path.join(OUTPUT_DIR, "serving.json"))
     args = parser.parse_args(argv)
 
     duration = args.duration if args.duration is not None else (1.0 if args.tiny else 4.0)
@@ -176,9 +182,30 @@ def main(argv=None) -> int:
                   f"(p99 {batch1['latency_ms']['p99']:6.1f} ms) | "
                   f"speedup {data['speedup']:5.2f}x")
 
-    with open(args.json_path, "w") as handle:
-        json.dump(summary, handle, indent=2, default=float)
-    print(f"[bench_serving] wrote {args.json_path}")
+    from repro.bench import emit_script_result, get_suite
+
+    dense_engine = (summary["load"].get("dense", {})
+                    .get("transports", {}).get("engine"))
+    if dense_engine is not None:
+        emit_script_result(
+            args, "serving", summary,
+            {
+                "batched_rps": (dense_engine["batched"]["throughput_rps"],
+                                "req/s", True),
+                "batch1_rps": (dense_engine["batch1"]["throughput_rps"],
+                               "req/s", True),
+                "batching_speedup": (dense_engine["speedup"], "x", True),
+                "batched_p99_ms": (dense_engine["batched"]["latency_ms"]["p99"],
+                                   "ms", False),
+            },
+            specs=get_suite("serving").metrics)
+    else:
+        # Custom --variants/--transports without the dense engine run cannot
+        # fill the registered suite's declared metrics; legacy summary only.
+        with open(args.json_path, "w") as handle:
+            json.dump(summary, handle, indent=2, default=float)
+        print(f"[bench_serving] wrote {args.json_path} "
+              f"(dense engine transport not measured; contract skipped)")
     return 0
 
 

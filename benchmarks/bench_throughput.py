@@ -8,7 +8,10 @@ closure-based autograd), extracted from the commit that introduced
 
 Every measurement runs in its own subprocess so allocator state, imports and
 BLAS warm-up cannot leak between engines.  Results are printed as a table
-and written as JSON to ``benchmarks/output/throughput.json``.
+and written as JSON to ``benchmarks/output/throughput.json``, plus the
+versioned ``repro.bench`` results contract (``throughput.bench.json`` + a
+longitudinal ``history.jsonl`` append) whenever the resnet cell was measured
+on both registered backends.
 
 Usage::
 
@@ -26,10 +29,14 @@ import subprocess
 import sys
 import tarfile
 import tempfile
-import time
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC_PATH = os.path.join(REPO_ROOT, "src")
+try:
+    import repro  # noqa: F401  (PYTHONPATH already provides the engine —
+    #                            possibly the *seed* tree in worker mode)
+except ImportError:
+    sys.path.insert(0, SRC_PATH)
 OUTPUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "output")
 
 CELLS = {
@@ -44,14 +51,40 @@ CELLS = {
 # Subprocess worker: one (cell, engine) measurement
 # --------------------------------------------------------------------------- #
 def _run_cell(cell: str, backend: str, steps: int) -> None:
-    """Executed in a subprocess; prints a JSON result on stdout."""
+    """Executed in a subprocess; prints a JSON result on stdout.
+
+    The modern engines route through the shared ``repro.bench.workloads``
+    measurement (the same code path ``repro bench run --suite throughput``
+    times); the historical seed engine runs against an extracted source tree
+    that predates both the backend registry and ``repro.bench``, so it keeps
+    an inline measurement loop.
+    """
+    spec = CELLS[cell]
+    if backend != "seed":
+        from repro.bench.workloads import training_step_rate
+
+        measured = training_step_rate(
+            spec["model"], width_mult=spec["width_mult"], batch_size=spec["batch"],
+            image_size=spec["image"], num_classes=spec["classes"],
+            optimizer_name=spec["optimizer"], backend=backend,
+            steps=steps, warmup_steps=2)
+        print(json.dumps({
+            "cell": cell,
+            "backend": backend,
+            "steps": steps,
+            "steps_per_sec": measured["steps_per_sec"],
+            "final_loss": measured["final_loss"],
+        }))
+        return
+
+    import time
+
     import numpy as np
 
     from repro.utils import seed_everything
     from repro.models import build_model
     from repro.tensor import functional as F
 
-    spec = CELLS[cell]
     seed_everything(0)
     kwargs = {"num_classes": spec["classes"]}
     if spec["width_mult"] is not None:
@@ -64,10 +97,6 @@ def _run_cell(cell: str, backend: str, steps: int) -> None:
     else:
         from repro.optim import AdamW
         optimizer = AdamW(model.parameters(), lr=1e-3, weight_decay=0.01)
-
-    if backend != "seed":
-        from repro.tensor import set_backend
-        set_backend(backend)
 
     rng = np.random.default_rng(0)
     x = rng.standard_normal((spec["batch"], 3, spec["image"], spec["image"])).astype(np.float32)
@@ -140,26 +169,33 @@ def _extract_seed_engine(tmpdir: str) -> str:
 # Driver
 # --------------------------------------------------------------------------- #
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+
+    # Subprocess worker mode first: the seed-engine worker executes against an
+    # extracted historical tree that predates ``repro.bench``, so this branch
+    # must not touch the driver parser (which imports it).
+    if "--_run-cell" in argv:
+        worker = argparse.ArgumentParser()
+        worker.add_argument("--_run-cell", dest="run_cell", required=True)
+        worker.add_argument("--_backend", dest="run_backend", required=True)
+        worker.add_argument("--steps", type=int, required=True)
+        wargs = worker.parse_args(argv)
+        _run_cell(wargs.run_cell, wargs.run_backend, wargs.steps)
+        return 0
+
+    from repro.bench import add_standard_flags
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    add_standard_flags(parser, "throughput", output_dir=OUTPUT_DIR)
     parser.add_argument("--steps", type=int, default=None,
                         help="timed steps per measurement (default 12, tiny 2)")
-    parser.add_argument("--tiny", action="store_true",
-                        help="CI smoke mode: 2 timed steps per cell")
     parser.add_argument("--cells", nargs="+", default=list(CELLS), choices=list(CELLS))
     parser.add_argument("--backends", nargs="+", default=["numpy", "numpy-fast"])
     parser.add_argument("--no-seed-engine", action="store_true",
                         help="skip the historical seed-engine baseline")
-    parser.add_argument("--json-path", default=os.path.join(OUTPUT_DIR, "throughput.json"))
-    # Internal: subprocess worker mode.
-    parser.add_argument("--_run-cell", dest="run_cell", default=None, help=argparse.SUPPRESS)
-    parser.add_argument("--_backend", dest="run_backend", default=None, help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
 
     steps = args.steps if args.steps is not None else (2 if args.tiny else 12)
-
-    if args.run_cell:
-        _run_cell(args.run_cell, args.run_backend, steps)
-        return 0
 
     engines = [(name, SRC_PATH) for name in args.backends]
     tmpdir = None
@@ -206,10 +242,28 @@ def main(argv=None) -> int:
         else:
             summary["speedups"][cell]["losses_identical"] = True
 
-    os.makedirs(os.path.dirname(args.json_path), exist_ok=True)
-    with open(args.json_path, "w") as handle:
-        json.dump(summary, handle, indent=2)
-    print(f"[bench_throughput] wrote {args.json_path}")
+    from repro.bench import emit_script_result, get_suite
+
+    resnet = results.get("resnet", {})
+    slow = resnet.get("numpy", {}).get("steps_per_sec")
+    fast = resnet.get("numpy-fast", {}).get("steps_per_sec")
+    if slow and fast:
+        emit_script_result(
+            args, "throughput", summary,
+            {
+                "numpy_steps_per_sec": (slow, "steps/s", True),
+                "numpy_fast_steps_per_sec": (fast, "steps/s", True),
+                "numpy_fast_speedup": (fast / slow, "x", True),
+            },
+            specs=get_suite("throughput").metrics)
+    else:
+        # Partial --cells/--backends selections cannot fill the registered
+        # suite's declared metrics; keep the legacy summary only.
+        os.makedirs(os.path.dirname(args.json_path), exist_ok=True)
+        with open(args.json_path, "w") as handle:
+            json.dump(summary, handle, indent=2)
+        print(f"[bench_throughput] wrote {args.json_path} "
+              f"(resnet numpy+numpy-fast not both measured; contract skipped)")
     return 0
 
 

@@ -18,7 +18,8 @@ Conventions
 from __future__ import annotations
 
 import os
-from typing import Callable, Iterable
+import time
+from typing import Callable, Iterable, Mapping, Optional
 
 from repro.train.experiments import ExperimentRow, VisionExperimentConfig, format_rows
 from repro.utils import seed_everything
@@ -31,13 +32,31 @@ def run_once(benchmark, fn: Callable):
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
 
 
-def report(name: str, text: str) -> None:
-    """Print a result block and persist it under benchmarks/output/."""
+def report(name: str, text: str,
+           suite_result: Optional[Mapping] = None) -> None:
+    """Print a result block and persist it under benchmarks/output/.
+
+    Results are *appended* to ``benchmarks/output/<name>.txt`` under a
+    timestamped banner, so successive runs accumulate into a local trajectory
+    instead of silently overwriting each other.
+
+    When the caller ran as a registered ``repro.bench`` suite, pass its
+    results-contract document as ``suite_result`` — it is then also written
+    to ``benchmarks/output/<name>.bench.json`` (validated) so the text block
+    has a machine-readable, comparable twin.
+    """
     banner = f"\n===== {name} =====\n{text}\n"
     print(banner)
     os.makedirs(OUTPUT_DIR, exist_ok=True)
-    with open(os.path.join(OUTPUT_DIR, f"{name}.txt"), "w") as handle:
-        handle.write(text + "\n")
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S %z")
+    with open(os.path.join(OUTPUT_DIR, f"{name}.txt"), "a") as handle:
+        handle.write(f"===== {name} @ {stamp} =====\n")
+        handle.write(text + "\n\n")
+    if suite_result is not None:
+        from repro.bench import write_result
+
+        write_result(os.path.join(OUTPUT_DIR, f"{name}.bench.json"),
+                     dict(suite_result))
 
 
 def report_rows(name: str, rows: Iterable[ExperimentRow]) -> None:

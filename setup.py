@@ -11,5 +11,8 @@ setup(
     packages=find_packages("src"),
     python_requires=">=3.9",
     install_requires=["numpy", "scipy"],
-    entry_points={"console_scripts": ["repro-cuttlefish=repro.cli:main"]},
+    entry_points={"console_scripts": [
+        "repro-cuttlefish=repro.cli:main",
+        "repro=repro.cli:main",
+    ]},
 )

@@ -1,0 +1,218 @@
+"""Noise-aware base-vs-candidate comparison of two results documents.
+
+Every metric shared by the two documents gets one verdict:
+
+* ``within-noise`` — the relative change is inside the effective threshold;
+* ``improved``     — outside the threshold in the metric's good direction;
+* ``regressed``    — outside the threshold in the metric's bad direction.
+
+The effective threshold per metric is ``max(noise_threshold, rel_iqr_base,
+rel_iqr_cand)``: the caller sets the floor (``--noise-threshold``), and a
+metric that measured noisier than that floor widens its own band — a delta
+smaller than the run-to-run spread is not evidence of anything.
+
+Hard errors (``CompareError``) rather than verdicts: schema-version mismatch,
+suite mismatch, and base metrics missing from the candidate — each means the
+two documents are not comparable, and a gate that silently skipped them would
+report green on garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+VERDICT_IMPROVED = "improved"
+VERDICT_REGRESSED = "regressed"
+VERDICT_WITHIN_NOISE = "within-noise"
+
+_VERDICT_GLYPHS = {
+    VERDICT_IMPROVED: "✅",
+    VERDICT_REGRESSED: "❌",
+    VERDICT_WITHIN_NOISE: "·",
+}
+
+
+class CompareError(ValueError):
+    """The two results documents cannot be meaningfully compared."""
+
+
+@dataclass(frozen=True)
+class MetricVerdict:
+    name: str
+    unit: str
+    higher_is_better: bool
+    base_median: float
+    cand_median: float
+    delta_rel: float            # signed raw relative change vs base
+    effective_threshold: float  # max(noise floor, both rel_iqrs)
+    verdict: str
+
+    @property
+    def delta_pct(self) -> float:
+        return 100.0 * self.delta_rel
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "metric": self.name,
+            "unit": self.unit,
+            "higher_is_better": self.higher_is_better,
+            "base": self.base_median,
+            "candidate": self.cand_median,
+            "delta_rel": self.delta_rel,
+            "effective_threshold": self.effective_threshold,
+            "verdict": self.verdict,
+        }
+
+
+@dataclass
+class CompareReport:
+    suite: str
+    noise_threshold: float
+    verdicts: List[MetricVerdict]
+    new_metrics: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricVerdict]:
+        return [v for v in self.verdicts if v.verdict == VERDICT_REGRESSED]
+
+    @property
+    def improvements(self) -> List[MetricVerdict]:
+        return [v for v in self.verdicts if v.verdict == VERDICT_IMPROVED]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.regressions else 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "suite": self.suite,
+            "noise_threshold": self.noise_threshold,
+            "verdicts": [v.as_dict() for v in self.verdicts],
+            "new_metrics": list(self.new_metrics),
+            "notes": list(self.notes),
+            "regressed": [v.name for v in self.regressions],
+            "improved": [v.name for v in self.improvements],
+            "exit_code": self.exit_code,
+        }
+
+
+def classify_metric(
+    name: str,
+    base_entry: Dict[str, Any],
+    cand_entry: Dict[str, Any],
+    noise_threshold: float,
+    *,
+    noise_aware: bool = True,
+) -> MetricVerdict:
+    """Verdict for one metric; boundary deltas count as within-noise."""
+    base_median = float(base_entry["median"])
+    cand_median = float(cand_entry["median"])
+    higher_is_better = bool(base_entry["higher_is_better"])
+
+    if base_median == 0.0:
+        # No meaningful relative delta exists; any nonzero candidate is an
+        # infinite relative change in its sign's direction.
+        delta_rel = 0.0 if cand_median == 0.0 else float("inf") * (1 if cand_median > 0 else -1)
+    else:
+        delta_rel = (cand_median - base_median) / abs(base_median)
+
+    effective = float(noise_threshold)
+    if noise_aware:
+        effective = max(effective,
+                        float(base_entry.get("rel_iqr", 0.0)),
+                        float(cand_entry.get("rel_iqr", 0.0)))
+
+    if abs(delta_rel) <= effective:
+        verdict = VERDICT_WITHIN_NOISE
+    else:
+        good = delta_rel > 0 if higher_is_better else delta_rel < 0
+        verdict = VERDICT_IMPROVED if good else VERDICT_REGRESSED
+
+    return MetricVerdict(
+        name=name,
+        unit=str(base_entry.get("unit", "")),
+        higher_is_better=higher_is_better,
+        base_median=base_median,
+        cand_median=cand_median,
+        delta_rel=delta_rel,
+        effective_threshold=effective,
+        verdict=verdict,
+    )
+
+
+def compare_results(
+    base: Dict[str, Any],
+    candidate: Dict[str, Any],
+    *,
+    noise_threshold: float = 0.1,
+    noise_aware: bool = True,
+) -> CompareReport:
+    """Compare two validated results documents metric by metric."""
+    if noise_threshold < 0:
+        raise ValueError(f"noise_threshold must be >= 0, got {noise_threshold}")
+    if base["schema_version"] != candidate["schema_version"]:
+        raise CompareError(
+            f"schema_version mismatch: base={base['schema_version']} "
+            f"candidate={candidate['schema_version']}")
+    if base["suite"] != candidate["suite"]:
+        raise CompareError(
+            f"suite mismatch: base={base['suite']!r} candidate={candidate['suite']!r}")
+
+    missing = sorted(set(base["metrics"]) - set(candidate["metrics"]))
+    if missing:
+        raise CompareError(
+            f"candidate is missing metrics present in base: {missing}")
+
+    report = CompareReport(suite=base["suite"], noise_threshold=noise_threshold,
+                           verdicts=[])
+    for name, base_entry in base["metrics"].items():
+        report.verdicts.append(classify_metric(
+            name, base_entry, candidate["metrics"][name],
+            noise_threshold, noise_aware=noise_aware))
+    report.new_metrics = sorted(set(candidate["metrics"]) - set(base["metrics"]))
+
+    if base.get("host", {}) != candidate.get("host", {}):
+        report.notes.append(
+            "host fingerprints differ — absolute deltas include machine effects")
+    if base.get("backend") != candidate.get("backend"):
+        report.notes.append(
+            f"backends differ (base={base.get('backend')!r}, "
+            f"candidate={candidate.get('backend')!r})")
+    base_budget, cand_budget = base.get("budget", {}), candidate.get("budget", {})
+    if base_budget != cand_budget:
+        report.notes.append(
+            f"budgets differ (base={base_budget}, candidate={cand_budget})")
+    return report
+
+
+def format_markdown(report: CompareReport) -> str:
+    """Render a compare report as a GitHub-flavoured markdown table."""
+    lines = [
+        f"### `{report.suite}` — base vs candidate "
+        f"(noise threshold {100 * report.noise_threshold:.1f}%)",
+        "",
+        "| metric | base | candidate | Δ | noise band | verdict |",
+        "|---|---:|---:|---:|---:|:---|",
+    ]
+    for v in report.verdicts:
+        delta = "n/a" if v.base_median == 0.0 and v.cand_median != 0.0 \
+            else f"{v.delta_pct:+.1f}%"
+        unit = f" {v.unit}" if v.unit else ""
+        lines.append(
+            f"| {v.name} ({'↑' if v.higher_is_better else '↓'}) "
+            f"| {v.base_median:.4g}{unit} | {v.cand_median:.4g}{unit} "
+            f"| {delta} | ±{100 * v.effective_threshold:.1f}% "
+            f"| {_VERDICT_GLYPHS[v.verdict]} {v.verdict} |")
+    if report.new_metrics:
+        lines += ["", f"New metrics in candidate (not compared): "
+                      f"{', '.join(report.new_metrics)}"]
+    for note in report.notes:
+        lines += ["", f"> ⚠️ {note}"]
+    summary = (f"**{len(report.regressions)} regressed**, "
+               f"{len(report.improvements)} improved, "
+               f"{sum(1 for v in report.verdicts if v.verdict == VERDICT_WITHIN_NOISE)} "
+               f"within noise")
+    lines += ["", summary]
+    return "\n".join(lines)

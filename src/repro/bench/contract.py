@@ -1,0 +1,216 @@
+"""The versioned benchmark results contract (DESIGN.md §12).
+
+Every benchmark — whether driven through ``repro bench run`` or one of the
+standalone ``benchmarks/bench_*.py`` scripts — emits the same JSON document so
+results from different PRs, hosts and entry points can be compared and
+accumulated.  The document is intentionally flat and self-describing:
+
+``schema_version``
+    Integer bumped on any incompatible change; ``compare`` refuses to diff
+    documents whose versions differ.
+``suite`` / ``created_unix`` / ``commit`` / ``host`` / ``backend`` / ``budget``
+    Provenance: which workload, when, at which commit, on what machine, with
+    which tensor backend and knob settings.
+``metrics``
+    ``name -> {unit, higher_is_better, samples, median, iqr, rel_iqr}``.
+    ``samples`` holds one value per repeat; the summary statistics implement
+    the noise model — the *median* is the reported value (robust to a single
+    straggler repeat) and the *IQR relative to the median* is the measured
+    run-to-run noise floor the compare widens its threshold by.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+SCHEMA_VERSION = 1
+
+_REQUIRED_TOP_LEVEL = ("schema_version", "suite", "created_unix", "host", "metrics")
+_REQUIRED_METRIC_FIELDS = ("unit", "higher_is_better", "samples", "median", "iqr", "rel_iqr")
+
+
+class ContractError(ValueError):
+    """A results document does not satisfy the contract."""
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declared shape of one suite metric."""
+
+    name: str
+    unit: str
+    higher_is_better: bool = True
+    description: str = ""
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile over an already-sorted sample list."""
+    if not ordered:
+        raise ContractError("cannot summarize an empty sample list")
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+def summarize_samples(samples: Iterable[float]) -> Dict[str, Any]:
+    """Median + IQR noise summary for one metric's per-repeat samples."""
+    values = sorted(float(v) for v in samples)
+    if not values:
+        raise ContractError("metric has no samples")
+    median = _percentile(values, 0.5)
+    iqr = _percentile(values, 0.75) - _percentile(values, 0.25)
+    rel_iqr = iqr / abs(median) if median != 0.0 else 0.0
+    return {
+        "samples": values,
+        "median": median,
+        "iqr": iqr,
+        "rel_iqr": rel_iqr,
+        "min": values[0],
+        "max": values[-1],
+    }
+
+
+def host_fingerprint() -> Dict[str, Any]:
+    """Where a result was measured — compares warn (not fail) on mismatch."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+        "node": platform.node(),
+    }
+
+
+def git_commit(repo_root: Optional[str] = None) -> Optional[str]:
+    """Current commit hash, or None outside a git checkout."""
+    cmd = ["git"]
+    if repo_root:
+        cmd += ["-C", repo_root]
+    cmd += ["rev-parse", "HEAD"]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def build_result(
+    suite: str,
+    metrics: Dict[str, Dict[str, Any]],
+    *,
+    backend: Optional[str] = None,
+    budget: Optional[Dict[str, Any]] = None,
+    commit: Optional[str] = "auto",
+    host: Optional[Dict[str, Any]] = None,
+    created_unix: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Assemble a schema-valid results document.
+
+    ``metrics`` maps name to ``{"unit", "higher_is_better", "samples"}``;
+    summary statistics are computed here so no caller can emit a document
+    whose median disagrees with its samples.  ``commit="auto"`` resolves the
+    current git HEAD (None when unavailable).
+    """
+    if not metrics:
+        raise ContractError(f"suite {suite!r} produced no metrics")
+    doc_metrics: Dict[str, Any] = {}
+    for name, spec in metrics.items():
+        try:
+            samples = spec["samples"]
+        except (TypeError, KeyError):
+            raise ContractError(f"metric {name!r} must provide a 'samples' list")
+        entry = {
+            "unit": str(spec.get("unit", "")),
+            "higher_is_better": bool(spec.get("higher_is_better", True)),
+        }
+        entry.update(summarize_samples(samples))
+        doc_metrics[name] = entry
+    result = {
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite,
+        "created_unix": float(created_unix if created_unix is not None else time.time()),
+        "commit": git_commit() if commit == "auto" else commit,
+        "host": host if host is not None else host_fingerprint(),
+        "backend": backend,
+        "budget": dict(budget or {}),
+        "metrics": doc_metrics,
+    }
+    return validate_result(result)
+
+
+def metrics_from_specs(specs: Sequence[MetricSpec],
+                       samples: Dict[str, List[float]]) -> Dict[str, Dict[str, Any]]:
+    """Pair declared :class:`MetricSpec` entries with measured samples."""
+    missing = [s.name for s in specs if s.name not in samples]
+    if missing:
+        raise ContractError(f"no samples recorded for declared metrics: {missing}")
+    extra = [name for name in samples if name not in {s.name for s in specs}]
+    if extra:
+        raise ContractError(f"samples recorded for undeclared metrics: {extra}")
+    return {
+        spec.name: {
+            "unit": spec.unit,
+            "higher_is_better": spec.higher_is_better,
+            "samples": list(samples[spec.name]),
+        }
+        for spec in specs
+    }
+
+
+def validate_result(result: Any) -> Dict[str, Any]:
+    """Check a parsed document against the contract; return it unchanged."""
+    if not isinstance(result, dict):
+        raise ContractError(f"results document must be an object, got {type(result).__name__}")
+    missing = [key for key in _REQUIRED_TOP_LEVEL if key not in result]
+    if missing:
+        raise ContractError(f"results document missing required keys: {missing}")
+    version = result["schema_version"]
+    if version != SCHEMA_VERSION:
+        raise ContractError(
+            f"unsupported schema_version {version!r} (this build understands {SCHEMA_VERSION})")
+    if not isinstance(result["metrics"], dict) or not result["metrics"]:
+        raise ContractError("results document has no metrics")
+    for name, entry in result["metrics"].items():
+        if not isinstance(entry, dict):
+            raise ContractError(f"metric {name!r} must be an object")
+        absent = [field for field in _REQUIRED_METRIC_FIELDS if field not in entry]
+        if absent:
+            raise ContractError(f"metric {name!r} missing fields: {absent}")
+        if not entry["samples"]:
+            raise ContractError(f"metric {name!r} has an empty sample list")
+    return result
+
+
+def write_result(path: str, result: Dict[str, Any]) -> str:
+    """Validate and write one results document; returns the path."""
+    validate_result(result)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=False, default=float)
+        handle.write("\n")
+    return path
+
+
+def load_result(path: str) -> Dict[str, Any]:
+    """Read and validate one results document."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise ContractError(f"results file not found: {path}")
+    except json.JSONDecodeError as error:
+        raise ContractError(f"results file {path} is not valid JSON: {error}")
+    return validate_result(payload)

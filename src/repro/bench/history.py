@@ -1,0 +1,100 @@
+"""Append-only longitudinal store of benchmark medians.
+
+One JSONL line per (run, metric): ``{"ts", "commit", "suite", "metric",
+"value", "unit", "higher_is_better", "backend", "tiny"}``.  Appending never
+rewrites existing lines, so the file is a durable perf trajectory across PRs;
+CI uploads it as an artifact and ``repro bench history`` renders filtered
+views of it.  Malformed lines (a crashed writer, a bad merge) are skipped on
+read and reported in the view rather than aborting it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+DEFAULT_STORE = os.path.join("benchmarks", "output", "history.jsonl")
+
+
+def append_result(store_path: str, result: Dict[str, Any]) -> int:
+    """Append one line per metric of ``result``; returns lines written."""
+    directory = os.path.dirname(os.path.abspath(store_path))
+    os.makedirs(directory, exist_ok=True)
+    budget = result.get("budget", {})
+    lines = []
+    for name, entry in result["metrics"].items():
+        lines.append(json.dumps({
+            "ts": result["created_unix"],
+            "commit": result.get("commit"),
+            "suite": result["suite"],
+            "metric": name,
+            "value": entry["median"],
+            "unit": entry.get("unit", ""),
+            "higher_is_better": entry.get("higher_is_better", True),
+            "backend": result.get("backend"),
+            "tiny": bool(budget.get("tiny", False)),
+        }, default=float))
+    with open(store_path, "a") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return len(lines)
+
+
+def read_history(
+    store_path: str,
+    *,
+    suite: Optional[str] = None,
+    metric: Optional[str] = None,
+    last: Optional[int] = None,
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Load (filtered) history entries in file order.
+
+    Returns ``(entries, skipped)`` where ``skipped`` counts malformed lines.
+    A missing store reads as empty — a fresh checkout has no trajectory yet.
+    """
+    if last is not None and last < 1:
+        raise ValueError(f"last must be >= 1, got {last}")
+    entries: List[Dict[str, Any]] = []
+    skipped = 0
+    if not os.path.exists(store_path):
+        return entries, skipped
+    with open(store_path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                suite_name = entry["suite"]
+                metric_name = entry["metric"]
+                entry["value"] = float(entry["value"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                skipped += 1
+                continue
+            if suite is not None and suite_name != suite:
+                continue
+            if metric is not None and metric_name != metric:
+                continue
+            entries.append(entry)
+    if last is not None:
+        entries = entries[-last:]
+    return entries, skipped
+
+
+def format_history(entries: List[Dict[str, Any]], skipped: int = 0) -> str:
+    """Tabular view of history entries, newest last (append order)."""
+    if not entries:
+        body = "(no history entries match)"
+    else:
+        lines = [f"{'commit':<12} {'suite':<14} {'metric':<36} "
+                 f"{'value':>12} {'unit':>10} {'budget':>6}"]
+        for entry in entries:
+            commit = (entry.get("commit") or "unknown")[:12]
+            budget = "tiny" if entry.get("tiny") else "full"
+            lines.append(
+                f"{commit:<12} {entry['suite']:<14} {entry['metric']:<36} "
+                f"{entry['value']:>12.4f} {entry.get('unit', ''):>10} {budget:>6}")
+        body = "\n".join(lines)
+    if skipped:
+        body += f"\n({skipped} malformed line{'s' if skipped != 1 else ''} skipped)"
+    return body

@@ -1,0 +1,126 @@
+"""Suite registry: named, declared benchmark workloads.
+
+A *suite* wraps one benchmark workload behind a declared contract: its name,
+a one-line description, and the exact metrics (unit + direction) every run
+must produce.  Registration mirrors the method/backend registries elsewhere
+in the codebase (``repro.train.methods``, ``repro.tensor.backend``): modules
+call :func:`register_suite` at import time and consumers discover suites by
+name, so the CLI, the CI matrix and the compare tool never hard-code a
+workload list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.contract import MetricSpec
+
+# A suite body receives the resolved budget and returns one sample per
+# declared metric; the runner handles warmup, repeats and aggregation.
+SuiteFn = Callable[["SuiteBudget"], Dict[str, float]]
+
+
+@dataclass(frozen=True)
+class SuiteBudget:
+    """Resolved knobs handed to a suite body for one measurement repeat.
+
+    ``tiny`` selects the CI smoke budget; ``iters`` scales the timed inner
+    loop (suite-specific interpretation: steps, epochs or seconds); ``backend``
+    is the tensor backend the workload should run under, when it cares.
+    """
+
+    tiny: bool = False
+    iters: Optional[int] = None
+    backend: Optional[str] = None
+
+    def resolve_iters(self, full_default: int, tiny_default: int) -> int:
+        if self.iters is not None:
+            return self.iters
+        return tiny_default if self.tiny else full_default
+
+
+@dataclass(frozen=True)
+class Suite:
+    name: str
+    description: str
+    metrics: Tuple[MetricSpec, ...]
+    fn: SuiteFn
+    default_backend: Optional[str] = None
+    tags: Tuple[str, ...] = field(default_factory=tuple)
+
+    def metric(self, name: str) -> MetricSpec:
+        for spec in self.metrics:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"suite {self.name!r} declares no metric {name!r}")
+
+
+_REGISTRY: Dict[str, Suite] = {}
+
+
+def register_suite(
+    name: str,
+    description: str,
+    metrics: Sequence[MetricSpec],
+    *,
+    default_backend: Optional[str] = None,
+    tags: Sequence[str] = (),
+) -> Callable[[SuiteFn], SuiteFn]:
+    """Decorator registering a suite body under ``name``.
+
+    Duplicate names and empty metric declarations are registration-time
+    errors — a silently shadowed suite would make longitudinal histories
+    lie about what was measured.
+    """
+    if not metrics:
+        raise ValueError(f"suite {name!r} must declare at least one metric")
+    seen = set()
+    for spec in metrics:
+        if spec.name in seen:
+            raise ValueError(f"suite {name!r} declares metric {spec.name!r} twice")
+        seen.add(spec.name)
+
+    def decorator(fn: SuiteFn) -> SuiteFn:
+        if name in _REGISTRY:
+            raise ValueError(f"benchmark suite {name!r} is already registered")
+        _REGISTRY[name] = Suite(
+            name=name,
+            description=description,
+            metrics=tuple(metrics),
+            fn=fn,
+            default_backend=default_backend,
+            tags=tuple(tags),
+        )
+        return fn
+
+    return decorator
+
+
+def available_suites() -> List[str]:
+    """Registered suite names, sorted."""
+    _ensure_builtin_suites()
+    return sorted(_REGISTRY)
+
+
+def get_suite(name: str) -> Suite:
+    _ensure_builtin_suites()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark suite {name!r}; available: {sorted(_REGISTRY)}")
+
+
+def suite_descriptions() -> Dict[str, str]:
+    _ensure_builtin_suites()
+    return {name: _REGISTRY[name].description for name in sorted(_REGISTRY)}
+
+
+def _ensure_builtin_suites() -> None:
+    """Import the built-in suite definitions exactly once.
+
+    Deferred so that ``import repro.bench`` stays cheap and so tests can
+    register synthetic suites without dragging in model/serving imports.
+    """
+    from repro.bench import suites  # noqa: F401  (import side effect registers)

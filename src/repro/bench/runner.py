@@ -1,0 +1,103 @@
+"""Suite runner: warmup/iters/repeat knobs over registered suites.
+
+One :func:`run_suite` call executes a suite body ``warmup`` times discarded
+plus ``repeat`` measured times, collects one sample per declared metric per
+measured repeat, and packages the whole thing as a schema-valid results
+document (median + IQR per metric — the noise model ``compare`` consumes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.bench.contract import (
+    ContractError,
+    build_result,
+    metrics_from_specs,
+)
+from repro.bench.registry import SuiteBudget, get_suite
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Knobs for one ``repro bench run`` invocation."""
+
+    tiny: bool = False
+    warmup: int = 1
+    repeat: int = 3
+    iters: Optional[int] = None
+    backend: Optional[str] = None
+    extra_budget: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+        if self.repeat < 1:
+            raise ValueError(f"repeat must be >= 1, got {self.repeat}")
+
+
+def run_suite(name: str, config: Optional[RunConfig] = None,
+              *, progress=None) -> Dict[str, Any]:
+    """Run one registered suite; return the validated results document.
+
+    ``progress`` (optional) is called as ``progress(stage, index, total)``
+    with stage ``"warmup"`` or ``"repeat"`` before each suite-body execution —
+    the CLI uses it to narrate long runs.
+    """
+    config = config or RunConfig()
+    suite = get_suite(name)
+    backend = config.backend or suite.default_backend
+    budget = SuiteBudget(tiny=config.tiny, iters=config.iters, backend=backend)
+
+    declared = {spec.name for spec in suite.metrics}
+
+    def measure() -> Dict[str, float]:
+        produced = suite.fn(budget)
+        if set(produced) != declared:
+            missing = sorted(declared - set(produced))
+            extra = sorted(set(produced) - declared)
+            raise ContractError(
+                f"suite {name!r} violated its metric declaration "
+                f"(missing={missing}, undeclared={extra})")
+        return {key: float(value) for key, value in produced.items()}
+
+    for index in range(config.warmup):
+        if progress is not None:
+            progress("warmup", index, config.warmup)
+        measure()
+
+    samples: Dict[str, List[float]] = {spec.name: [] for spec in suite.metrics}
+    for index in range(config.repeat):
+        if progress is not None:
+            progress("repeat", index, config.repeat)
+        for key, value in measure().items():
+            samples[key].append(value)
+
+    return build_result(
+        name,
+        metrics_from_specs(suite.metrics, samples),
+        backend=backend,
+        budget={
+            "tiny": config.tiny,
+            "warmup": config.warmup,
+            "repeat": config.repeat,
+            "iters": config.iters,
+            **config.extra_budget,
+        },
+    )
+
+
+def format_result_table(result: Dict[str, Any]) -> str:
+    """Human-readable summary of one results document."""
+    lines = [
+        f"suite: {result['suite']}   backend: {result.get('backend') or '-'}   "
+        f"commit: {(result.get('commit') or 'unknown')[:12]}",
+        f"{'metric':<36} {'median':>12} {'iqr':>10} {'unit':>10}  dir",
+    ]
+    for name, entry in result["metrics"].items():
+        direction = "↑" if entry["higher_is_better"] else "↓"
+        lines.append(
+            f"{name:<36} {entry['median']:>12.4f} {entry['iqr']:>10.4f} "
+            f"{entry['unit']:>10}  {direction}")
+    return "\n".join(lines)

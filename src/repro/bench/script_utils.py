@@ -1,0 +1,109 @@
+"""Shared flag handling and contract emission for ``benchmarks/bench_*.py``.
+
+Before this module each hot benchmark script hand-rolled its own ``--tiny``
+and JSON-output flags with subtly different spellings and defaults.  The four
+migrated scripts (throughput, pipeline, dataparallel, serving) now call
+:func:`add_standard_flags` for one canonical flag set and
+:func:`emit_script_result` to publish results three ways at once:
+
+* the script's legacy free-form JSON at ``--json-path`` (unchanged shape,
+  downstream tooling keeps working);
+* the versioned results contract at ``<json-path stem>.bench.json`` so
+  script runs are comparable with ``repro bench compare``;
+* an appended line per metric in the longitudinal JSONL store
+  (``--history-path`` / ``--no-history``).
+
+``--json`` additionally prints the legacy summary to stdout for ad-hoc
+piping — previously each script either lacked the flag or overloaded it
+differently.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.bench.contract import MetricSpec, build_result, metrics_from_specs, write_result
+from repro.bench.history import append_result
+
+# value, unit, higher_is_better — one entry per contract metric a script emits
+ScriptMetrics = Dict[str, Tuple[float, str, bool]]
+
+
+def default_output_dir() -> str:
+    return os.path.join("benchmarks", "output")
+
+
+def add_standard_flags(parser: argparse.ArgumentParser, suite: str,
+                       *, output_dir: Optional[str] = None) -> None:
+    """Install the canonical benchmark-script flags for ``suite``."""
+    out = output_dir or default_output_dir()
+    group = parser.add_argument_group("output")
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke mode: minimal budget per measurement")
+    group.add_argument("--json", action="store_true",
+                       help="also print the summary JSON to stdout")
+    group.add_argument("--json-path", default=os.path.join(out, f"{suite}.json"),
+                       help="legacy free-form summary destination")
+    group.add_argument("--contract-path", default=None,
+                       help="versioned results-contract destination "
+                            "(default: <json-path stem>.bench.json)")
+    group.add_argument("--history-path", default=os.path.join(out, "history.jsonl"),
+                       help="longitudinal JSONL store to append to")
+    group.add_argument("--no-history", action="store_true",
+                       help="skip appending to the longitudinal store")
+
+
+def contract_path_for(args: argparse.Namespace) -> str:
+    if args.contract_path:
+        return args.contract_path
+    stem, _ = os.path.splitext(args.json_path)
+    return stem + ".bench.json"
+
+
+def emit_script_result(
+    args: argparse.Namespace,
+    suite: str,
+    summary: Dict[str, Any],
+    metrics: ScriptMetrics,
+    *,
+    specs: Optional[Sequence[MetricSpec]] = None,
+    stream=sys.stdout,
+) -> Dict[str, Any]:
+    """Write legacy JSON + contract JSON + history; return the contract doc.
+
+    ``metrics`` carries single-sample measurements (scripts run each workload
+    once); ``specs`` optionally pins units/directions to a registered suite's
+    declaration instead of the inline tuples.
+    """
+    os.makedirs(os.path.dirname(os.path.abspath(args.json_path)), exist_ok=True)
+    with open(args.json_path, "w") as handle:
+        json.dump(summary, handle, indent=2, default=float)
+    print(f"[bench_{suite}] wrote {args.json_path}", file=sys.stderr if args.json else stream)
+
+    if specs is not None:
+        doc_metrics = metrics_from_specs(
+            specs, {name: [value] for name, (value, _, _) in metrics.items()})
+    else:
+        doc_metrics = {
+            name: {"unit": unit, "higher_is_better": hib, "samples": [value]}
+            for name, (value, unit, hib) in metrics.items()
+        }
+    result = build_result(suite, doc_metrics, budget={"tiny": bool(args.tiny),
+                                                      "entry_point": "script"})
+    path = write_result(contract_path_for(args), result)
+    print(f"[bench_{suite}] wrote contract {path}",
+          file=sys.stderr if args.json else stream)
+
+    if not args.no_history:
+        written = append_result(args.history_path, result)
+        print(f"[bench_{suite}] appended {written} metrics to {args.history_path}",
+              file=sys.stderr if args.json else stream)
+
+    if args.json:
+        json.dump(summary, stream, indent=2, default=float)
+        stream.write("\n")
+    return result

@@ -1,0 +1,309 @@
+"""Reusable benchmark workloads shared by registered suites and bench scripts.
+
+Each function here performs ONE measurement of one workload and returns plain
+floats; the suite layer (``repro.bench.suites``) maps them onto declared
+metrics and the runner handles warmup/repeats.  The standalone
+``benchmarks/bench_*.py`` scripts import the same functions for their core
+measurements, so a number printed by a script and a number recorded by
+``repro bench run`` come from identical code paths.
+
+Heavy imports stay inside the functions: importing this module must not pull
+in models, the serving stack or the distributed engine.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+# --------------------------------------------------------------------------- #
+# Training-step throughput (bench_throughput's cell, in-process)
+# --------------------------------------------------------------------------- #
+def training_step_rate(
+    model_name: str = "resnet18",
+    *,
+    width_mult: Optional[float] = 0.125,
+    batch_size: int = 32,
+    image_size: int = 32,
+    num_classes: int = 10,
+    optimizer_name: str = "sgd",
+    backend: str = "numpy",
+    steps: int = 4,
+    warmup_steps: int = 2,
+) -> Dict[str, float]:
+    """Steps/sec of the full train step (forward, backward, optimizer).
+
+    Runs under :func:`repro.tensor.use_backend` so the caller's global
+    backend is restored; ``benchmarks/bench_throughput.py`` wraps this in a
+    subprocess per measurement when full allocator isolation (or the
+    historical seed engine) is wanted.
+    """
+    from repro.models import build_model
+    from repro.tensor import functional as F
+    from repro.tensor import use_backend
+    from repro.utils import seed_everything
+
+    seed_everything(0)
+    kwargs = {"num_classes": num_classes}
+    if width_mult is not None:
+        kwargs["width_mult"] = width_mult
+    model = build_model(model_name, **kwargs)
+
+    if optimizer_name == "sgd":
+        from repro.optim import SGD
+        optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=5e-3)
+    elif optimizer_name == "adamw":
+        from repro.optim import AdamW
+        optimizer = AdamW(model.parameters(), lr=1e-3, weight_decay=0.01)
+    else:
+        raise ValueError(f"unknown optimizer {optimizer_name!r} (use 'sgd' or 'adamw')")
+
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((batch_size, 3, image_size, image_size)).astype(np.float32)
+    y = rng.integers(0, num_classes, size=batch_size)
+
+    with use_backend(backend):
+        def step() -> float:
+            optimizer.zero_grad()
+            loss = F.cross_entropy(model(x), y)
+            loss.backward()
+            optimizer.step()
+            return float(loss.data)
+
+        for _ in range(max(warmup_steps, 0)):
+            step()  # allocator, BLAS threads, im2col caches
+        start = time.perf_counter()
+        final_loss = 0.0
+        for _ in range(steps):
+            final_loss = step()
+        elapsed = time.perf_counter() - start
+
+    return {
+        "steps_per_sec": steps / elapsed if elapsed > 0 else 0.0,
+        "elapsed_seconds": elapsed,
+        "final_loss": final_loss,
+        "steps": float(steps),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Input-pipeline throughput (bench_pipeline's loaders)
+# --------------------------------------------------------------------------- #
+def build_pipeline_dataset(n: int, image_size: int = 32):
+    """CIFAR-shaped synthetic dataset with the standard train transform."""
+    from repro.data import ArrayDataset, standard_train_transform
+    from repro.utils import get_rng
+
+    rng = get_rng(offset=31)
+    images = rng.random((n, 3, image_size, image_size), dtype=np.float64).astype(np.float32)
+    labels = rng.integers(0, 10, size=n).astype(np.int64)
+    return ArrayDataset(images, labels,
+                        transform=standard_train_transform(image_size, crop_padding=2))
+
+
+def build_pipeline_loaders(dataset, batch_size: int) -> Dict[str, object]:
+    """Factories for every loader configuration the pipeline bench measures."""
+    from repro.data import DataLoader, PipelineLoader, PrefetchingLoader
+
+    def pipeline():
+        return PipelineLoader(dataset, batch_size, shuffle=True)
+
+    return {
+        "legacy": lambda: DataLoader(dataset, batch_size, shuffle=True),
+        "vectorized": pipeline,
+        "prefetch-d2": lambda: PrefetchingLoader(pipeline(), depth=2),
+        "prefetch-d4-w2": lambda: PrefetchingLoader(pipeline(), depth=4, workers=2),
+    }
+
+
+def drain_loader(loader, epochs: int, compute=None) -> Dict[str, float]:
+    """Iterate ``epochs`` epochs; return the stall/compute split as a dict."""
+    from repro.profiling import PipelineStats, instrument
+
+    stats = PipelineStats()
+    for epoch in range(epochs):
+        set_epoch = getattr(loader, "set_epoch", None)
+        if set_epoch is not None:
+            set_epoch(epoch)
+        for batch in instrument(loader, stats):
+            if compute is not None:
+                compute(batch)
+    return stats.as_dict()
+
+
+def make_simulated_step(ms_target: float):
+    """A GIL-releasing stand-in for one training step (~``ms_target`` ms)."""
+    size = 192
+    a = np.random.default_rng(0).standard_normal((size, size)).astype(np.float32)
+    # Calibrate repetitions so the simulated step costs ~ms_target.
+    reps, elapsed = 1, 0.0
+    while True:
+        start = time.perf_counter()
+        for _ in range(reps):
+            a @ a
+        elapsed = time.perf_counter() - start
+        if elapsed * 1e3 >= ms_target / 4 or reps >= 1 << 14:
+            break
+        reps *= 4
+    reps = max(1, int(reps * ms_target / max(elapsed * 1e3, 1e-6)))
+
+    def compute(batch):
+        for _ in range(reps):
+            a @ a
+
+    return compute
+
+
+def loader_throughput(
+    *,
+    samples: int = 2048,
+    batch_size: int = 32,
+    epochs: int = 3,
+    image_size: int = 32,
+    step_ms: float = 4.0,
+    configs: Sequence[str] = ("legacy", "vectorized", "prefetch-d2", "prefetch-d4-w2"),
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Loader-only and compute-overlapped samples/sec per loader config."""
+    from repro.utils import seed_everything
+
+    seed_everything(0)
+    dataset = build_pipeline_dataset(samples, image_size)
+    factories = build_pipeline_loaders(dataset, batch_size)
+    unknown = [name for name in configs if name not in factories]
+    if unknown:
+        raise ValueError(f"unknown loader configs {unknown}; have {sorted(factories)}")
+
+    compute = make_simulated_step(step_ms)
+    results: Dict[str, Dict[str, Dict[str, float]]] = {"loader_only": {}, "overlapped": {}}
+    for name in configs:
+        factory = factories[name]
+        drain_loader(factory(), 1)  # warm-up epoch (allocator, caches)
+        results["loader_only"][name] = drain_loader(factory(), epochs)
+        results["overlapped"][name] = drain_loader(factory(), epochs, compute=compute)
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Data-parallel training throughput (bench_dataparallel's cell)
+# --------------------------------------------------------------------------- #
+def build_dp_dataset(n: int, image_size: int, num_classes: int = 4):
+    from repro.data import ArrayDataset
+    from repro.utils import get_rng
+
+    rng = get_rng(offset=31)
+    images = rng.standard_normal((n, 3, image_size, image_size)).astype(np.float32)
+    labels = rng.integers(0, num_classes, size=n).astype(np.int64)
+    return ArrayDataset(images, labels)
+
+
+def build_dp_training(dataset, batch_size: int, width_mult: float, world_size: int):
+    from repro.data import PipelineLoader, build_replica_loaders
+    from repro.distributed import DataParallelTrainer
+    from repro.models import build_model
+    from repro.optim import SGD
+    from repro.utils import get_rng, seed_everything
+
+    seed_everything(0)
+    model = build_model("resnet18", num_classes=4, width_mult=width_mult,
+                        small_input=True, rng=get_rng(offset=1))
+    optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+    train_loader = PipelineLoader(dataset, batch_size, shuffle=True)
+    replica_loaders = build_replica_loaders(dataset, batch_size, world_size)
+    return DataParallelTrainer(model, optimizer, train_loader,
+                               world_size=world_size,
+                               replica_loaders=replica_loaders)
+
+
+def dataparallel_throughput(dataset, *, batch_size: int, width_mult: float,
+                            world_size: int, epochs: int) -> Dict[str, object]:
+    """Samples/sec of data-parallel training at one world size."""
+    trainer = build_dp_training(dataset, batch_size, width_mult, world_size)
+    trainer.train_epoch()  # warm-up (allocator, caches)
+    start = time.perf_counter()
+    samples = 0
+    last = {}
+    for _ in range(epochs):
+        last = trainer.train_epoch()
+        samples += trainer.last_epoch_pipeline_stats.samples
+    wall = time.perf_counter() - start
+    stats = trainer.last_epoch_pipeline_stats
+    return {
+        "world_size": world_size,
+        "samples_per_sec": samples / wall if wall > 0 else 0.0,
+        "wall_seconds": wall,
+        "final_loss": last.get("loss"),
+        "replica_stall_seconds": [
+            stats.extra.get(f"replica{rank}_stall_seconds", 0.0)
+            for rank in range(world_size)],
+        "replica_compute_seconds": [
+            stats.extra.get(f"replica{rank}_compute_seconds", 0.0)
+            for rank in range(world_size)],
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Serving throughput (bench_serving's cell, engine transport)
+# --------------------------------------------------------------------------- #
+def export_serving_artifact(path: str, *, width_mult: float = 0.125,
+                            num_classes: int = 10, image_size: int = 32) -> str:
+    """Export a dense ResNet-cell artifact for serving benchmarks."""
+    from repro.models import build_model
+    from repro.serve import export_artifact
+    from repro.utils import get_rng, seed_everything
+
+    seed_everything(0)
+    model = build_model("resnet18", num_classes=num_classes, width_mult=width_mult)
+    model.eval()
+    shape = (3, image_size, image_size)
+    example = get_rng(offset=123).standard_normal((8,) + shape).astype(np.float32)
+    export_artifact(path, model,
+                    model_spec={"name": "resnet18",
+                                "kwargs": {"num_classes": num_classes,
+                                           "width_mult": width_mult}},
+                    input_shape=shape, example_batch=example,
+                    metadata={"cell": "resnet", "variant": "dense"})
+    return path
+
+
+def serving_throughput(
+    *,
+    duration_s: float = 1.0,
+    concurrency: int = 8,
+    max_batch_size: int = 32,
+    max_wait_ms: float = 2.0,
+    backend: Optional[str] = "numpy-fast",
+    warmup_s: float = 0.25,
+    artifact_path: Optional[str] = None,
+) -> Dict[str, object]:
+    """Closed-loop engine-transport load test: batched vs batch-1 serving."""
+    from repro.serve import bench_artifact
+
+    def run(path: str) -> Dict[str, object]:
+        result = bench_artifact(
+            path,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            duration_s=duration_s,
+            concurrency=concurrency,
+            transports=["engine"],
+            backend=backend,
+            warmup_s=warmup_s,
+        )
+        engine = result["transports"]["engine"]
+        return {
+            "batched_rps": engine["batched"]["throughput_rps"],
+            "batch1_rps": engine["batch1"]["throughput_rps"],
+            "batching_speedup": engine["speedup"],
+            "batched_p99_ms": engine["batched"]["latency_ms"]["p99"],
+            "raw": result,
+        }
+
+    if artifact_path is not None:
+        return run(artifact_path)
+    with tempfile.TemporaryDirectory(prefix="bench-serving-") as tmpdir:
+        return run(export_serving_artifact(os.path.join(tmpdir, "dense.npz")))

@@ -1,6 +1,6 @@
 """Command-line interface for the Cuttlefish reproduction.
 
-Eight subcommands cover the workflows a downstream user needs without writing
+Nine subcommands cover the workflows a downstream user needs without writing
 Python:
 
 * ``train``    — train one registered method on a synthetic task and print
@@ -20,6 +20,12 @@ Python:
   exported artifact (``/predict``, ``/healthz``, ``/metrics``).
 * ``bench-serve`` — closed-loop load test of an artifact: dynamic
   micro-batching vs batch-size-1 serving, JSON results.
+* ``bench``    — the unified perf-regression harness (``repro.bench``):
+  ``bench run`` executes a registered suite with warmup/iters/repeat knobs
+  and emits the versioned results contract, ``bench compare`` renders a
+  noise-aware base-vs-candidate markdown verdict table (nonzero exit on
+  regression), ``bench history`` views the longitudinal JSONL store, and
+  ``bench list`` enumerates registered suites.
 
 ``train`` and ``compare`` accept any method registered with
 ``repro.train.methods.register_method`` — including ones a downstream user
@@ -179,6 +185,67 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--transports", nargs="+", default=["engine", "http"],
                              choices=["engine", "http"])
     bench_serve.add_argument("--backend", default=None, choices=available_backends())
+
+    bench = sub.add_parser("bench",
+                           help="perf-regression harness: run/compare/history/list")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_sub.add_parser(
+        "run", help="run one registered suite and emit the results contract")
+    bench_run.add_argument("--suite", required=True,
+                           help="registered suite name (see `bench list`)")
+    bench_run.add_argument("--tiny", action="store_true",
+                           help="CI smoke budget per measurement")
+    bench_run.add_argument("--warmup", type=int, default=1,
+                           help="discarded warmup executions of the suite body")
+    bench_run.add_argument("--repeat", type=int, default=3,
+                           help="measured repeats feeding the median/IQR noise model")
+    bench_run.add_argument("--iters", type=int, default=None,
+                           help="timed inner-loop size (suite-specific; overrides "
+                                "the tiny/full default)")
+    bench_run.add_argument("--backend", default=None,
+                           help="tensor backend override for backend-aware suites")
+    bench_run.add_argument("--out", default=None, metavar="DIR",
+                           help="output directory (default benchmarks/output)")
+    bench_run.add_argument("--json-path", default=None,
+                           help="results-contract destination "
+                                "(default <out>/<suite>.bench.json)")
+    bench_run.add_argument("--history-path", default=None,
+                           help="longitudinal JSONL store "
+                                "(default <out>/history.jsonl)")
+    bench_run.add_argument("--no-history", action="store_true",
+                           help="skip appending to the longitudinal store")
+    bench_run.add_argument("--json", action="store_true",
+                           help="print the results document to stdout instead "
+                                "of the summary table")
+
+    bench_compare = bench_sub.add_parser(
+        "compare", help="noise-aware verdict table for two results documents")
+    bench_compare.add_argument("base", help="baseline results JSON")
+    bench_compare.add_argument("candidate", help="candidate results JSON")
+    bench_compare.add_argument("--noise-threshold", type=float, default=0.1,
+                               metavar="FRAC",
+                               help="relative-change floor below which a delta "
+                                    "is within-noise (default 0.1 = 10%%)")
+    bench_compare.add_argument("--no-noise-aware", action="store_true",
+                               help="ignore measured per-metric IQR; use only "
+                                    "--noise-threshold")
+    bench_compare.add_argument("--json", action="store_true",
+                               help="emit the verdict report as JSON")
+
+    bench_history = bench_sub.add_parser(
+        "history", help="view the longitudinal benchmark store")
+    bench_history.add_argument("--store", default=None,
+                               help="JSONL store path (default benchmarks/output/"
+                                    "history.jsonl)")
+    bench_history.add_argument("--suite", default=None, help="filter by suite")
+    bench_history.add_argument("--metric", default=None, help="filter by metric")
+    bench_history.add_argument("--last", type=int, default=None, metavar="N",
+                               help="show only the newest N matching entries")
+    bench_history.add_argument("--json", action="store_true")
+
+    bench_list = bench_sub.add_parser("list", help="list registered suites")
+    bench_list.add_argument("--json", action="store_true")
 
     trace = sub.add_parser("rank-trace", help="per-layer stable-rank trajectories (Figure 2/3)")
     trace.add_argument("--task", default="cifar10_small")
@@ -446,6 +513,107 @@ def cmd_bench_serve(args: argparse.Namespace, stream=sys.stdout) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace, stream=sys.stdout) -> int:
+    import os
+
+    from repro import bench
+
+    if args.bench_command == "list":
+        descriptions = bench.suite_descriptions()
+        if args.json:
+            payload = {}
+            for name in descriptions:
+                suite = bench.get_suite(name)
+                payload[name] = {
+                    "description": suite.description,
+                    "metrics": [{"name": m.name, "unit": m.unit,
+                                 "higher_is_better": m.higher_is_better}
+                                for m in suite.metrics],
+                    "default_backend": suite.default_backend,
+                    "tags": list(suite.tags),
+                }
+            json.dump(payload, stream, indent=2)
+            stream.write("\n")
+            return 0
+        width = max(len(name) for name in descriptions)
+        for name, description in descriptions.items():
+            suite = bench.get_suite(name)
+            metrics = ", ".join(m.name for m in suite.metrics)
+            stream.write(f"{name:<{width}}  {description}\n")
+            stream.write(f"{'':<{width}}    metrics: {metrics}\n")
+        return 0
+
+    if args.bench_command == "run":
+        out = args.out or os.path.join("benchmarks", "output")
+        json_path = args.json_path or os.path.join(out, f"{args.suite}.bench.json")
+        history_path = args.history_path or os.path.join(out, "history.jsonl")
+        try:
+            config = bench.RunConfig(tiny=args.tiny, warmup=args.warmup,
+                                     repeat=args.repeat, iters=args.iters,
+                                     backend=args.backend)
+        except ValueError as error:
+            stream.write(f"error: {error}\n")
+            return 2
+        try:
+            bench.get_suite(args.suite)
+        except KeyError as error:
+            stream.write(f"error: {error.args[0]}\n")
+            return 2
+
+        def progress(stage, index, total):
+            sys.stderr.write(f"[bench] {args.suite}: {stage} {index + 1}/{total}\n")
+
+        result = bench.run_suite(args.suite, config, progress=progress)
+        bench.write_result(json_path, result)
+        if args.json:
+            json.dump(result, stream, indent=2, default=float)
+            stream.write("\n")
+        else:
+            stream.write(bench.format_result_table(result) + "\n")
+            stream.write(f"wrote {json_path}\n")
+        if not args.no_history:
+            written = bench.append_result(history_path, result)
+            target = sys.stderr if args.json else stream
+            target.write(f"appended {written} metrics to {history_path}\n")
+        return 0
+
+    if args.bench_command == "compare":
+        try:
+            base = bench.load_result(args.base)
+            candidate = bench.load_result(args.candidate)
+            report = bench.compare_results(
+                base, candidate,
+                noise_threshold=args.noise_threshold,
+                noise_aware=not args.no_noise_aware)
+        except (bench.ContractError, bench.CompareError, ValueError) as error:
+            stream.write(f"error: {error}\n")
+            return 2
+        if args.json:
+            json.dump(report.as_dict(), stream, indent=2, default=float)
+            stream.write("\n")
+        else:
+            stream.write(bench.format_markdown(report) + "\n")
+        return report.exit_code
+
+    if args.bench_command == "history":
+        store = args.store or os.path.join("benchmarks", "output", "history.jsonl")
+        try:
+            entries, skipped = bench.read_history(
+                store, suite=args.suite, metric=args.metric, last=args.last)
+        except ValueError as error:
+            stream.write(f"error: {error}\n")
+            return 2
+        if args.json:
+            json.dump({"entries": entries, "skipped": skipped}, stream,
+                      indent=2, default=float)
+            stream.write("\n")
+        else:
+            stream.write(bench.format_history(entries, skipped) + "\n")
+        return 0
+
+    raise AssertionError(f"unhandled bench subcommand {args.bench_command!r}")
+
+
 COMMANDS = {
     "train": cmd_train,
     "compare": cmd_compare,
@@ -455,6 +623,7 @@ COMMANDS = {
     "export": cmd_export,
     "serve": cmd_serve,
     "bench-serve": cmd_bench_serve,
+    "bench": cmd_bench,
 }
 
 

@@ -1,0 +1,162 @@
+"""Noise-aware compare classifier (repro.bench.compare).
+
+Covers the satellite-3 checklist explicitly: improved/regressed/within-noise
+verdicts at the threshold boundary, missing-metric and schema-version-mismatch
+errors, and exit-code behavior.
+"""
+
+import pytest
+
+from repro.bench.compare import (
+    VERDICT_IMPROVED,
+    VERDICT_REGRESSED,
+    VERDICT_WITHIN_NOISE,
+    CompareError,
+    classify_metric,
+    compare_results,
+    format_markdown,
+)
+from repro.bench.contract import SCHEMA_VERSION, build_result
+
+
+def _entry(median, *, rel_iqr=0.0, higher_is_better=True, unit="x"):
+    return {"median": median, "rel_iqr": rel_iqr,
+            "higher_is_better": higher_is_better, "unit": unit}
+
+
+def _result(suite="demo", **metric_medians):
+    metrics = {name: {"unit": "x", "higher_is_better": True,
+                      "samples": [float(value)]}
+               for name, value in metric_medians.items()}
+    return build_result(suite, metrics, backend="numpy", commit="deadbeef")
+
+
+class TestClassifyMetric:
+    def test_improvement_beyond_threshold(self):
+        v = classify_metric("m", _entry(100.0), _entry(120.0), 0.1)
+        assert v.verdict == VERDICT_IMPROVED
+        assert v.delta_rel == pytest.approx(0.2)
+
+    def test_regression_beyond_threshold(self):
+        v = classify_metric("m", _entry(100.0), _entry(80.0), 0.1)
+        assert v.verdict == VERDICT_REGRESSED
+
+    def test_small_delta_is_within_noise(self):
+        v = classify_metric("m", _entry(100.0), _entry(104.0), 0.1)
+        assert v.verdict == VERDICT_WITHIN_NOISE
+
+    def test_delta_exactly_at_threshold_is_within_noise(self):
+        # The boundary belongs to the noise band: |delta| <= threshold.
+        v = classify_metric("m", _entry(100.0), _entry(110.0), 0.1)
+        assert v.delta_rel == pytest.approx(0.1)
+        assert v.verdict == VERDICT_WITHIN_NOISE
+
+    def test_delta_just_past_threshold_is_improved(self):
+        v = classify_metric("m", _entry(100.0), _entry(110.001), 0.1)
+        assert v.verdict == VERDICT_IMPROVED
+
+    def test_negative_delta_exactly_at_threshold_is_within_noise(self):
+        v = classify_metric("m", _entry(100.0), _entry(90.0), 0.1)
+        assert v.verdict == VERDICT_WITHIN_NOISE
+
+    def test_lower_is_better_flips_direction(self):
+        down = classify_metric("lat", _entry(10.0, higher_is_better=False),
+                               _entry(8.0, higher_is_better=False), 0.1)
+        up = classify_metric("lat", _entry(10.0, higher_is_better=False),
+                             _entry(12.0, higher_is_better=False), 0.1)
+        assert down.verdict == VERDICT_IMPROVED
+        assert up.verdict == VERDICT_REGRESSED
+
+    def test_noisy_base_widens_band(self):
+        # +20% move, but the base measured 30% run-to-run spread.
+        v = classify_metric("m", _entry(100.0, rel_iqr=0.3), _entry(120.0), 0.1)
+        assert v.effective_threshold == pytest.approx(0.3)
+        assert v.verdict == VERDICT_WITHIN_NOISE
+
+    def test_noisy_candidate_widens_band(self):
+        v = classify_metric("m", _entry(100.0), _entry(120.0, rel_iqr=0.25), 0.1)
+        assert v.verdict == VERDICT_WITHIN_NOISE
+
+    def test_noise_aware_false_ignores_rel_iqr(self):
+        v = classify_metric("m", _entry(100.0, rel_iqr=0.3), _entry(120.0), 0.1,
+                            noise_aware=False)
+        assert v.effective_threshold == pytest.approx(0.1)
+        assert v.verdict == VERDICT_IMPROVED
+
+    def test_zero_base_zero_candidate_is_within_noise(self):
+        v = classify_metric("m", _entry(0.0), _entry(0.0), 0.1)
+        assert v.verdict == VERDICT_WITHIN_NOISE
+
+    def test_zero_base_nonzero_candidate_is_directional(self):
+        v = classify_metric("m", _entry(0.0), _entry(5.0), 0.1)
+        assert v.verdict == VERDICT_IMPROVED
+        assert v.delta_rel == float("inf")
+
+
+class TestCompareResults:
+    def test_verdict_per_shared_metric(self):
+        base = _result(a=100.0, b=100.0, c=100.0)
+        cand = _result(a=150.0, b=60.0, c=101.0)
+        report = compare_results(base, cand, noise_threshold=0.1)
+        verdicts = {v.name: v.verdict for v in report.verdicts}
+        assert verdicts == {"a": VERDICT_IMPROVED, "b": VERDICT_REGRESSED,
+                            "c": VERDICT_WITHIN_NOISE}
+
+    def test_exit_code_nonzero_iff_regression(self):
+        base = _result(a=100.0)
+        assert compare_results(base, _result(a=60.0)).exit_code == 1
+        assert compare_results(base, _result(a=150.0)).exit_code == 0
+        assert compare_results(base, _result(a=101.0)).exit_code == 0
+
+    def test_schema_version_mismatch_is_an_error(self):
+        base, cand = _result(a=1.0), _result(a=1.0)
+        cand["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(CompareError, match="schema_version"):
+            compare_results(base, cand)
+
+    def test_suite_mismatch_is_an_error(self):
+        with pytest.raises(CompareError, match="suite mismatch"):
+            compare_results(_result(suite="alpha", a=1.0),
+                            _result(suite="beta", a=1.0))
+
+    def test_metric_missing_from_candidate_is_an_error(self):
+        with pytest.raises(CompareError, match="missing metrics.*'b'"):
+            compare_results(_result(a=1.0, b=2.0), _result(a=1.0))
+
+    def test_new_candidate_metrics_are_listed_not_compared(self):
+        report = compare_results(_result(a=1.0), _result(a=1.0, extra=9.0))
+        assert report.new_metrics == ["extra"]
+        assert [v.name for v in report.verdicts] == ["a"]
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError, match="noise_threshold"):
+            compare_results(_result(a=1.0), _result(a=1.0), noise_threshold=-0.1)
+
+    def test_backend_difference_is_noted(self):
+        base, cand = _result(a=1.0), _result(a=1.0)
+        cand["backend"] = "numpy-fast"
+        report = compare_results(base, cand)
+        assert any("backends differ" in note for note in report.notes)
+
+    def test_as_dict_round_trip_fields(self):
+        report = compare_results(_result(a=100.0), _result(a=50.0))
+        data = report.as_dict()
+        assert data["regressed"] == ["a"]
+        assert data["exit_code"] == 1
+        assert data["verdicts"][0]["verdict"] == VERDICT_REGRESSED
+
+
+class TestFormatMarkdown:
+    def test_table_shape_and_verdict_rows(self):
+        report = compare_results(_result(a=100.0, b=100.0),
+                                 _result(a=150.0, b=50.0))
+        text = format_markdown(report)
+        assert "| metric | base | candidate | Δ | noise band | verdict |" in text
+        assert "✅ improved" in text
+        assert "❌ regressed" in text
+        assert "**1 regressed**" in text
+
+    def test_zero_base_delta_renders_na(self):
+        base, cand = _result(a=0.0), _result(a=5.0)
+        text = format_markdown(compare_results(base, cand))
+        assert "n/a" in text

@@ -1,0 +1,154 @@
+"""The versioned benchmark results contract (repro.bench.contract)."""
+
+import json
+
+import pytest
+
+from repro.bench.contract import (
+    SCHEMA_VERSION,
+    ContractError,
+    MetricSpec,
+    build_result,
+    host_fingerprint,
+    load_result,
+    metrics_from_specs,
+    summarize_samples,
+    validate_result,
+    write_result,
+)
+
+
+class TestSummarizeSamples:
+    def test_single_sample(self):
+        summary = summarize_samples([4.0])
+        assert summary["median"] == 4.0
+        assert summary["iqr"] == 0.0
+        assert summary["rel_iqr"] == 0.0
+        assert summary["samples"] == [4.0]
+
+    def test_median_of_odd_count_is_middle_value(self):
+        assert summarize_samples([3.0, 1.0, 2.0])["median"] == 2.0
+
+    def test_median_of_even_count_interpolates(self):
+        assert summarize_samples([1.0, 2.0, 3.0, 4.0])["median"] == 2.5
+
+    def test_iqr_spans_quartiles(self):
+        # 1..5: q1 = 2, q3 = 4 under linear interpolation.
+        summary = summarize_samples([5.0, 1.0, 3.0, 2.0, 4.0])
+        assert summary["iqr"] == pytest.approx(2.0)
+        assert summary["rel_iqr"] == pytest.approx(2.0 / 3.0)
+
+    def test_median_is_robust_to_one_straggler(self):
+        clean = summarize_samples([10.0, 10.0, 10.0])["median"]
+        with_straggler = summarize_samples([10.0, 10.0, 1.0])["median"]
+        assert clean == with_straggler == 10.0
+
+    def test_zero_median_yields_zero_rel_iqr(self):
+        assert summarize_samples([0.0])["rel_iqr"] == 0.0
+
+    def test_empty_samples_raise(self):
+        with pytest.raises(ContractError):
+            summarize_samples([])
+
+
+class TestBuildAndValidate:
+    def _metrics(self):
+        return {"throughput": {"unit": "req/s", "higher_is_better": True,
+                               "samples": [10.0, 12.0, 11.0]}}
+
+    def test_build_result_is_schema_valid(self):
+        result = build_result("demo", self._metrics(), backend="numpy-fast",
+                              budget={"tiny": True})
+        assert validate_result(result) is result
+        assert result["schema_version"] == SCHEMA_VERSION
+        assert result["suite"] == "demo"
+        assert result["backend"] == "numpy-fast"
+        assert result["budget"] == {"tiny": True}
+        assert result["metrics"]["throughput"]["median"] == 11.0
+
+    def test_build_result_records_host_fingerprint(self):
+        result = build_result("demo", self._metrics(), commit=None)
+        for key in ("platform", "machine", "python", "cpu_count", "node"):
+            assert key in result["host"]
+
+    def test_explicit_commit_and_timestamp_are_respected(self):
+        result = build_result("demo", self._metrics(), commit="abc123",
+                              created_unix=1234.5)
+        assert result["commit"] == "abc123"
+        assert result["created_unix"] == 1234.5
+
+    def test_empty_metrics_raise(self):
+        with pytest.raises(ContractError, match="no metrics"):
+            build_result("demo", {})
+
+    def test_metric_without_samples_raises(self):
+        with pytest.raises(ContractError, match="samples"):
+            build_result("demo", {"m": {"unit": "x", "higher_is_better": True}})
+
+    def test_validate_rejects_schema_version_mismatch(self):
+        result = build_result("demo", self._metrics())
+        result["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ContractError, match="schema_version"):
+            validate_result(result)
+
+    def test_validate_rejects_missing_top_level_keys(self):
+        result = build_result("demo", self._metrics())
+        del result["host"]
+        with pytest.raises(ContractError, match="host"):
+            validate_result(result)
+
+    def test_validate_rejects_non_dict(self):
+        with pytest.raises(ContractError):
+            validate_result([1, 2, 3])
+
+    def test_validate_rejects_metric_missing_fields(self):
+        result = build_result("demo", self._metrics())
+        del result["metrics"]["throughput"]["iqr"]
+        with pytest.raises(ContractError, match="iqr"):
+            validate_result(result)
+
+
+class TestMetricsFromSpecs:
+    SPECS = (MetricSpec("a", "x"), MetricSpec("b", "ms", higher_is_better=False))
+
+    def test_pairs_specs_with_samples(self):
+        metrics = metrics_from_specs(self.SPECS, {"a": [1.0], "b": [2.0]})
+        assert metrics["a"] == {"unit": "x", "higher_is_better": True, "samples": [1.0]}
+        assert metrics["b"]["higher_is_better"] is False
+
+    def test_missing_samples_raise(self):
+        with pytest.raises(ContractError, match="'b'"):
+            metrics_from_specs(self.SPECS, {"a": [1.0]})
+
+    def test_undeclared_samples_raise(self):
+        with pytest.raises(ContractError, match="undeclared"):
+            metrics_from_specs(self.SPECS, {"a": [1.0], "b": [2.0], "c": [3.0]})
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        result = build_result("demo", {"m": {"unit": "x", "higher_is_better": True,
+                                             "samples": [1.0, 2.0]}})
+        path = str(tmp_path / "nested" / "demo.bench.json")
+        write_result(path, result)
+        assert load_result(path) == json.loads(json.dumps(result))
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(ContractError, match="not found"):
+            load_result(str(tmp_path / "absent.json"))
+
+    def test_load_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ContractError, match="valid JSON"):
+            load_result(str(path))
+
+    def test_load_validates_schema(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text(json.dumps({"schema_version": 999}))
+        with pytest.raises(ContractError):
+            load_result(str(path))
+
+
+def test_host_fingerprint_is_json_serializable():
+    json.dumps(host_fingerprint())
