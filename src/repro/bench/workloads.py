@@ -201,7 +201,8 @@ def build_dp_dataset(n: int, image_size: int, num_classes: int = 4):
     return ArrayDataset(images, labels)
 
 
-def build_dp_training(dataset, batch_size: int, width_mult: float, world_size: int):
+def build_dp_training(dataset, batch_size: int, width_mult: float, world_size: int,
+                      mode: str = "thread"):
     from repro.data import PipelineLoader, build_replica_loaders
     from repro.distributed import DataParallelTrainer
     from repro.models import build_model
@@ -215,25 +216,35 @@ def build_dp_training(dataset, batch_size: int, width_mult: float, world_size: i
     train_loader = PipelineLoader(dataset, batch_size, shuffle=True)
     replica_loaders = build_replica_loaders(dataset, batch_size, world_size)
     return DataParallelTrainer(model, optimizer, train_loader,
-                               world_size=world_size,
+                               world_size=world_size, mode=mode,
                                replica_loaders=replica_loaders)
 
 
 def dataparallel_throughput(dataset, *, batch_size: int, width_mult: float,
-                            world_size: int, epochs: int) -> Dict[str, object]:
-    """Samples/sec of data-parallel training at one world size."""
-    trainer = build_dp_training(dataset, batch_size, width_mult, world_size)
-    trainer.train_epoch()  # warm-up (allocator, caches)
-    start = time.perf_counter()
-    samples = 0
-    last = {}
-    for _ in range(epochs):
-        last = trainer.train_epoch()
-        samples += trainer.last_epoch_pipeline_stats.samples
-    wall = time.perf_counter() - start
-    stats = trainer.last_epoch_pipeline_stats
+                            world_size: int, epochs: int,
+                            mode: str = "thread") -> Dict[str, object]:
+    """Samples/sec of data-parallel training at one world size.
+
+    The warm-up epoch absorbs one-time costs (allocator, caches — and, in
+    process mode, the fork + shared-segment setup), so the timed epochs
+    measure steady-state lockstep throughput for both modes.
+    """
+    trainer = build_dp_training(dataset, batch_size, width_mult, world_size, mode)
+    try:
+        trainer.train_epoch()  # warm-up (allocator, caches, worker spawn)
+        start = time.perf_counter()
+        samples = 0
+        last = {}
+        for _ in range(epochs):
+            last = trainer.train_epoch()
+            samples += trainer.last_epoch_pipeline_stats.samples
+        wall = time.perf_counter() - start
+        stats = trainer.last_epoch_pipeline_stats
+    finally:
+        trainer.shutdown()
     return {
         "world_size": world_size,
+        "mode": mode,
         "samples_per_sec": samples / wall if wall > 0 else 0.0,
         "wall_seconds": wall,
         "final_loss": last.get("loss"),

@@ -114,6 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "gradient all-reduce and Goyal lr scaling "
                             "(N > 1 implies --loader pipeline; results are "
                             "bit-stable across reruns and thread schedules)")
+        p.add_argument("--dp-mode", default="thread", choices=("thread", "process"),
+                       help="data-parallel drive mode: 'thread' (workers "
+                            "overlap only inside GIL-releasing BLAS kernels) "
+                            "or 'process' (forked workers with shared-memory "
+                            "gradient exchange — true multi-core scaling, "
+                            "bit-identical to thread mode)")
         p.add_argument("--no-lr-scaling", action="store_true",
                        help="disable the Goyal world_size x lr scaling rule "
                             "under --world-size > 1")
@@ -275,6 +281,7 @@ def _experiment_config(args: argparse.Namespace) -> VisionExperimentConfig:
         prefetch_depth=args.prefetch,
         loader_workers=args.loader_workers,
         world_size=args.world_size,
+        dp_mode=args.dp_mode,
         dp_lr_scaling=not args.no_lr_scaling,
     )
 
@@ -317,7 +324,8 @@ def cmd_train(args: argparse.Namespace, stream=sys.stdout) -> int:
         out.write(
             f"pipeline: {stats.describe()} "
             f"(loader=pipeline prefetch={config.prefetch_depth} "
-            f"workers={config.loader_workers} world_size={config.world_size})\n")
+            f"workers={config.loader_workers} world_size={config.world_size} "
+            f"dp_mode={config.dp_mode})\n")
         wall = stats.extra.get("wall_seconds", 0.0)
         if config.world_size > 1 and wall > 0:
             # describe()'s samples/sec divides by summed per-replica thread

@@ -1,6 +1,9 @@
-"""Thread-based data-parallel training: replica workers + deterministic all-reduce.
+"""Data-parallel training: replica workers + deterministic all-reduce.
 
-``DataParallelTrainer`` drives ``world_size`` replica workers in lockstep:
+``DataParallelTrainer`` drives ``world_size`` replica workers in lockstep,
+on threads (``mode="thread"``, the default) or on forked worker processes
+with shared-memory gradient exchange (``mode="process"`` — the GIL-free
+path; see :mod:`repro.distributed.process`).  Thread mode:
 
 1. every worker pulls the next batch of *its* rank's shard (a
    :class:`~repro.data.sampler.ShardedSampler`-backed pipeline loader) and
@@ -14,15 +17,25 @@
 3. the stepped parameters are broadcast back to every replica and the
    workers resume with the next batch.
 
+Process mode runs the same lockstep protocol with one worker *process* per
+rank: master parameters live in a shared-memory segment (the in-place
+optimizer step doubles as the broadcast), workers write gradients into
+per-rank shared blocks, and the parent reduces them with the *same*
+fixed-tree bucketed all-reduce.  Nothing is pickled per step.
+
 Determinism contract
 --------------------
 Per-replica computation is sequential numpy; the reduction tree's float-op
 order depends only on ``world_size``; meters and buffer synchronisation walk
 replicas in rank order.  Nothing observes worker arrival order, so results
-are bit-stable across reruns and thread schedules, and a ``world_size=1``
-run executes the exact float-op sequence of the single-process
-pipeline-loader :class:`~repro.train.trainer.Trainer` (rank 0 *is* the
-master model; the reduce/broadcast steps are no-ops).
+are bit-stable across reruns and thread/process schedules, and a
+``world_size=1`` run executes the exact float-op sequence of the
+single-process pipeline-loader :class:`~repro.train.trainer.Trainer` (in
+thread mode rank 0 *is* the master model and the reduce/broadcast steps are
+no-ops; in process mode the master's gradients alias rank 0's shared block —
+zero float ops either way).  Thread and process modes are bit-identical to
+*each other* at every ``world_size``: same per-replica float-op sequence,
+same reduce tree, same buffer averaging.
 
 Scope
 -----
@@ -55,7 +68,7 @@ from repro.distributed.reduce import (
 from repro.profiling.pipeline import PipelineStats
 from repro.tensor import functional as F
 from repro.train.metrics import AverageMeter, top_k_accuracy
-from repro.train.trainer import Trainer
+from repro.train.trainer import Callback, Trainer
 from repro.utils import get_logger, start_worker_threads
 
 logger = get_logger("distributed")
@@ -73,6 +86,14 @@ class DataParallelTrainer(Trainer):
     world_size:
         Number of replicas.  ``1`` reproduces the single-process pipeline
         path bit-for-bit through the same lockstep machinery.
+    mode:
+        ``"thread"`` (default) runs replicas on worker threads — they only
+        overlap inside GIL-releasing BLAS kernels, but need no setup.
+        ``"process"`` forks one worker process per rank with parameters and
+        gradients exchanged through shared memory — true multi-core
+        scaling, bit-identical to thread mode.  Process mode holds OS
+        resources (workers + a ``/dev/shm`` segment); call
+        :meth:`shutdown` when done (``run_experiment`` does).
     replica_loaders:
         One :class:`BatchStream` per rank, each yielding that rank's shard
         (build with :func:`repro.data.pipeline.build_replica_loaders`).
@@ -95,6 +116,7 @@ class DataParallelTrainer(Trainer):
         val_loader: Optional[BatchStream] = None,
         *,
         world_size: int = 1,
+        mode: str = "thread",
         replica_loaders: Optional[Sequence[BatchStream]] = None,
         bucket_elems: int = DEFAULT_BUCKET_ELEMS,
         sync_buffers_each_epoch: bool = True,
@@ -102,6 +124,15 @@ class DataParallelTrainer(Trainer):
     ):
         if world_size < 1:
             raise ValueError(f"world_size must be >= 1, got {world_size}")
+        if mode not in ("thread", "process"):
+            raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
+        if mode == "process":
+            from repro.distributed.process import fork_available
+
+            if not fork_available():  # pragma: no cover — all targets fork
+                raise RuntimeError(
+                    "mode='process' needs the 'fork' start method "
+                    "(unavailable on this platform); use mode='thread'")
         if replica_loaders is None:
             if world_size == 1:
                 replica_loaders = [train_loader]
@@ -120,13 +151,20 @@ class DataParallelTrainer(Trainer):
         self._uses_default_loss = trainer_kwargs.get("loss_fn") is None
         super().__init__(model, optimizer, train_loader, val_loader, **trainer_kwargs)
         self.world_size = world_size
+        self.mode = mode
         self.replica_loaders = replica_loaders
         self.bucket_elems = bucket_elems
         self.sync_buffers_each_epoch = sync_buffers_each_epoch
         #: rank → model; rank 0 shares the master model (zero-copy).
         self.replica_models: List = [self.model]
         self._replica_shapes: List[Tuple[int, ...]] = []
-        self._rebuild_replicas()
+        self._process_group = None
+        if mode == "thread":
+            self._rebuild_replicas()
+        else:
+            # Process replicas are forked lazily at the first train_epoch
+            # (callbacks may still restructure the master before then).
+            self._replica_shapes = self._master_shapes()
 
     # ------------------------------------------------------------------ #
     # Replica lifecycle
@@ -223,6 +261,11 @@ class DataParallelTrainer(Trainer):
     # The lockstep epoch
     # ------------------------------------------------------------------ #
     def train_epoch(self) -> Dict[str, float]:
+        if self.mode == "process":
+            return self._train_epoch_process()
+        return self._train_epoch_thread()
+
+    def _train_epoch_thread(self) -> Dict[str, float]:
         self._sync_replica_structure()
         for model in self.replica_models:
             model.train()
@@ -349,6 +392,166 @@ class DataParallelTrainer(Trainer):
             # time — the per-replica stall/compute sums live in the stats.
             "samples_per_sec": stats.samples / wall_seconds if wall_seconds > 0 else 0.0,
         }
+
+    # ------------------------------------------------------------------ #
+    # Process mode
+    # ------------------------------------------------------------------ #
+    def _ensure_process_group(self):
+        """Fork (or re-fork after a structural change) the worker generation."""
+        from repro.distributed.process import ProcessReplicaGroup
+
+        group = self._process_group
+        if group is not None and not group.matches(self.model):
+            logger.info("master model structure changed; re-forking %d replica "
+                        "workers", self.world_size)
+            group.shutdown()
+            group = self._process_group = None
+        if group is None:
+            group = self._process_group = ProcessReplicaGroup(self)
+        return group
+
+    def _rank0_random_access_loader(self):
+        """Rank 0's underlying random-access loader, for parent-side batch
+        reload when a step callback actually consumes the batch."""
+        loader = self.replica_loaders[0]
+        inner = getattr(loader, "loader", loader)  # unwrap PrefetchingLoader
+        return inner if hasattr(inner, "load_batch") else None
+
+    def _reduce_gradients_process(self, group, params) -> None:
+        replica_grads = group.replica_grads()
+        if self.world_size == 1:
+            # Rank 0's shared block holds the only contribution — alias it
+            # into the master accumulators: zero copies, zero float ops, so
+            # ws=1 stays bit-identical to the single-process Trainer.
+            for p, grad in zip(params, replica_grads[0]):
+                p.grad = grad
+            return
+        for p, grad0 in zip(params, replica_grads[0]):
+            if grad0 is None:
+                p.grad = None
+            elif p.grad is None or p.grad.shape != grad0.shape \
+                    or p.grad.dtype != grad0.dtype:
+                p.grad = np.empty_like(grad0)
+        allreduce_gradients(replica_grads, [p.grad for p in params],
+                            bucket_elems=self.bucket_elems)
+
+    def _sync_buffers_process(self, group) -> None:
+        """Epoch-end buffer exchange (workers are parked at the buffer phase).
+
+        With syncing on and ``world_size > 1``: deterministically average
+        float buffers across ranks, adopt the result in the master *and*
+        write it back for every worker (mirrors thread mode's all-replica
+        broadcast).  Otherwise: adopt rank 0's buffers — in thread mode the
+        master IS rank 0, so this is what single-master semantics mean here.
+        """
+        buffer_sets = group.rank_buffer_views()
+        master_buffers = [buf for _, buf in self.model.named_buffers()]
+        if self.world_size == 1 or not self.sync_buffers_each_epoch:
+            for view, buf in zip(buffer_sets[0], master_buffers):
+                np.copyto(buf.data, view)
+            return
+        reduced = mean_reduce_buffers(buffer_sets)
+        for j, buf in enumerate(master_buffers):
+            np.copyto(buf.data, reduced[j])
+            for rank in range(self.world_size):
+                np.copyto(buffer_sets[rank][j], reduced[j])
+
+    def _train_epoch_process(self) -> Dict[str, float]:
+        group = self._ensure_process_group()
+        epoch = self.epochs_completed
+        steps = min(len(loader) for loader in self.replica_loaders)
+        if self.max_batches_per_epoch is not None:
+            steps = min(steps, self.max_batches_per_epoch)
+        world = self.world_size
+        params = list(self.model.parameters())
+        loss_meter, acc_meter = AverageMeter(), AverageMeter()
+        # Reloading rank 0's batch costs a full materialisation — only pay
+        # it when a step callback actually overrides on_batch_begin.
+        needs_batch = any(type(cb).on_batch_begin is not Callback.on_batch_begin
+                          for cb in self.callbacks)
+        rank0_loader = self._rank0_random_access_loader() if needs_batch else None
+        readback = self.sync_buffers_each_epoch and world > 1
+
+        wall_start = time.perf_counter()
+        try:
+            group.begin_epoch(epoch, steps, readback)
+            for step in range(steps):
+                group.await_replicas()
+                batch = (rank0_loader.load_batch(step, epoch)
+                         if rank0_loader is not None else None)
+                for callback in self.callbacks:
+                    callback.on_batch_begin(self, step, batch)
+                self._reduce_gradients_process(group, params)
+                if self.grad_hook is not None:
+                    self.grad_hook(self.model)
+                self.optimizer.step()
+                # Parameters live in shared memory and were stepped in
+                # place — the workers already see them; no broadcast.
+                for rank in range(world):
+                    loss, accuracy, n = group.read_step(rank)
+                    loss_meter.update(loss, n)
+                    if accuracy is not None:
+                        acc_meter.update(accuracy, n)
+                loss0, acc0, _ = group.read_step(0)
+                batch_logs = {"loss": loss0}
+                if acc0 is not None:
+                    batch_logs["accuracy"] = acc0
+                for callback in self.callbacks:
+                    callback.on_batch_end(self, step, batch_logs)
+                group.release_replicas()
+            group.await_replicas()
+            self._sync_buffers_process(group)
+            group.release_replicas()
+        except BaseException:
+            # Workers may be desynced mid-step: tear the generation down
+            # hard (terminate + unlink) rather than leave zombies + segment.
+            group.shutdown(force=True)
+            self._process_group = None
+            raise
+        wall_seconds = time.perf_counter() - wall_start
+
+        stats = PipelineStats()
+        for rank, replica in enumerate(group.epoch_replica_stats()):
+            stats.merge(replica)
+            stats.extra[f"replica{rank}_stall_seconds"] = replica.stall_seconds
+            stats.extra[f"replica{rank}_compute_seconds"] = replica.compute_seconds
+        stats.extra["world_size"] = float(world)
+        stats.extra["wall_seconds"] = wall_seconds
+        self.epochs_completed += 1
+        self.last_epoch_pipeline_stats = stats
+        self.pipeline_stats.merge(stats)
+        self.pipeline_stats.extra["wall_seconds"] = (
+            self.pipeline_stats.extra.get("wall_seconds", 0.0) + wall_seconds)
+        self.pipeline_stats.extra["world_size"] = float(world)
+        return {
+            "loss": loss_meter.average,
+            "accuracy": acc_meter.average,
+            "data_stall_seconds": stats.stall_seconds,
+            "data_compute_seconds": stats.compute_seconds,
+            "samples_per_sec": stats.samples / wall_seconds if wall_seconds > 0 else 0.0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Teardown
+    # ------------------------------------------------------------------ #
+    def shutdown(self) -> None:
+        """Release process-mode resources: stop workers, detach the master's
+        parameters back to private memory, unlink the shared segment.
+
+        No-op in thread mode; idempotent; training can resume afterwards
+        (the next epoch forks a fresh generation).  ``run_experiment`` calls
+        this in a ``finally``; direct users should too.
+        """
+        group = self._process_group
+        if group is not None:
+            self._process_group = None
+            group.shutdown()
+
+    def __del__(self):  # pragma: no cover — GC safety net
+        try:
+            self.shutdown()
+        except Exception:  # noqa: BLE001
+            pass
 
 
 __all__ = ["DataParallelTrainer"]

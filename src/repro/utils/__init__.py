@@ -20,6 +20,14 @@ from repro.utils.concurrency import (
     run_worker_threads,
     start_worker_threads,
 )
+from repro.utils.shm import (
+    SEGMENT_PREFIX,
+    SharedSegment,
+    ShmArena,
+    active_owned_segments,
+    arena_bytes_for,
+    attach_view,
+)
 from repro.utils.checkpoint import (
     CHECKPOINT_FORMAT_VERSION,
     CheckpointError,
@@ -46,6 +54,12 @@ __all__ = [
     "run_worker_threads",
     "start_worker_threads",
     "get_logger",
+    "SEGMENT_PREFIX",
+    "SharedSegment",
+    "ShmArena",
+    "active_owned_segments",
+    "arena_bytes_for",
+    "attach_view",
     "CHECKPOINT_FORMAT_VERSION",
     "CheckpointError",
     "save_checkpoint",

@@ -29,6 +29,7 @@ from repro.distributed import (
     plan_buckets,
     tree_reduce,
 )
+from repro.distributed.reduce import DEFAULT_BUCKET_ELEMS
 from repro.models import build_model
 from repro.optim import SGD
 from repro.tensor import functional as F
@@ -114,6 +115,18 @@ class TestPlanBuckets:
         with pytest.raises(ValueError):
             plan_buckets([1], bucket_elems=0)
 
+    def test_exact_fit_closes_bucket(self):
+        # A tensor landing exactly on the cap fills the bucket; the next
+        # tensor starts a fresh one.
+        assert plan_buckets([10, 3], bucket_elems=10) == [[0], [1]]
+        assert plan_buckets([7, 3, 1], bucket_elems=10) == [[0, 1], [2]]
+
+    def test_one_over_capacity_spills(self):
+        assert plan_buckets([7, 4], bucket_elems=10) == [[0], [1]]
+
+    def test_zero_size_tensors_cost_nothing(self):
+        assert plan_buckets([0, 10, 0], bucket_elems=10) == [[0, 1, 2]]
+
 
 class TestAllreduceGradients:
     def _grads(self, world_size, shapes, seed=0):
@@ -156,6 +169,42 @@ class TestAllreduceGradients:
         replicas = [[np.ones(3, dtype=np.float32)], []]
         with pytest.raises(ValueError, match="structure diverged"):
             allreduce_gradients(replicas, [np.empty(3, dtype=np.float32)])
+
+    def test_default_bucket_boundary_sizes(self):
+        # Tensors exactly at, one under, and one over the default bucket
+        # capacity: the exact/under tensors each fill (or nearly fill) a
+        # bucket and the over-sized one gets a bucket of its own — and the
+        # reduced values must be bitwise identical to the unbucketed reduce.
+        shapes = [(DEFAULT_BUCKET_ELEMS,), (DEFAULT_BUCKET_ELEMS - 1,),
+                  (DEFAULT_BUCKET_ELEMS + 1,)]
+        assert plan_buckets([s[0] for s in shapes]) == [[0], [1], [2]]
+        replicas = self._grads(2, shapes, seed=7)
+        bucketed = [np.empty(s, dtype=np.float32) for s in shapes]
+        whole = [np.empty(s, dtype=np.float32) for s in shapes]
+        assert allreduce_gradients(replicas, bucketed) == 3
+        allreduce_gradients(replicas, whole, bucket_elems=1 << 30)
+        for a, b in zip(bucketed, whole):
+            assert np.array_equal(a, b)
+
+    def test_zero_size_gradients(self):
+        # A zero-element parameter (e.g. an empty bias after pruning) must
+        # ride through packing untouched and not perturb its bucket-mates.
+        shapes = [(3,), (0,), (5,)]
+        replicas = self._grads(3, shapes, seed=4)
+        out = [np.empty(s, dtype=np.float32) for s in shapes]
+        assert allreduce_gradients(replicas, out) == 3
+        for i in (0, 2):
+            expected = np.mean([replicas[r][i] for r in range(3)], axis=0)
+            np.testing.assert_allclose(out[i], expected, rtol=1e-5, atol=1e-6)
+        assert out[1].size == 0
+
+    def test_single_parameter_model(self):
+        # One tensor, one bucket: the degenerate single-param path.
+        replicas = self._grads(4, [(9, 9)], seed=5)
+        out = [np.empty((9, 9), dtype=np.float32)]
+        assert allreduce_gradients(replicas, out) == 1
+        expected = np.mean([replicas[r][0] for r in range(4)], axis=0)
+        np.testing.assert_allclose(out[0], expected, rtol=1e-5, atol=1e-6)
 
 
 class TestMeanReduceBuffers:

@@ -1,0 +1,418 @@
+"""Tests for process-mode data parallelism (forked workers + shared memory).
+
+The contract under test (DESIGN.md §13): ``mode="process"`` runs the same
+lockstep epoch as thread mode with one forked worker per rank and all
+parameter/gradient traffic through one shared-memory segment — and the
+numerics must not notice.  Covered here:
+
+* bit-parity — ``world_size=1`` identical to the plain pipeline ``Trainer``;
+  ``world_size=2`` bit-stable across reruns and bit-identical to thread mode
+  (parameters, losses, and BatchNorm buffers); bucket-boundary configurations
+  (tiny ``bucket_elems``, single-parameter models) agree across modes;
+* lifecycle — segments unlink on shutdown, on worker crash, and on worker
+  exception; shutdown is idempotent; training resumes after shutdown;
+  structural callbacks re-fork the worker generation;
+* failure semantics — a worker exception propagates with its traceback, a
+  worker killed mid-step raises ``ReplicaError``, and neither leaks a
+  ``/dev/shm`` segment;
+* integration — ``fit``/``evaluate``, ``max_batches_per_epoch``, per-replica
+  pipeline stats, ``run_experiment(dp_mode="process")`` rows matching thread
+  rows, and the CLI flag.
+"""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import ArrayDataset, PipelineLoader, build_replica_loaders
+from repro.distributed import DataParallelTrainer, ReplicaError
+from repro.models import build_model
+from repro.optim import SGD
+from repro.tensor import functional as F
+from repro.train.trainer import Callback, Trainer
+from repro.utils import get_rng, seed_everything
+from repro.utils.shm import SEGMENT_PREFIX, active_owned_segments
+
+
+def make_dataset(n=64, image=8, num_classes=4, seed=0):
+    seed_everything(seed)
+    rng = get_rng(offset=5)
+    images = rng.standard_normal((n, 3, image, image)).astype(np.float32)
+    labels = rng.integers(0, num_classes, size=n).astype(np.int64)
+    return ArrayDataset(images, labels)
+
+
+def make_model(num_classes=4, seed=0):
+    return build_model("resnet18", num_classes=num_classes, width_mult=0.125,
+                       small_input=True, rng=get_rng(offset=seed + 1))
+
+
+def make_trainer(dataset, world_size, mode="process", batch_size=8, lr=0.05,
+                 **kwargs):
+    seed_everything(0)
+    model = make_model()
+    optimizer = SGD(model.parameters(), lr=lr, momentum=0.9)
+    train_loader = PipelineLoader(dataset, batch_size, shuffle=True)
+    replica_loaders = build_replica_loaders(dataset, batch_size, world_size)
+    return DataParallelTrainer(model, optimizer, train_loader,
+                               world_size=world_size, mode=mode,
+                               replica_loaders=replica_loaders, **kwargs)
+
+
+def params_of(model):
+    return [p.data.copy() for p in model.parameters()]
+
+
+def buffers_of(model):
+    return [buf.data.copy() for _, buf in model.named_buffers()]
+
+
+def own_segments_on_disk():
+    return glob.glob(os.path.join("/dev/shm", f"{SEGMENT_PREFIX}-{os.getpid()}-*"))
+
+
+@pytest.fixture(autouse=True)
+def no_segment_leaks():
+    """Every test must leave zero owned segments, registered or on disk."""
+    yield
+    assert active_owned_segments() == []
+    assert own_segments_on_disk() == []
+
+
+def run_epochs(trainer, epochs=2):
+    try:
+        losses = [trainer.train_epoch()["loss"] for _ in range(epochs)]
+        return losses, params_of(trainer.model), buffers_of(trainer.model)
+    finally:
+        trainer.shutdown()
+
+
+# --------------------------------------------------------------------------- #
+# Bit-parity
+# --------------------------------------------------------------------------- #
+class TestProcessModeParity:
+    def test_world_size_one_bit_identical_to_trainer(self):
+        dataset = make_dataset()
+        seed_everything(0)
+        model = make_model()
+        optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+        trainer = Trainer(model, optimizer,
+                          PipelineLoader(dataset, 8, shuffle=True))
+        ref_losses = [trainer.train_epoch()["loss"] for _ in range(2)]
+        losses, params, buffers = run_epochs(make_trainer(dataset, 1))
+        assert losses == ref_losses
+        for a, b in zip(params_of(model), params):
+            assert np.array_equal(a, b)
+        for a, b in zip(buffers_of(model), buffers):
+            assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("world_size", [2, 3])
+    def test_bit_stable_across_reruns(self, world_size):
+        dataset = make_dataset()
+        first = run_epochs(make_trainer(dataset, world_size))
+        second = run_epochs(make_trainer(dataset, world_size))
+        assert first[0] == second[0]
+        for a, b in zip(first[1], second[1]):
+            assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("world_size", [1, 2])
+    def test_thread_and_process_bit_identical(self, world_size):
+        dataset = make_dataset()
+        thread = run_epochs(make_trainer(dataset, world_size, mode="thread"))
+        process = run_epochs(make_trainer(dataset, world_size, mode="process"))
+        assert thread[0] == process[0]
+        for a, b in zip(thread[1], process[1]):
+            assert np.array_equal(a, b)
+        for a, b in zip(thread[2], process[2]):
+            assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("bucket_elems", [1, 64, 1 << 18])
+    def test_bucket_boundaries_cross_mode(self, bucket_elems):
+        # Gradients far over, straddling, and far under the bucket cap must
+        # all reduce to the same bits in both modes.
+        dataset = make_dataset(n=32)
+        thread = run_epochs(
+            make_trainer(dataset, 2, mode="thread", bucket_elems=bucket_elems),
+            epochs=1)
+        process = run_epochs(
+            make_trainer(dataset, 2, mode="process", bucket_elems=bucket_elems),
+            epochs=1)
+        assert thread[0] == process[0]
+        for a, b in zip(thread[1], process[1]):
+            assert np.array_equal(a, b)
+
+    def test_single_parameter_model_cross_mode(self):
+        # One bias-free Linear: one parameter, one bucket, no buffers — the
+        # degenerate layout for the shared-segment carve.
+        seed_everything(0)
+        rng = get_rng(offset=5)
+        features = rng.standard_normal((48, 12)).astype(np.float32)
+        labels = rng.integers(0, 3, size=48).astype(np.int64)
+        dataset = ArrayDataset(features, labels)
+
+        def run(mode):
+            seed_everything(0)
+            model = nn.Linear(12, 3, bias=False, rng=get_rng(offset=2))
+            assert len(list(model.parameters())) == 1
+            trainer = DataParallelTrainer(
+                model, SGD(model.parameters(), lr=0.1),
+                PipelineLoader(dataset, 8, shuffle=True),
+                world_size=2, mode=mode,
+                replica_loaders=build_replica_loaders(dataset, 8, 2))
+            return run_epochs(trainer)
+
+        thread, process = run("thread"), run("process")
+        assert thread[0] == process[0]
+        assert np.array_equal(thread[1][0], process[1][0])
+
+    def test_buffer_sync_disabled_matches_thread(self):
+        dataset = make_dataset()
+        thread = run_epochs(make_trainer(dataset, 2, mode="thread",
+                                         sync_buffers_each_epoch=False))
+        process = run_epochs(make_trainer(dataset, 2, mode="process",
+                                          sync_buffers_each_epoch=False))
+        assert thread[0] == process[0]
+        for a, b in zip(thread[2], process[2]):
+            assert np.array_equal(a, b)
+
+
+# --------------------------------------------------------------------------- #
+# Lifecycle
+# --------------------------------------------------------------------------- #
+class TestProcessModeLifecycle:
+    def test_shutdown_unlinks_and_is_idempotent(self):
+        dataset = make_dataset(n=16)
+        dp = make_trainer(dataset, 2)
+        dp.train_epoch()
+        assert len(active_owned_segments()) == 1
+        dp.shutdown()
+        assert active_owned_segments() == []
+        dp.shutdown()  # second call is a no-op
+
+    def test_training_resumes_after_shutdown(self):
+        dataset = make_dataset(n=16)
+        dp = make_trainer(dataset, 2)
+        first = dp.train_epoch()["loss"]
+        dp.shutdown()
+        second = dp.train_epoch()["loss"]  # fresh generation forked
+        dp.shutdown()
+        assert np.isfinite(first) and np.isfinite(second)
+        assert dp.epochs_completed == 2
+
+    def test_params_detached_after_shutdown(self):
+        dataset = make_dataset(n=16)
+        dp = make_trainer(dataset, 1)
+        dp.train_epoch()
+        stepped = params_of(dp.model)
+        dp.shutdown()
+        # Values survive the unlink, on private memory.
+        for a, p in zip(stepped, dp.model.parameters()):
+            assert np.array_equal(a, p.data)
+            assert p.data.base is None
+
+    def test_structure_change_reforks_generation(self):
+        dataset = make_dataset()
+
+        class WidenHead(Callback):
+            def on_epoch_end(self, trainer, epoch, logs):
+                if epoch == 0:
+                    old = trainer.model.fc
+                    hidden = old.weight.data.shape[1]
+                    trainer.model.fc = nn.Sequential(
+                        nn.Linear(hidden, 8, rng=get_rng(offset=3)),
+                        nn.Linear(8, old.weight.data.shape[0],
+                                  rng=get_rng(offset=4)),
+                    )
+                    trainer.rebuild_optimizer_params()
+
+        dp = make_trainer(dataset, 2, callbacks=[WidenHead()])
+        try:
+            history = dp.fit(epochs=2)
+            assert len(history) == 2
+            assert all(np.isfinite(r.train_loss) for r in history)
+        finally:
+            dp.shutdown()
+
+    def test_fit_and_evaluate_on_master(self):
+        dataset = make_dataset()
+        val = make_dataset(n=16)
+        seed_everything(0)
+        model = make_model()
+        dp = DataParallelTrainer(
+            model, SGD(model.parameters(), lr=0.05, momentum=0.9),
+            PipelineLoader(dataset, 8, shuffle=True), PipelineLoader(val, 8),
+            world_size=2, mode="process",
+            replica_loaders=build_replica_loaders(dataset, 8, 2))
+        try:
+            history = dp.fit(epochs=2)
+            assert len(history) == 2
+            assert all(r.val_accuracy is not None for r in history)
+        finally:
+            dp.shutdown()
+
+    def test_max_batches_caps_lockstep_steps(self):
+        dataset = make_dataset()
+        dp = make_trainer(dataset, 2, max_batches_per_epoch=2)
+        try:
+            dp.train_epoch()
+            assert dp.last_epoch_pipeline_stats.samples == 2 * 2 * 8
+        finally:
+            dp.shutdown()
+
+    def test_epoch_stats_carry_per_replica_split(self):
+        dataset = make_dataset()
+        dp = make_trainer(dataset, 2)
+        try:
+            logs = dp.train_epoch()
+            stats = dp.last_epoch_pipeline_stats
+            assert stats.extra["world_size"] == 2.0
+            assert "replica0_stall_seconds" in stats.extra
+            assert "replica1_compute_seconds" in stats.extra
+            assert stats.extra["wall_seconds"] > 0
+            assert logs["samples_per_sec"] > 0
+        finally:
+            dp.shutdown()
+
+    def test_step_callbacks_see_rank0_batch(self):
+        dataset = make_dataset()
+        seen = []
+
+        class Recorder(Callback):
+            def on_batch_begin(self, trainer, step, batch):
+                seen.append(None if batch is None else batch[0].shape)
+
+            def on_batch_end(self, trainer, step, logs):
+                assert "loss" in logs
+
+        dp = make_trainer(dataset, 2, callbacks=[Recorder()])
+        try:
+            dp.train_epoch()
+        finally:
+            dp.shutdown()
+        assert seen and all(shape == (8, 3, 8, 8) for shape in seen)
+
+
+# --------------------------------------------------------------------------- #
+# Failure semantics
+# --------------------------------------------------------------------------- #
+class TestProcessModeFailures:
+    def test_worker_exception_propagates_with_traceback(self):
+        dataset = make_dataset()
+
+        def exploding_loss(model, batch):
+            raise ValueError("replica blew up in the child")
+
+        dp = make_trainer(dataset, 2, loss_fn=exploding_loss)
+        with pytest.raises(ReplicaError, match="replica blew up in the child"):
+            dp.train_epoch()
+        # The failed epoch tore the generation down hard — nothing leaked.
+        assert active_owned_segments() == []
+        dp.shutdown()
+
+    def test_worker_crash_raises_and_unlinks(self):
+        # os._exit skips every finally and atexit in the child: the parent's
+        # liveness poll must catch the death, and the parent's teardown must
+        # still unlink (crash-injection satellite).
+        dataset = make_dataset()
+
+        def dying_loss(model, batch):
+            os._exit(3)
+
+        dp = make_trainer(dataset, 2, loss_fn=dying_loss)
+        with pytest.raises(ReplicaError, match="died"):
+            dp.train_epoch()
+        assert active_owned_segments() == []
+        assert own_segments_on_disk() == []
+        dp.shutdown()  # idempotent after the forced teardown
+
+    def test_one_rank_crashing_is_still_detected(self, tmp_path):
+        # Exactly ONE worker dies (first to create the flag file wins); the
+        # surviving rank parks at the lockstep barrier and the parent's
+        # liveness poll must still notice and raise.
+        dataset = make_dataset()
+        flag = str(tmp_path / "crash-once")
+
+        def die_once_loss(model, batch):
+            try:
+                os.close(os.open(flag, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                os._exit(5)
+            except FileExistsError:
+                pass
+            logits = model(batch[0])
+            return F.softmax_cross_entropy(logits, batch[-1])
+
+        dp = make_trainer(dataset, 2, loss_fn=die_once_loss)
+        try:
+            with pytest.raises(ReplicaError, match="died"):
+                dp.train_epoch()
+        finally:
+            dp.shutdown()
+
+    def test_invalid_mode_rejected(self):
+        dataset = make_dataset(n=16)
+        model = make_model()
+        with pytest.raises(ValueError, match="mode"):
+            DataParallelTrainer(model, SGD(model.parameters(), lr=0.05),
+                                PipelineLoader(dataset, 8), mode="greenlet")
+
+
+# --------------------------------------------------------------------------- #
+# Experiment harness + CLI integration
+# --------------------------------------------------------------------------- #
+class TestProcessModeIntegration:
+    def _config(self, **overrides):
+        from repro.train.experiments import VisionExperimentConfig
+
+        defaults = dict(epochs=1, batch_size=16, max_batches_per_epoch=2,
+                        width_mult=0.125)
+        defaults.update(overrides)
+        return VisionExperimentConfig(**defaults)
+
+    def test_dp_mode_validation(self):
+        assert self._config(dp_mode="process").uses_pipeline_loader()
+        with pytest.raises(ValueError, match="dp_mode"):
+            self._config(dp_mode="fiber").uses_pipeline_loader()
+        with pytest.raises(ValueError, match="pipeline loader"):
+            self._config(dp_mode="process",
+                         loader="legacy").uses_pipeline_loader()
+
+    def test_run_experiment_process_rows_match_thread(self):
+        from repro.train.experiments import ExperimentSpec, run_experiment
+
+        def row(dp_mode):
+            result = run_experiment(ExperimentSpec(
+                method="full_rank",
+                config=self._config(world_size=2, dp_mode=dp_mode)))
+            d = result.as_dict()
+            d.pop("wallclock_seconds")
+            return d
+
+        assert row("thread") == row("process")
+
+    def test_run_experiment_world_size_one_process(self):
+        from repro.train.experiments import ExperimentSpec, run_experiment
+
+        _, context = run_experiment(
+            ExperimentSpec(method="full_rank",
+                           config=self._config(dp_mode="process")),
+            return_context=True)
+        assert isinstance(context.trainer, DataParallelTrainer)
+        assert context.trainer.mode == "process"
+
+    def test_cli_dp_mode_flag(self):
+        import io
+
+        from repro.cli import main
+
+        stream = io.StringIO()
+        code = main(["train", "--method", "full_rank", "--epochs", "1",
+                     "--max-batches", "2", "--batch-size", "16",
+                     "--world-size", "2", "--dp-mode", "process"],
+                    stream=stream)
+        assert code == 0
+        out = stream.getvalue()
+        assert "dp_mode=process" in out
+        assert "data-parallel throughput" in out
