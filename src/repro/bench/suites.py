@@ -11,7 +11,9 @@ The suites cover every headline speed claim from PRs 2–7:
 * ``dataparallel-proc`` — process-mode (forked workers, shared-memory
   gradient exchange) samples/sec at world_size 1 and 2 (PR 7);
 * ``serving``           — dynamic micro-batching vs batch-1 requests/sec
-  (PR 3).
+  (PR 3);
+* ``telemetry-overhead`` — span-tracing cost on the Trainer hot loop,
+  steps/sec enabled vs disabled (PR 8).
 
 Each body performs ONE measurement at the resolved budget; warmup/repeat and
 the noise summary live in :mod:`repro.bench.runner`.  Budgets are deliberately
@@ -153,6 +155,27 @@ def dataparallel_proc_suite(budget: SuiteBudget) -> Dict[str, float]:
         "proc_ws2_samples_per_sec": ws2["samples_per_sec"],
         "proc_ws2_scaling": ws2["samples_per_sec"] / max(ws1["samples_per_sec"], 1e-9),
     }
+
+
+@register_suite(
+    "telemetry-overhead",
+    "span-tracing cost on the Trainer hot loop: steps/sec enabled vs disabled",
+    metrics=(
+        MetricSpec("disabled_steps_per_sec", STEPS_PER_SEC),
+        MetricSpec("enabled_steps_per_sec", STEPS_PER_SEC),
+        MetricSpec("slowdown_ratio", RATIO, higher_is_better=False,
+                   description="disabled over enabled steps/sec; ~1.0 when "
+                               "the instrumentation is free"),
+    ),
+    tags=("training", "observability"),
+)
+def telemetry_overhead_suite(budget: SuiteBudget) -> Dict[str, float]:
+    from repro.bench.workloads import telemetry_overhead
+
+    steps = budget.resolve_iters(full_default=16, tiny_default=4)
+    return telemetry_overhead(steps=steps,
+                              samples=128 if budget.tiny else 512,
+                              image_size=8 if budget.tiny else 16)
 
 
 @register_suite(

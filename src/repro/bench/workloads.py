@@ -258,6 +258,67 @@ def dataparallel_throughput(dataset, *, batch_size: int, width_mult: float,
 
 
 # --------------------------------------------------------------------------- #
+# Telemetry overhead (tracing enabled vs disabled on the Trainer hot loop)
+# --------------------------------------------------------------------------- #
+def telemetry_overhead(
+    *,
+    width_mult: float = 0.125,
+    batch_size: int = 32,
+    image_size: int = 16,
+    samples: int = 128,
+    num_classes: int = 4,
+    steps: int = 8,
+) -> Dict[str, float]:
+    """Trainer steps/sec with span tracing enabled vs disabled.
+
+    Exercises the real ``Trainer.train_epoch`` loop (the instrumented path:
+    data_wait / forward / backward / optimizer spans per step); the enabled
+    measurement records into an in-memory session, no file I/O in the timed
+    region.  ``slowdown_ratio`` is the number the overhead budget in
+    DESIGN.md §14 is written against: disabled over enabled steps/sec,
+    ~1.0 when the instrumentation is free.
+    """
+    from repro.data import PipelineLoader
+    from repro.models import build_model
+    from repro.optim import SGD
+    from repro.telemetry import tracing
+    from repro.train.trainer import Trainer
+    from repro.utils import get_rng, seed_everything
+
+    def build() -> Trainer:
+        seed_everything(0)
+        model = build_model("resnet18", num_classes=num_classes,
+                            width_mult=width_mult, small_input=True,
+                            rng=get_rng(offset=1))
+        optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+        dataset = build_dp_dataset(samples, image_size, num_classes)
+        loader = PipelineLoader(dataset, batch_size, shuffle=True)
+        return Trainer(model, optimizer, loader, max_batches_per_epoch=steps)
+
+    def measure(traced: bool) -> float:
+        trainer = build()
+        trainer.train_epoch()  # warm-up (allocator, caches)
+        if traced:
+            tracing.enable("bench")
+        try:
+            start = time.perf_counter()
+            trainer.train_epoch()
+            elapsed = time.perf_counter() - start
+        finally:
+            if traced:
+                tracing.disable()
+        return steps / elapsed if elapsed > 0 else 0.0
+
+    disabled_rate = measure(False)
+    enabled_rate = measure(True)
+    return {
+        "disabled_steps_per_sec": disabled_rate,
+        "enabled_steps_per_sec": enabled_rate,
+        "slowdown_ratio": disabled_rate / max(enabled_rate, 1e-9),
+    }
+
+
+# --------------------------------------------------------------------------- #
 # Serving throughput (bench_serving's cell, engine transport)
 # --------------------------------------------------------------------------- #
 def export_serving_artifact(path: str, *, width_mult: float = 0.125,

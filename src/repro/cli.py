@@ -1,6 +1,6 @@
 """Command-line interface for the Cuttlefish reproduction.
 
-Nine subcommands cover the workflows a downstream user needs without writing
+Ten subcommands cover the workflows a downstream user needs without writing
 Python:
 
 * ``train``    — train one registered method on a synthetic task and print
@@ -26,6 +26,10 @@ Python:
   noise-aware base-vs-candidate markdown verdict table (nonzero exit on
   regression), ``bench history`` views the longitudinal JSONL store, and
   ``bench list`` enumerates registered suites.
+* ``trace``    — inspect span timelines recorded with ``--trace PATH``
+  (available on ``train`` / ``compare`` / ``serve`` / ``bench-serve``):
+  ``trace summary`` prints per-phase totals and step coverage, ``trace
+  export`` converts between Chrome trace-event JSON and the JSONL event log.
 
 ``train`` and ``compare`` accept any method registered with
 ``repro.train.methods.register_method`` — including ones a downstream user
@@ -123,6 +127,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-lr-scaling", action="store_true",
                        help="disable the Goyal world_size x lr scaling rule "
                             "under --world-size > 1")
+        p.add_argument("--trace", default=None, metavar="PATH",
+                       help="record a span timeline of the run: Chrome "
+                            "trace-event JSON (Perfetto-loadable), or a JSONL "
+                            "structured event log when PATH ends in .jsonl")
         p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
     methods = available_methods()
@@ -180,6 +188,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-batch-size", type=int, default=32)
     serve.add_argument("--max-wait-ms", type=float, default=2.0)
     serve.add_argument("--max-queue", type=int, default=256)
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="record request/batch/inference spans; the trace "
+                            "is written when the server shuts down")
 
     bench_serve = sub.add_parser("bench-serve",
                                  help="closed-loop load test: micro-batching vs batch-1")
@@ -191,6 +202,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--transports", nargs="+", default=["engine", "http"],
                              choices=["engine", "http"])
     bench_serve.add_argument("--backend", default=None, choices=available_backends())
+    bench_serve.add_argument("--trace", default=None, metavar="PATH",
+                             help="record serve-path spans across the load test")
 
     bench = sub.add_parser("bench",
                            help="perf-regression harness: run/compare/history/list")
@@ -253,6 +266,20 @@ def build_parser() -> argparse.ArgumentParser:
     bench_list = bench_sub.add_parser("list", help="list registered suites")
     bench_list.add_argument("--json", action="store_true")
 
+    trace_cmd = sub.add_parser("trace",
+                               help="inspect or convert recorded span timelines")
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_sub.add_parser(
+        "summary", help="per-phase totals, lane census, and step coverage")
+    trace_summary.add_argument("path", help="trace written by --trace (either format)")
+    trace_summary.add_argument("--json", action="store_true")
+    trace_export = trace_sub.add_parser(
+        "export", help="convert between Chrome JSON and the JSONL event log")
+    trace_export.add_argument("src", help="source trace (format auto-detected)")
+    trace_export.add_argument("dst",
+                              help="destination: .jsonl gets the event log, "
+                                   "anything else Chrome trace-event JSON")
+
     trace = sub.add_parser("rank-trace", help="per-layer stable-rank trajectories (Figure 2/3)")
     trace.add_argument("--task", default="cifar10_small")
     trace.add_argument("--model", default="resnet18", choices=available_models())
@@ -289,6 +316,26 @@ def _experiment_config(args: argparse.Namespace) -> VisionExperimentConfig:
 # --------------------------------------------------------------------------- #
 # Subcommand implementations
 # --------------------------------------------------------------------------- #
+def _start_trace(args: argparse.Namespace, label: str) -> bool:
+    """Begin a span-recording session when the command got ``--trace PATH``."""
+    if getattr(args, "trace", None):
+        from repro.telemetry import tracing
+
+        tracing.enable(label)
+        return True
+    return False
+
+
+def _finish_trace(args: argparse.Namespace, out) -> None:
+    """Stop recording and write the trace file named by ``--trace``."""
+    from repro.telemetry import tracing
+
+    session = tracing.disable()
+    if session is not None:
+        spans = tracing.write_trace(args.trace, session)
+        out.write(f"trace: {spans} spans written to {args.trace}\n")
+
+
 def _emit_rows(rows: List[ExperimentRow], as_json: bool, stream) -> None:
     if as_json:
         json.dump([row.as_dict() for row in rows], stream, indent=2, default=float)
@@ -311,10 +358,16 @@ def cmd_train(args: argparse.Namespace, stream=sys.stdout) -> int:
     spec = ExperimentSpec(method=args.method, config=config)
     wants_model = args.save_checkpoint or args.export
     uses_pipeline = config.uses_pipeline_loader()
-    if wants_model or uses_pipeline:
-        row, context = run_experiment(spec, return_context=True)
-    else:
-        row = run_experiment(spec)
+    traced = _start_trace(args, "trainer")
+    try:
+        if wants_model or uses_pipeline:
+            row, context = run_experiment(spec, return_context=True)
+        else:
+            row = run_experiment(spec)
+    finally:
+        if traced:
+            # With --json the trace line would corrupt the stdout payload.
+            _finish_trace(args, sys.stderr if args.json else stream)
     _emit_rows([row], args.json, stream)
     if uses_pipeline and context.trainer is not None:
         stats = context.trainer.pipeline_stats
@@ -371,8 +424,13 @@ def cmd_train(args: argparse.Namespace, stream=sys.stdout) -> int:
 
 def cmd_compare(args: argparse.Namespace, stream=sys.stdout) -> int:
     set_backend(args.backend)
-    rows = [run_experiment(ExperimentSpec(method=method, config=_experiment_config(args)))
-            for method in args.methods]
+    traced = _start_trace(args, "trainer")
+    try:
+        rows = [run_experiment(ExperimentSpec(method=method, config=_experiment_config(args)))
+                for method in args.methods]
+    finally:
+        if traced:
+            _finish_trace(args, sys.stderr if args.json else stream)
     _emit_rows(rows, args.json, stream)
     return 0
 
@@ -495,27 +553,38 @@ def cmd_serve(args: argparse.Namespace, stream=sys.stdout) -> int:
 
     policy = BatchingPolicy(max_batch_size=args.max_batch_size,
                             max_wait_ms=args.max_wait_ms, max_queue=args.max_queue)
+    traced = _start_trace(args, "server")
     server = ModelServer(args.artifact, policy=policy, host=args.host, port=args.port,
                          backend=args.backend)
     stream.write(f"serving {server.model_name} on {server.url} "
                  f"(max_batch_size={args.max_batch_size}, max_wait_ms={args.max_wait_ms})\n")
     stream.flush()
-    server.serve_forever()
+    try:
+        server.serve_forever()
+    finally:
+        if traced:
+            _finish_trace(args, stream)
     return 0
 
 
 def cmd_bench_serve(args: argparse.Namespace, stream=sys.stdout) -> int:
     from repro.serve import bench_artifact
 
-    results = bench_artifact(
-        args.artifact,
-        max_batch_size=args.max_batch_size,
-        max_wait_ms=args.max_wait_ms,
-        duration_s=args.duration,
-        concurrency=args.concurrency,
-        transports=args.transports,
-        backend=args.backend,
-    )
+    traced = _start_trace(args, "bench-serve")
+    try:
+        results = bench_artifact(
+            args.artifact,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            duration_s=args.duration,
+            concurrency=args.concurrency,
+            transports=args.transports,
+            backend=args.backend,
+        )
+    finally:
+        if traced:
+            # Results are a JSON document on stdout; keep it parseable.
+            _finish_trace(args, sys.stderr)
     json.dump(results, stream, indent=2, default=float)
     stream.write("\n")
     return 0
@@ -622,6 +691,39 @@ def cmd_bench(args: argparse.Namespace, stream=sys.stdout) -> int:
     raise AssertionError(f"unhandled bench subcommand {args.bench_command!r}")
 
 
+def cmd_trace(args: argparse.Namespace, stream=sys.stdout) -> int:
+    from repro.telemetry import tracing
+
+    if args.trace_command == "summary":
+        try:
+            events, meta = tracing.load_trace(args.path)
+        except (OSError, ValueError) as error:
+            stream.write(f"error: {error}\n")
+            return 2
+        summary = tracing.summarize_trace(events)
+        if args.json:
+            json.dump({"meta": meta, "summary": summary}, stream,
+                      indent=2, default=float)
+            stream.write("\n")
+            return 0
+        stream.write(f"trace {args.path} "
+                     f"(session={meta.get('session', '?')}, "
+                     f"schema_version={meta.get('schema_version', '?')})\n")
+        stream.write(tracing.format_summary(summary) + "\n")
+        return 0
+
+    if args.trace_command == "export":
+        try:
+            written = tracing.convert_trace(args.src, args.dst)
+        except (OSError, ValueError) as error:
+            stream.write(f"error: {error}\n")
+            return 2
+        stream.write(f"wrote {written} events to {args.dst}\n")
+        return 0
+
+    raise AssertionError(f"unhandled trace subcommand {args.trace_command!r}")
+
+
 COMMANDS = {
     "train": cmd_train,
     "compare": cmd_compare,
@@ -632,6 +734,7 @@ COMMANDS = {
     "serve": cmd_serve,
     "bench-serve": cmd_bench_serve,
     "bench": cmd_bench,
+    "trace": cmd_trace,
 }
 
 

@@ -33,6 +33,7 @@ Sharding for data-parallel training comes from
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -40,6 +41,7 @@ import numpy as np
 from repro.data.augment import supports_batch
 from repro.data.dataset import ArrayDataset, Dataset, Subset, _default_collate
 from repro.data.sampler import Sampler, SequentialSampler, ShardedSampler, ShuffledSampler
+from repro.telemetry import tracing as _tracing
 from repro.utils import CLOSED, BackgroundProducer, ClosableQueue, ProducerFailure
 
 Batch = Tuple[np.ndarray, ...]
@@ -211,13 +213,23 @@ class PipelineLoader(BatchStream):
         epoch = self.epoch if epoch is None else int(epoch)
         if not 0 <= batch_index < len(self):
             raise IndexError(f"batch index {batch_index} out of range for {len(self)} batches")
+        traced = _tracing.enabled()
+        if traced:
+            load_start = time.perf_counter()
         order = self._order_for(epoch)
         start = batch_index * self.batch_size
         idx = order[start:start + self.batch_size]
         if self._base is not None:
-            return self._load_vectorized(idx, epoch)
-        samples = [self.dataset[int(i)] for i in idx]
-        return self.collate_fn(samples)
+            batch = self._load_vectorized(idx, epoch)
+        else:
+            samples = [self.dataset[int(i)] for i in idx]
+            batch = self.collate_fn(samples)
+        if traced:
+            # Lands on the calling thread's lane — prefetch workers show
+            # their loads overlapping the consumer's steps in the timeline.
+            _tracing.record_span("load_batch", load_start, time.perf_counter(),
+                                 cat="data", batch=batch_index)
+        return batch
 
     def _gather(self, array: np.ndarray, ids: np.ndarray) -> np.ndarray:
         if self.arena is not None and array.ndim >= 1:

@@ -66,6 +66,7 @@ from repro.distributed.reduce import (
     mean_reduce_buffers,
 )
 from repro.profiling.pipeline import PipelineStats
+from repro.telemetry import tracing as _tracing
 from repro.tensor import functional as F
 from repro.train.metrics import AverageMeter, top_k_accuracy
 from repro.train.trainer import Callback, Trainer
@@ -206,6 +207,9 @@ class DataParallelTrainer(Trainer):
         ``Trainer._batch_accuracy``'s rules (default loss path, plain (N, C)
         integer-label classification batches only).
         """
+        traced = _tracing.enabled()
+        if traced:
+            start = time.perf_counter()
         logits = None
         if self._uses_default_loss:
             logits = model(batch[0])
@@ -217,14 +221,25 @@ class DataParallelTrainer(Trainer):
             extra = self.loss_hook(model)
             if extra is not None:
                 loss = loss + extra
+        if traced:
+            forward_end = time.perf_counter()
         model.zero_grad()
         loss.backward()
+        if traced:
+            backward_end = time.perf_counter()
         accuracy = None
         if logits is not None and logits.data.ndim == 2:
             labels = np.asarray(batch[-1])
             if labels.ndim == 1 and len(labels) == len(logits.data) \
                     and np.issubdtype(labels.dtype, np.integer):
                 accuracy = top_k_accuracy(logits.data, labels, k=1)
+        if traced:
+            _tracing.record_span("forward", start, forward_end, cat="dp",
+                                 parent="step")
+            _tracing.record_span("backward", forward_end, backward_end,
+                                 cat="dp", parent="step")
+            _tracing.record_span("accounting", backward_end,
+                                 time.perf_counter(), cat="dp", parent="step")
         return loss.item(), accuracy, len(batch[-1])
 
     # ------------------------------------------------------------------ #
@@ -302,13 +317,25 @@ class DataParallelTrainer(Trainer):
                     batch = next(iterator)
                     delivered = time.perf_counter()
                     stats.observe_stall(delivered - requested)
+                    traced = _tracing.enabled()
                     loss, accuracy, n = self._replica_step(model, batch)
                     step_loss[rank], step_acc[rank], step_n[rank] = loss, accuracy, n
                     if rank == 0:
                         rank0_batch[0] = batch
-                    stats.observe_compute(time.perf_counter() - delivered, n)
+                    compute_end = time.perf_counter()
+                    stats.observe_compute(compute_end - delivered, n)
+                    if traced:
+                        _tracing.record_span("step", requested, compute_end,
+                                             cat="dp", rank=rank)
+                        _tracing.record_span("data_wait", requested, delivered,
+                                             cat="dp", parent="step")
                     arrive.wait(timeout=_BARRIER_TIMEOUT_S)
                     resume.wait(timeout=_BARRIER_TIMEOUT_S)
+                    if traced:
+                        # Time parked at the arrive/resume barriers — the
+                        # part of worker wall time the step span can't see.
+                        _tracing.record_span("sync_wait", compute_end,
+                                             time.perf_counter(), cat="dp")
             except threading.BrokenBarrierError:
                 pass  # another party failed; its error is already recorded
             except BaseException as error:  # noqa: BLE001 — re-raised on the driver
@@ -328,11 +355,14 @@ class DataParallelTrainer(Trainer):
                 arrive.wait(timeout=_BARRIER_TIMEOUT_S)
                 for callback in self.callbacks:
                     callback.on_batch_begin(self, step, rank0_batch[0])
-                self._reduce_gradients()
-                if self.grad_hook is not None:
-                    self.grad_hook(self.model)
-                self.optimizer.step()
-                self._broadcast_parameters()
+                with _tracing.span("allreduce", cat="dp"):
+                    self._reduce_gradients()
+                    if self.grad_hook is not None:
+                        self.grad_hook(self.model)
+                with _tracing.span("optimizer", cat="dp"):
+                    self.optimizer.step()
+                with _tracing.span("broadcast", cat="dp"):
+                    self._broadcast_parameters()
                 # Meters walk replicas in rank order — fixed accumulation
                 # order regardless of which worker finished first.
                 for rank in range(world):
@@ -472,19 +502,22 @@ class DataParallelTrainer(Trainer):
         rank0_loader = self._rank0_random_access_loader() if needs_batch else None
         readback = self.sync_buffers_each_epoch and world > 1
 
+        traced = _tracing.enabled()
         wall_start = time.perf_counter()
         try:
-            group.begin_epoch(epoch, steps, readback)
+            group.begin_epoch(epoch, steps, readback, trace=traced)
             for step in range(steps):
                 group.await_replicas()
                 batch = (rank0_loader.load_batch(step, epoch)
                          if rank0_loader is not None else None)
                 for callback in self.callbacks:
                     callback.on_batch_begin(self, step, batch)
-                self._reduce_gradients_process(group, params)
-                if self.grad_hook is not None:
-                    self.grad_hook(self.model)
-                self.optimizer.step()
+                with _tracing.span("allreduce", cat="dp"):
+                    self._reduce_gradients_process(group, params)
+                    if self.grad_hook is not None:
+                        self.grad_hook(self.model)
+                with _tracing.span("optimizer", cat="dp"):
+                    self.optimizer.step()
                 # Parameters live in shared memory and were stepped in
                 # place — the workers already see them; no broadcast.
                 for rank in range(world):
@@ -501,6 +534,13 @@ class DataParallelTrainer(Trainer):
                 group.release_replicas()
             group.await_replicas()
             self._sync_buffers_process(group)
+            if traced:
+                # Each worker shipped its per-rank span buffer over its pipe
+                # right after the buffer-phase arrive; merge them onto this
+                # process's timeline before waking the workers.
+                session = _tracing.current_session()
+                for payload in group.collect_telemetry():
+                    session.absorb(payload)
             group.release_replicas()
         except BaseException:
             # Workers may be desynced mid-step: tear the generation down

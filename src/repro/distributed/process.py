@@ -55,6 +55,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.profiling.pipeline import PipelineStats
+from repro.telemetry import tracing as _tracing
 from repro.utils import get_logger
 from repro.utils.shm import ShmArena, arena_bytes_for
 
@@ -102,6 +103,9 @@ class ProcessReplicaGroup:
         self.world = trainer.world_size
         self._shutdown_done = False
         self._parent_pid = os.getpid()
+        #: rank → non-error pipe messages consumed by a health poll before
+        #: their consumer asked for them (telemetry payloads).
+        self._stashed: dict = {}
 
         model = trainer.model
         self._params = list(model.parameters())
@@ -196,12 +200,22 @@ class ProcessReplicaGroup:
             presence = self._presence[rank]
             stats_row = self._stats[rank]
             buffer_views = self._buffer_views[rank]
+            trace_ready = False
             while True:
                 command = self._recv_command(conn)
                 if command[0] == "stop":
                     status = 0
                     return
-                _, epoch, steps, readback_buffers = command
+                _, epoch, steps, readback_buffers, trace = command
+                if trace and not trace_ready:
+                    # The fork inherited the parent's enabled tracer and a
+                    # copy of its event buffer — re-home it as this rank's
+                    # lane (or start fresh if tracing was enabled post-fork).
+                    if _tracing.enabled():
+                        _tracing.reset_after_fork(f"rank {rank}")
+                    else:
+                        _tracing.enable(f"rank {rank}")
+                    trace_ready = True
                 model.train()
                 set_epoch = getattr(loader, "set_epoch", None)
                 if set_epoch is not None:
@@ -224,7 +238,8 @@ class ProcessReplicaGroup:
                             else:
                                 presence[i] = 1
                                 np.copyto(grad_views[i], grad)
-                        compute += time.perf_counter() - delivered
+                        compute_end = time.perf_counter()
+                        compute += compute_end - delivered
                         samples += n
                         stats_row[_STAT_LOSS] = loss
                         stats_row[_STAT_ACC] = accuracy if accuracy is not None else 0.0
@@ -234,8 +249,17 @@ class ProcessReplicaGroup:
                         stats_row[_STAT_COMPUTE] = compute
                         stats_row[_STAT_SAMPLES] = float(samples)
                         stats_row[_STAT_BATCHES] = float(batches)
+                        if trace:
+                            _tracing.record_span("step", requested, compute_end,
+                                                 cat="dp", rank=rank)
+                            _tracing.record_span("data_wait", requested,
+                                                 delivered, cat="dp",
+                                                 parent="step")
                         self._arrive.release()
                         self._await_resume(rank)
+                        if trace:
+                            _tracing.record_span("sync_wait", compute_end,
+                                                 time.perf_counter(), cat="dp")
                 finally:
                     close = getattr(iterator, "close", None)
                     if close is not None:
@@ -247,6 +271,14 @@ class ProcessReplicaGroup:
                 for view, buf in zip(buffer_views, buffers):
                     np.copyto(view, buf.data)
                 self._arrive.release()
+                if trace:
+                    # Ship this epoch's spans AFTER the arrive release: the
+                    # parent is then actively draining pipes (a send larger
+                    # than the pipe buffer would otherwise deadlock against
+                    # a parent still blocked on the arrive semaphore).
+                    session = _tracing.current_session()
+                    conn.send(("telemetry", rank,
+                               session.drain_payload() if session else None))
                 self._await_resume(rank)
                 if readback_buffers:
                     for view, buf in zip(buffer_views, buffers):
@@ -286,9 +318,10 @@ class ProcessReplicaGroup:
     # ------------------------------------------------------------------ #
     # Parent side: the lockstep protocol
     # ------------------------------------------------------------------ #
-    def begin_epoch(self, epoch: int, steps: int, readback_buffers: bool) -> None:
+    def begin_epoch(self, epoch: int, steps: int, readback_buffers: bool,
+                    trace: bool = False) -> None:
         for conn in self._conns:
-            conn.send(("epoch", epoch, steps, readback_buffers))
+            conn.send(("epoch", epoch, steps, readback_buffers, trace))
 
     def await_replicas(self, timeout: float = DEFAULT_STEP_TIMEOUT_S) -> None:
         """Block until every worker has arrived; raise on death or error."""
@@ -313,13 +346,45 @@ class ProcessReplicaGroup:
                     message = conn.recv()
             except (EOFError, OSError):
                 message = None
-            if message is not None and message[0] == "error":
-                raise ReplicaError(
-                    f"replica worker {message[1]} failed:\n{message[2]}")
+            if message is not None:
+                if message[0] == "error":
+                    raise ReplicaError(
+                        f"replica worker {message[1]} failed:\n{message[2]}")
+                # Non-error traffic (a telemetry payload from a fast rank)
+                # must survive the health poll for collect_telemetry.
+                self._stashed.setdefault(rank, []).append(message)
             if not proc.is_alive():
                 raise ReplicaError(
                     f"replica worker {rank} died (exitcode={proc.exitcode}) "
                     "without reporting an error")
+
+    def collect_telemetry(self, timeout: float = 30.0) -> List[Optional[dict]]:
+        """One ``drain_payload`` dict per rank (sent after the buffer-phase
+        arrive); call between ``await_replicas`` and ``release_replicas``."""
+        payloads: List[Optional[dict]] = [None] * self.world
+        deadline = time.monotonic() + timeout
+        for rank, conn in enumerate(self._conns):
+            message = None
+            stash = self._stashed.get(rank)
+            while stash:
+                candidate = stash.pop(0)
+                if candidate[0] == "telemetry":
+                    message = candidate
+                    break
+            while message is None:
+                if conn.poll(_POLL_S):
+                    candidate = conn.recv()
+                    if candidate[0] == "error":
+                        raise ReplicaError(
+                            f"replica worker {candidate[1]} failed:\n{candidate[2]}")
+                    if candidate[0] == "telemetry":
+                        message = candidate
+                elif time.monotonic() > deadline:
+                    raise ReplicaError(
+                        f"replica worker {rank} sent no telemetry within "
+                        f"{timeout:.0f}s")
+            payloads[rank] = message[2]
+        return payloads
 
     # ------------------------------------------------------------------ #
     # Parent side: shared-state accessors

@@ -1,153 +1,19 @@
 """Thread-safe latency and batch-size statistics for the serving path.
 
-The inference server (``repro.serve``) observes one duration per request and
-one batch size per executed micro-batch.  Both trackers are designed for a
-hot path shared by many threads: ``observe`` takes a lock only long enough to
-write one slot of a fixed-size ring buffer, and percentile computation sorts
-a snapshot outside the lock.
-
-Percentiles are computed over the most recent ``window`` observations (the
-ring buffer), while ``count``/``total`` accumulate over the tracker's whole
-lifetime — the usual behaviour of serving metric endpoints, where p99 should
-reflect *current* behaviour but request counters must never reset.
+The implementations moved to :mod:`repro.telemetry.metrics` when the unified
+metrics registry absorbed them; this module re-exports the same classes so
+every existing import site (and the bit/format-compatibility tests) keeps
+working unchanged.  New code should create these instruments through a
+:class:`repro.telemetry.MetricsRegistry` rather than instantiating them
+directly.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
-
-DEFAULT_PERCENTILES = (50.0, 95.0, 99.0)
-
-
-class LatencyTracker:
-    """Streaming latency statistics: count, mean, and windowed percentiles."""
-
-    def __init__(self, window: int = 8192):
-        if window <= 0:
-            raise ValueError(f"window must be positive, got {window}")
-        self.window = int(window)
-        self._buffer = np.zeros(self.window, dtype=np.float64)
-        self._next = 0
-        self._filled = 0
-        self._count = 0
-        self._total = 0.0
-        self._max = 0.0
-        self._lock = threading.Lock()
-
-    def observe(self, seconds: float) -> None:
-        """Record one duration (in seconds)."""
-        value = float(seconds)
-        with self._lock:
-            self._buffer[self._next] = value
-            self._next = (self._next + 1) % self.window
-            self._filled = min(self._filled + 1, self.window)
-            self._count += 1
-            self._total += value
-            if value > self._max:
-                self._max = value
-
-    # ------------------------------------------------------------------ #
-    @property
-    def count(self) -> int:
-        with self._lock:
-            return self._count
-
-    def _snapshot(self) -> np.ndarray:
-        with self._lock:
-            return self._buffer[: self._filled].copy()
-
-    def percentile(self, q: float) -> float:
-        """The ``q``-th percentile (0–100) over the current window, in seconds."""
-        values = self._snapshot()
-        if values.size == 0:
-            return 0.0
-        return float(np.percentile(values, q))
-
-    def percentiles(self, qs: Sequence[float] = DEFAULT_PERCENTILES) -> Dict[str, float]:
-        values = self._snapshot()
-        if values.size == 0:
-            return {f"p{q:g}": 0.0 for q in qs}
-        return {f"p{q:g}": float(np.percentile(values, q)) for q in qs}
-
-    def summary(self, unit: str = "s") -> Dict[str, float]:
-        """Aggregate view: lifetime count/mean/max plus windowed percentiles.
-
-        ``unit`` is ``"s"`` or ``"ms"``; durations are scaled accordingly so
-        the ``/metrics`` endpoint can report milliseconds directly.
-        """
-        scale = {"s": 1.0, "ms": 1e3}[unit]
-        with self._lock:
-            count, total, peak = self._count, self._total, self._max
-            values = self._buffer[: self._filled].copy()
-        out = {
-            "count": float(count),
-            "mean": scale * (total / count if count else 0.0),
-            "max": scale * peak,
-        }
-        for q in DEFAULT_PERCENTILES:
-            out[f"p{q:g}"] = scale * (float(np.percentile(values, q)) if values.size else 0.0)
-        return out
-
-    def reset(self) -> None:
-        with self._lock:
-            self._next = self._filled = self._count = 0
-            self._total = self._max = 0.0
-
-
-class BatchSizeHistogram:
-    """Power-of-two histogram of executed micro-batch sizes."""
-
-    def __init__(self, max_batch_size: int = 1024):
-        bounds: List[int] = []
-        edge = 1
-        while edge < max_batch_size:
-            bounds.append(edge)
-            edge *= 2
-        bounds.append(max_batch_size)
-        self.bounds = bounds                       # upper edges, inclusive
-        self._counts = [0] * (len(bounds) + 1)     # final slot: > max_batch_size
-        self._samples_total = 0
-        self._batches_total = 0
-        self._lock = threading.Lock()
-
-    def observe(self, batch_size: int) -> None:
-        size = int(batch_size)
-        if size <= 0:
-            raise ValueError(f"batch_size must be positive, got {size}")
-        slot = len(self.bounds)
-        for i, edge in enumerate(self.bounds):
-            if size <= edge:
-                slot = i
-                break
-        with self._lock:
-            self._counts[slot] += 1
-            self._batches_total += 1
-            self._samples_total += size
-
-    @property
-    def batches(self) -> int:
-        with self._lock:
-            return self._batches_total
-
-    @property
-    def samples(self) -> int:
-        with self._lock:
-            return self._samples_total
-
-    def mean_batch_size(self) -> float:
-        with self._lock:
-            return self._samples_total / self._batches_total if self._batches_total else 0.0
-
-    def as_dict(self) -> Dict[str, int]:
-        """Bucket label → count, e.g. ``{"<=1": 4, "<=2": 0, ..., ">32": 0}``."""
-        with self._lock:
-            counts = list(self._counts)
-        out = {f"<={edge}": counts[i] for i, edge in enumerate(self.bounds)}
-        out[f">{self.bounds[-1]}"] = counts[-1]
-        return out
-
+from repro.telemetry.metrics import (
+    BatchSizeHistogram,
+    DEFAULT_PERCENTILES,
+    LatencyTracker,
+)
 
 __all__ = ["LatencyTracker", "BatchSizeHistogram", "DEFAULT_PERCENTILES"]

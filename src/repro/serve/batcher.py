@@ -41,9 +41,10 @@ from typing import Any, Callable, Dict, List, Optional, Union
 import numpy as np
 
 from repro import nn
-from repro.profiling.latency import BatchSizeHistogram, LatencyTracker
 from repro.profiling.pipeline import PipelineStats
 from repro.serve.artifact import Predictor
+from repro.telemetry import MetricsRegistry
+from repro.telemetry import tracing as _tracing
 from repro.utils.concurrency import CLOSED, ClosableQueue
 
 
@@ -96,6 +97,7 @@ class DynamicBatcher:
         predictor: Union[Predictor, nn.Module, Callable[[np.ndarray], np.ndarray]],
         policy: Optional[BatchingPolicy] = None,
         name: str = "batcher",
+        registry: Optional[MetricsRegistry] = None,
     ):
         if isinstance(predictor, nn.Module):
             predictor = Predictor(predictor)
@@ -106,17 +108,49 @@ class DynamicBatcher:
         self._closed = False
         self._lock = threading.Lock()
 
-        # Observability (exposed via the server's /metrics endpoint).
-        self.queue_latency = LatencyTracker()     # enqueue → batch start
-        self.compute_latency = LatencyTracker()   # forward pass per batch
-        self.request_latency = LatencyTracker()   # enqueue → future resolved
-        self.batch_sizes = BatchSizeHistogram(max_batch_size=self.policy.max_batch_size)
+        # Observability (exposed via the server's /metrics endpoint).  All
+        # instruments are created through the unified registry — pass one in
+        # (the server shares its own) or let the batcher own a private one.
+        self.metrics = registry if registry is not None else MetricsRegistry("serve")
+        self.queue_latency = self.metrics.latency("queue_wait")        # enqueue → batch start
+        self.compute_latency = self.metrics.latency("compute")         # forward pass per batch
+        self.request_latency = self.metrics.latency("request_latency")  # enqueue → future resolved
+        self.batch_sizes = self.metrics.histogram(
+            "batch_sizes", max_batch_size=self.policy.max_batch_size)
         self.worker_stats = PipelineStats()       # worker stall vs inference time
-        self.requests_total = 0
-        self.errors_total = 0
+        self._requests = self.metrics.counter("requests_total")
+        self._errors = self.metrics.counter("errors_total")
+        self.metrics.register_collector("batcher_worker", self._worker_snapshot)
 
         self._worker = threading.Thread(target=self._run, name=f"{name}-worker", daemon=True)
         self._worker.start()
+
+    # ------------------------------------------------------------------ #
+    # Liveness / load signals (consumed by /healthz and load shedding)
+    # ------------------------------------------------------------------ #
+    @property
+    def requests_total(self) -> int:
+        return self._requests.value
+
+    @property
+    def errors_total(self) -> int:
+        return self._errors.value
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    @property
+    def worker_alive(self) -> bool:
+        return self._worker.is_alive()
+
+    def _worker_snapshot(self) -> Dict[str, Any]:
+        return {
+            **self.worker_stats.as_dict(),
+            "utilization": 1.0 - self.worker_stats.stall_fraction,
+            "queue_depth": self.queue_depth,
+            "alive": self.worker_alive,
+        }
 
     # ------------------------------------------------------------------ #
     # Producer side
@@ -146,7 +180,7 @@ class DynamicBatcher:
         with self._lock:
             if self._closed:
                 raise BatcherClosedError(f"{self.name} is shut down")
-            self.requests_total += 1
+        self._requests.inc()
         request = _Request(samples)
         try:
             if timeout == 0.0:
@@ -154,8 +188,7 @@ class DynamicBatcher:
             else:
                 self._queue.put(request, timeout=timeout)
         except queue.Full:
-            with self._lock:
-                self.errors_total += 1
+            self._errors.inc()
             raise QueueFullError(
                 f"{self.name}: request queue is full "
                 f"({self.policy.max_queue} pending requests)"
@@ -221,6 +254,10 @@ class DynamicBatcher:
             # "compute" — the serving twin of the trainer's data-stall split.
             executing_from = time.perf_counter()
             self.worker_stats.observe_stall(executing_from - waited_from)
+            if _tracing.enabled():
+                _tracing.record_span("batch_assembly", waited_from,
+                                     executing_from, cat="serve",
+                                     requests=len(batch))
             self._execute(batch)
             self.worker_stats.observe_compute(time.perf_counter() - executing_from,
                                               samples=sum(r.n for r in batch))
@@ -245,22 +282,27 @@ class DynamicBatcher:
             else:
                 outputs = self.predict(stacked)
         except Exception as error:  # noqa: BLE001 — forwarded to the callers
-            with self._lock:
-                self.errors_total += len(batch)
+            self._errors.inc(len(batch))
             for request in batch:
                 if not request.future.set_running_or_notify_cancel():
                     continue
                 request.future.set_exception(error)
             return
-        self.compute_latency.observe(time.perf_counter() - started)
+        compute_end = time.perf_counter()
+        self.compute_latency.observe(compute_end - started)
         offset = 0
-        done = time.perf_counter()
+        done = compute_end
         for request in batch:
             slice_ = outputs[offset:offset + request.n]
             offset += request.n
             self.request_latency.observe(done - request.enqueued_at)
             if request.future.set_running_or_notify_cancel():
                 request.future.set_result(slice_)
+        if _tracing.enabled():
+            _tracing.record_span("inference", started, compute_end,
+                                 cat="serve", samples=total)
+            _tracing.record_span("respond", compute_end, time.perf_counter(),
+                                 cat="serve")
 
     def _fail_pending(self, error: Exception) -> None:
         def fail(item) -> None:
@@ -307,12 +349,10 @@ class DynamicBatcher:
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, Any]:
         """Snapshot of the engine counters (feeds the /metrics endpoint)."""
-        with self._lock:
-            requests, errors = self.requests_total, self.errors_total
         return {
-            "requests_total": requests,
-            "errors_total": errors,
-            "queue_depth": self._queue.qsize(),
+            "requests_total": self.requests_total,
+            "errors_total": self.errors_total,
+            "queue_depth": self.queue_depth,
             "batches_total": self.batch_sizes.batches,
             "samples_total": self.batch_sizes.samples,
             "mean_batch_size": self.batch_sizes.mean_batch_size(),
@@ -325,6 +365,10 @@ class DynamicBatcher:
                 "utilization": 1.0 - self.worker_stats.stall_fraction,
             },
         }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The unified versioned snapshot (see :mod:`repro.telemetry`)."""
+        return self.metrics.snapshot()
 
 
 __all__ = ["BatchingPolicy", "DynamicBatcher", "QueueFullError", "BatcherClosedError"]

@@ -9,10 +9,14 @@
   threads only parse JSON and wait on the batcher future; every forward pass
   happens on the single engine worker.  Responses carry the model outputs
   plus the argmax per sample.
-* ``GET /healthz``   — liveness: model name, uptime, request counter.
+* ``GET /healthz``   — liveness: model name, uptime, request counter, plus
+  the load-shedding signals (batcher queue depth, inference-worker
+  liveness); a dead worker reports ``status: "degraded"``.
 * ``GET /metrics``   — JSON counters: request count, error count, end-to-end
   latency p50/p95/p99 (ms), the executed batch-size histogram and queue
-  statistics (via ``repro.profiling.latency``).
+  statistics, plus the unified versioned telemetry snapshot
+  (:mod:`repro.telemetry`).  ``GET /metrics?format=prometheus`` returns the
+  Prometheus text exposition instead.
 
 Overload (full request queue) returns ``503`` so closed-loop clients back
 off; malformed bodies return ``400``; unknown routes ``404``.
@@ -25,13 +29,15 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
 from repro import nn
-from repro.profiling.latency import LatencyTracker
 from repro.serve.artifact import Predictor, load_artifact
 from repro.serve.batcher import BatcherClosedError, BatchingPolicy, DynamicBatcher, QueueFullError
+from repro.telemetry import MetricsRegistry
+from repro.telemetry import tracing as _tracing
 from repro.utils import get_logger
 
 logger = get_logger("serve.server")
@@ -70,12 +76,16 @@ class ModelServer:
             predictor = Predictor(model, backend=backend)
         self.predictor = predictor
         self.model_name = name or type(predictor.model).__name__
-        self.batcher = DynamicBatcher(predictor, policy=policy, name=f"{self.model_name}-engine")
-        self.e2e_latency = LatencyTracker()
+        # One registry for the whole serving stack: the batcher creates its
+        # instruments in it and the HTTP layer adds its own alongside.
+        self.metrics = MetricsRegistry("serve")
+        self.batcher = DynamicBatcher(predictor, policy=policy,
+                                      name=f"{self.model_name}-engine",
+                                      registry=self.metrics)
+        self.e2e_latency = self.metrics.latency("e2e_latency")
         self.started_at = time.time()
-        self.http_requests_total = 0
-        self.http_errors_total = 0
-        self._counter_lock = threading.Lock()
+        self._http_requests = self.metrics.counter("http_requests_total")
+        self._http_errors = self.metrics.counter("http_errors_total")
 
         handler = _make_handler(self)
         self._http = _HTTPServer((host, port), handler)
@@ -140,6 +150,14 @@ class ModelServer:
     # ------------------------------------------------------------------ #
     # Endpoint bodies (transport-independent, unit-testable)
     # ------------------------------------------------------------------ #
+    @property
+    def http_requests_total(self) -> int:
+        return self._http_requests.value
+
+    @property
+    def http_errors_total(self) -> int:
+        return self._http_errors.value
+
     def handle_predict(self, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
         started = time.perf_counter()
         if "inputs" in payload:
@@ -168,7 +186,13 @@ class ModelServer:
         except Exception as error:  # noqa: BLE001 — surface inference errors as 500
             logger.error("inference failed: %s", error)
             return 500, {"error": f"inference failed: {error}"}
-        self.e2e_latency.observe(time.perf_counter() - started)
+        finished = time.perf_counter()
+        self.e2e_latency.observe(finished - started)
+        if _tracing.enabled():
+            # Request lifecycle on the handler thread's lane; the engine
+            # worker records batch_assembly/inference/respond on its own.
+            _tracing.record_span("request", started, finished, cat="serve",
+                                 samples=int(batch.shape[0]))
         result: Dict[str, Any] = {
             "outputs": outputs[0].tolist() if single else outputs.tolist(),
             "argmax": (int(np.argmax(outputs[0])) if single
@@ -178,29 +202,36 @@ class ModelServer:
         return 200, result
 
     def handle_healthz(self) -> Tuple[int, Dict[str, Any]]:
+        worker_alive = self.batcher.worker_alive
         return 200, {
-            "status": "ok",
+            # A dead inference worker means every /predict will time out:
+            # degraded, so load balancers can stop routing here.
+            "status": "ok" if worker_alive else "degraded",
             "model": self.model_name,
             "uptime_s": time.time() - self.started_at,
             "requests_served": self.batcher.batch_sizes.samples,
             "format_version": self.predictor.manifest.get("format_version"),
+            "queue_depth": self.batcher.queue_depth,
+            "worker_alive": worker_alive,
         }
 
     def handle_metrics(self) -> Tuple[int, Dict[str, Any]]:
-        with self._counter_lock:
-            http_requests, http_errors = self.http_requests_total, self.http_errors_total
         return 200, {
             "model": self.model_name,
-            "http": {"requests_total": http_requests, "errors_total": http_errors},
+            "http": {"requests_total": self.http_requests_total,
+                     "errors_total": self.http_errors_total},
             "e2e_latency_ms": self.e2e_latency.summary(unit="ms"),
             "engine": self.batcher.stats(),
+            "telemetry": self.metrics.snapshot(),
         }
 
+    def handle_metrics_prometheus(self) -> Tuple[int, str]:
+        return 200, self.metrics.render_prometheus()
+
     def _count(self, status: int) -> None:
-        with self._counter_lock:
-            self.http_requests_total += 1
-            if status >= 400:
-                self.http_errors_total += 1
+        self._http_requests.inc()
+        if status >= 400:
+            self._http_errors.inc()
 
 
 def _make_handler(server: ModelServer):
@@ -216,11 +247,25 @@ def _make_handler(server: ModelServer):
             self.end_headers()
             self.wfile.write(encoded)
 
+        def _respond_text(self, status: int, body: str) -> None:
+            encoded = body.encode("utf-8")
+            server._count(status)
+            self.send_response(status)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(encoded)))
+            self.end_headers()
+            self.wfile.write(encoded)
+
         def do_GET(self) -> None:  # noqa: N802 - http.server API
-            if self.path == "/healthz":
+            parts = urlsplit(self.path)
+            query = parse_qs(parts.query)
+            if parts.path == "/healthz":
                 self._respond(*server.handle_healthz())
-            elif self.path == "/metrics":
-                self._respond(*server.handle_metrics())
+            elif parts.path == "/metrics":
+                if query.get("format", [""])[0] == "prometheus":
+                    self._respond_text(*server.handle_metrics_prometheus())
+                else:
+                    self._respond(*server.handle_metrics())
             else:
                 self._respond(404, {"error": f"unknown path {self.path!r}; "
                                              f"endpoints: /predict /healthz /metrics"})

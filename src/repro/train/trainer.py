@@ -40,6 +40,8 @@ from repro import nn
 from repro.data.pipeline import BatchStream
 from repro.optim import LRScheduler, Optimizer
 from repro.profiling.pipeline import PipelineStats
+from repro.telemetry import MetricsRegistry
+from repro.telemetry import tracing as _tracing
 from repro.tensor import Tensor, functional as F, no_grad
 from repro.train.metrics import AverageMeter, top_k_accuracy
 from repro.utils import get_logger
@@ -83,6 +85,14 @@ class EpochRecord:
     epoch_seconds: float = 0.0
     num_parameters: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
+
+
+def _collect_op_counters() -> Dict[str, Dict[str, float]]:
+    """Backend per-op counters as plain dicts for the metrics snapshot."""
+    from repro.profiling.counters import op_counters
+
+    return {name: {"calls": count.calls, "flops": count.flops}
+            for name, count in op_counters().items()}
 
 
 def default_loss_fn(model: nn.Module, batch: Sequence[np.ndarray]) -> Tensor:
@@ -162,6 +172,12 @@ class Trainer:
         # cumulative across the trainer's life plus the most recent epoch.
         self.pipeline_stats = PipelineStats()
         self.last_epoch_pipeline_stats: Optional[PipelineStats] = None
+        # Unified metrics: lifetime step/sample counters (updated once per
+        # epoch — zero per-step cost) plus the pipeline split and the
+        # backend's per-op counters as collectors.
+        self.metrics = MetricsRegistry("train")
+        self.metrics.register_collector("pipeline", self.pipeline_stats.as_dict)
+        self.metrics.register_collector("op_counters", _collect_op_counters)
         # Logits of the most recent training batch, recorded by the default
         # loss path so train_epoch can report a real running accuracy.
         self._last_train_logits: Optional[Tensor] = None
@@ -204,6 +220,11 @@ class Trainer:
                     break
                 delivered = time.perf_counter()
                 stats.observe_stall(delivered - requested)
+                # One branch per step when tracing is off; when on, the phase
+                # boundaries reuse the perf_counter stamps the loop already
+                # takes plus three extra clock reads — no context managers in
+                # the hot path.
+                traced = _tracing.enabled()
                 for callback in self.callbacks:
                     callback.on_batch_begin(self, batch_index, batch)
                 self._last_train_logits = None
@@ -212,11 +233,17 @@ class Trainer:
                     extra = self.loss_hook(self.model)
                     if extra is not None:
                         loss = loss + extra
+                if traced:
+                    forward_end = time.perf_counter()
                 self.optimizer.zero_grad()
                 loss.backward()
                 if self.grad_hook is not None:
                     self.grad_hook(self.model)
+                if traced:
+                    backward_end = time.perf_counter()
                 self.optimizer.step()
+                if traced:
+                    optimizer_end = time.perf_counter()
                 batch_size = len(batch[-1])
                 loss_meter.update(loss.item(), batch_size)
                 batch_accuracy = self._batch_accuracy(batch)
@@ -227,7 +254,12 @@ class Trainer:
                     batch_logs["accuracy"] = batch_accuracy
                 for callback in self.callbacks:
                     callback.on_batch_end(self, batch_index, batch_logs)
-                stats.observe_compute(time.perf_counter() - delivered, batch_size)
+                compute_end = time.perf_counter()
+                stats.observe_compute(compute_end - delivered, batch_size)
+                if traced:
+                    self._record_step_spans(batch_index, requested, delivered,
+                                            forward_end, backward_end,
+                                            optimizer_end, compute_end)
                 batch_index += 1
         finally:
             # A prefetching stream keeps producer threads behind its
@@ -240,6 +272,8 @@ class Trainer:
         self.epochs_completed += 1
         self.last_epoch_pipeline_stats = stats
         self.pipeline_stats.merge(stats)
+        self.metrics.counter("steps_total").inc(batch_index)
+        self.metrics.counter("samples_total").inc(stats.samples)
         return {
             "loss": loss_meter.average,
             "accuracy": acc_meter.average,
@@ -247,6 +281,30 @@ class Trainer:
             "data_compute_seconds": stats.compute_seconds,
             "samples_per_sec": stats.samples_per_sec,
         }
+
+    @staticmethod
+    def _record_step_spans(batch_index: int, requested: float, delivered: float,
+                           forward_end: float, backward_end: float,
+                           optimizer_end: float, compute_end: float) -> None:
+        """Emit one ``step`` span and its phase children from loop timestamps.
+
+        ``forward`` covers the loss forward pass plus any loss hook;
+        ``backward`` covers zero_grad, backprop and the grad hook;
+        ``accounting`` is the meters/callbacks tail — recorded explicitly so
+        the children account for the step end to end.
+        """
+        _tracing.record_span("step", requested, compute_end, cat="train",
+                             batch=batch_index)
+        _tracing.record_span("data_wait", requested, delivered, cat="train",
+                             parent="step")
+        _tracing.record_span("forward", delivered, forward_end, cat="train",
+                             parent="step")
+        _tracing.record_span("backward", forward_end, backward_end, cat="train",
+                             parent="step")
+        _tracing.record_span("optimizer", backward_end, optimizer_end,
+                             cat="train", parent="step")
+        _tracing.record_span("accounting", optimizer_end, compute_end,
+                             cat="train", parent="step")
 
     def _batch_accuracy(self, batch) -> Optional[float]:
         """Running top-1 accuracy from the training logits, when they apply.
@@ -275,13 +333,14 @@ class Trainer:
         self.model.eval()
         loss_meter = AverageMeter()
         all_logits, all_labels = [], []
-        for batch in loader:
-            logits = self.forward_fn(self.model, batch)
-            labels = batch[-1]
-            loss = F.softmax_cross_entropy(logits, labels)
-            loss_meter.update(loss.item(), len(labels))
-            all_logits.append(logits.data)
-            all_labels.append(labels)
+        with _tracing.span("eval", cat="train"):
+            for batch in loader:
+                logits = self.forward_fn(self.model, batch)
+                labels = batch[-1]
+                loss = F.softmax_cross_entropy(logits, labels)
+                loss_meter.update(loss.item(), len(labels))
+                all_logits.append(logits.data)
+                all_labels.append(labels)
         logits = np.concatenate(all_logits)
         labels = np.concatenate(all_labels)
         top5_k = min(5, logits.shape[1])
@@ -299,7 +358,8 @@ class Trainer:
             callback.on_train_begin(self)
         for epoch in range(epochs):
             start = time.perf_counter()
-            train_stats = self.train_epoch()
+            with _tracing.span("train_epoch", cat="train", epoch=epoch):
+                train_stats = self.train_epoch()
             elapsed = time.perf_counter() - start
             self.total_train_seconds += elapsed
 

@@ -209,3 +209,86 @@ class TestServingCommands:
         assert engine["batched"]["requests"] > 0
         assert engine["batch1"]["requests"] > 0
         assert engine["speedup"] > 0.0
+
+
+class TestTraceFlagAndCommand:
+    def _traced_train(self, path):
+        return _run([
+            "train", "--method", "full_rank", "--epochs", "1", "--max-batches", "2",
+            "--width-mult", "0.125", "--trace", path,
+        ])
+
+    def test_trace_flag_registered_on_all_four_verbs(self):
+        parser = build_parser()
+        for argv in (["train", "--trace", "t.json"],
+                     ["compare", "--trace", "t.json"],
+                     ["serve", "--artifact", "a.npz", "--trace", "t.json"],
+                     ["bench-serve", "--artifact", "a.npz", "--trace", "t.json"]):
+            assert parser.parse_args(argv).trace == "t.json"
+
+    def test_train_trace_writes_loadable_chrome_trace(self, tmp_path):
+        from repro.telemetry import tracing
+
+        path = str(tmp_path / "run.json")
+        code, out = self._traced_train(path)
+        assert code == 0
+        assert f"spans written to {path}" in out
+        assert not tracing.enabled()  # the CLI turned recording back off
+        events, meta = tracing.load_trace(path)
+        assert meta["schema"] == "repro.telemetry.trace"
+        names = {ev["name"] for ev in events}
+        assert {"step", "forward", "backward", "optimizer", "data_wait"} <= names
+        summary = tracing.summarize_trace(events)
+        assert summary["coverage"]["fraction"] >= 0.95
+
+    def test_trace_flag_jsonl_format_by_extension(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        code, _ = self._traced_train(path)
+        assert code == 0
+        header = json.loads(open(path).readline())
+        assert header["schema"] == "repro.telemetry.trace"
+
+    def test_json_mode_keeps_stdout_machine_readable(self, tmp_path):
+        path = str(tmp_path / "run.json")
+        code, out = _run([
+            "train", "--method", "full_rank", "--epochs", "1", "--max-batches", "2",
+            "--width-mult", "0.125", "--trace", path, "--json",
+        ])
+        assert code == 0
+        rows = json.loads(out)  # the trace line went to stderr, not stdout
+        assert rows[0]["method"] == "full_rank"
+
+    def test_trace_summary_table(self, tmp_path):
+        path = str(tmp_path / "run.json")
+        self._traced_train(path)
+        code, out = _run(["trace", "summary", path])
+        assert code == 0
+        assert "step coverage:" in out
+        assert "forward" in out and "backward" in out
+
+    def test_trace_summary_json(self, tmp_path):
+        path = str(tmp_path / "run.json")
+        self._traced_train(path)
+        code, out = _run(["trace", "summary", path, "--json"])
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["meta"]["session"] == "trainer"
+        assert payload["summary"]["coverage"]["fraction"] >= 0.95
+
+    def test_trace_export_converts_formats(self, tmp_path):
+        src = str(tmp_path / "run.json")
+        dst = str(tmp_path / "run.jsonl")
+        self._traced_train(src)
+        code, out = _run(["trace", "export", src, dst])
+        assert code == 0
+        assert f"events to {dst}" in out
+        from repro.telemetry import tracing
+
+        original, _ = tracing.load_trace(src)
+        converted, _ = tracing.load_trace(dst)
+        assert len(original) == len(converted)
+
+    def test_trace_summary_missing_file_is_clean_error(self, tmp_path):
+        code, out = _run(["trace", "summary", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "error:" in out

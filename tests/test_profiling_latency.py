@@ -54,6 +54,44 @@ class TestLatencyTracker:
         with pytest.raises(ValueError):
             LatencyTracker(window=0)
 
+    def test_empty_tracker_every_percentile_is_zero_not_nan(self):
+        tracker = LatencyTracker()
+        for q in (0, 50, 99, 100):
+            value = tracker.percentile(q)
+            assert value == 0.0 and value == value  # defined, not nan
+        assert tracker.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_single_sample_is_every_percentile(self):
+        tracker = LatencyTracker()
+        tracker.observe(0.042)
+        for q in (0, 50, 99, 100):
+            assert tracker.percentile(q) == pytest.approx(0.042)
+        summary = tracker.summary()
+        assert summary["p50"] == summary["p99"] == pytest.approx(0.042)
+
+    def test_single_sample_windowed_tracker(self):
+        tracker = LatencyTracker(window=1)
+        tracker.observe(1.0)
+        tracker.observe(3.0)  # window now holds only 3.0
+        assert tracker.percentile(50) == pytest.approx(3.0)
+        assert tracker.count == 2
+
+    def test_nonfinite_observations_rejected(self):
+        tracker = LatencyTracker()
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                tracker.observe(bad)
+        assert tracker.count == 0  # nothing poisoned the window
+
+    def test_out_of_range_quantile_rejected(self):
+        tracker = LatencyTracker()
+        tracker.observe(1.0)
+        for bad in (-1, 101, 1000):
+            with pytest.raises(ValueError):
+                tracker.percentile(bad)
+        with pytest.raises(ValueError):
+            tracker.percentiles([50, 200])
+
     def test_concurrent_observers_lose_nothing(self):
         tracker = LatencyTracker(window=1 << 14)
 
@@ -98,3 +136,30 @@ class TestBatchSizeHistogram:
         histogram = BatchSizeHistogram()
         with pytest.raises(ValueError):
             histogram.observe(0)
+
+    def test_rejects_nonpositive_max_batch_size(self):
+        for bad in (0, -4):
+            with pytest.raises(ValueError):
+                BatchSizeHistogram(max_batch_size=bad)
+
+    def test_max_batch_size_one_still_buckets(self):
+        histogram = BatchSizeHistogram(max_batch_size=1)
+        histogram.observe(1)
+        histogram.observe(2)
+        buckets = histogram.as_dict()
+        assert buckets["<=1"] == 1 and buckets[">1"] == 1
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert BatchSizeHistogram().mean_batch_size() == 0.0
+
+
+class TestShim:
+    def test_trackers_are_the_telemetry_classes(self):
+        # repro.profiling.latency re-exports from repro.telemetry.metrics so
+        # every historical import site shares one implementation.
+        from repro.profiling import latency
+        from repro.telemetry import metrics
+
+        assert latency.LatencyTracker is metrics.LatencyTracker
+        assert latency.BatchSizeHistogram is metrics.BatchSizeHistogram
+        assert latency.DEFAULT_PERCENTILES == metrics.DEFAULT_PERCENTILES

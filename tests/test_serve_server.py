@@ -93,6 +93,55 @@ class TestEndpoints:
         histogram = metrics["engine"]["batch_size_histogram"]
         assert sum(histogram.values()) == metrics["engine"]["batches_total"]
 
+    def test_healthz_reports_queue_and_worker_liveness(self, server):
+        instance, _ = server
+        health = ServeClient(instance.url).healthz()
+        assert health["queue_depth"] == 0
+        assert health["worker_alive"] is True
+        assert health["status"] == "ok"
+
+    def test_healthz_degraded_when_worker_dead(self, mlp_artifact):
+        path, _ = mlp_artifact
+        instance = ModelServer(path, port=0)
+        try:
+            instance.batcher.close()  # worker exits; HTTP layer still up
+            status, body = instance.handle_healthz()
+            assert status == 200
+            assert body["status"] == "degraded"
+            assert body["worker_alive"] is False
+        finally:
+            instance.stop()
+
+    def test_metrics_carries_validated_telemetry_snapshot(self, server):
+        from repro.telemetry import validate_snapshot
+
+        instance, _ = server
+        client = ServeClient(instance.url)
+        x = get_rng(offset=2).standard_normal((2, 20)).astype(np.float32)
+        client.predict(x)
+        snapshot = client.metrics()["telemetry"]
+        validate_snapshot(snapshot)
+        assert snapshot["namespace"] == "serve"
+        assert snapshot["counters"]["requests_total"] >= 1
+        assert snapshot["latency_ms"]["e2e_latency"]["count"] >= 1
+        assert snapshot["collected"]["batcher_worker"]["alive"] is True
+
+    def test_metrics_prometheus_exposition(self, server):
+        import urllib.request
+
+        instance, _ = server
+        client = ServeClient(instance.url)
+        x = get_rng(offset=2).standard_normal((2, 20)).astype(np.float32)
+        client.predict(x)
+        with urllib.request.urlopen(
+                f"{instance.url}/metrics?format=prometheus", timeout=30) as response:
+            assert response.headers["Content-Type"].startswith("text/plain")
+            text = response.read().decode("utf-8")
+        assert "# TYPE serve_requests_total counter" in text
+        assert "serve_http_requests_total" in text
+        assert 'serve_e2e_latency_ms{quantile="99"}' in text
+        assert "serve_batch_sizes_bucket" in text
+
     def test_unknown_route_404(self, server):
         instance, _ = server
         with pytest.raises(ServeClientError) as excinfo:

@@ -328,3 +328,52 @@ class TestDegenerateMetricInputs:
         meter.update(3.0, n=2)
         assert meter.avg == pytest.approx(3.0)
         assert meter.avg == meter.average
+
+
+class TestTrainerTelemetry:
+    def test_registry_counts_steps_and_samples(self):
+        from repro.telemetry import validate_snapshot
+
+        train, val = toy_loaders()
+        model = MLP(10, [16], 3, rng=get_rng(offset=1))
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1), train, val)
+        trainer.train_epoch()
+        snap = trainer.metrics.snapshot()
+        validate_snapshot(snap)
+        assert snap["namespace"] == "train"
+        assert snap["counters"]["steps_total"] == 5       # 160 samples / 32
+        assert snap["counters"]["samples_total"] == 160
+        assert snap["collected"]["pipeline"]["batches"] == 5
+        assert "op_counters" in snap["collected"]
+
+    def test_traced_epoch_records_step_phases(self):
+        from repro.telemetry import tracing
+
+        train, val = toy_loaders()
+        model = MLP(10, [16], 3, rng=get_rng(offset=1))
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1), train, val)
+        session = tracing.enable("t")
+        try:
+            trainer.train_epoch()
+            trainer.evaluate()
+        finally:
+            tracing.disable()
+        names = [ev[0] for ev in session.events]
+        assert names.count("step") == 5
+        for phase in ("data_wait", "forward", "backward", "optimizer",
+                      "accounting"):
+            assert names.count(phase) == 5
+        assert "eval" in names
+        # Children must account for essentially the whole step (the ≥95%
+        # acceptance bar): the phases partition requested→compute_end.
+        summary = tracing.summarize_trace(session.event_dicts())
+        assert summary["coverage"]["fraction"] >= 0.99
+
+    def test_untraced_epoch_records_nothing(self):
+        from repro.telemetry import tracing
+
+        train, val = toy_loaders()
+        model = MLP(10, [16], 3, rng=get_rng(offset=1))
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1), train, val)
+        trainer.train_epoch()
+        assert tracing.current_session() is None
