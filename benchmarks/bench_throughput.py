@@ -1,17 +1,19 @@
 """Training-step throughput microbenchmark across execution backends.
 
 Measures steps/sec for a ResNet cell (resnet18 at the CPU-budget width) and
-a DeiT cell (deit_micro) on every registered tensor backend, plus — when the
-git history is available — the original *seed engine* (the pre-backend,
-closure-based autograd), extracted from the commit that introduced
-``src/repro/tensor/tensor.py`` and benchmarked in a subprocess.
+a DeiT cell (deit_micro) on the registered tensor backends — ``numpy``,
+``numpy-fast`` and the graph-captured ``numpy-compiled`` by default — plus,
+when the git history is available, the original *seed engine* (the
+pre-backend, closure-based autograd), extracted from the commit that
+introduced ``src/repro/tensor/tensor.py`` and benchmarked in a subprocess.
 
 Every measurement runs in its own subprocess so allocator state, imports and
 BLAS warm-up cannot leak between engines.  Results are printed as a table
 and written as JSON to ``benchmarks/output/throughput.json``, plus the
 versioned ``repro.bench`` results contract (``throughput.bench.json`` + a
 longitudinal ``history.jsonl`` append) whenever the resnet cell was measured
-on both registered backends.
+on both of that suite's declared backends (``numpy`` and ``numpy-fast``; the
+compiled backend has its own ``compiled-throughput`` suite).
 
 Usage::
 
@@ -190,7 +192,8 @@ def main(argv=None) -> int:
     parser.add_argument("--steps", type=int, default=None,
                         help="timed steps per measurement (default 12, tiny 2)")
     parser.add_argument("--cells", nargs="+", default=list(CELLS), choices=list(CELLS))
-    parser.add_argument("--backends", nargs="+", default=["numpy", "numpy-fast"])
+    parser.add_argument("--backends", nargs="+",
+                        default=["numpy", "numpy-fast", "numpy-compiled"])
     parser.add_argument("--no-seed-engine", action="store_true",
                         help="skip the historical seed-engine baseline")
     args = parser.parse_args(argv)
@@ -220,9 +223,14 @@ def main(argv=None) -> int:
         fast = per_engine.get("numpy-fast", {}).get("steps_per_sec")
         ref = per_engine.get("numpy", {}).get("steps_per_sec")
         seed = per_engine.get("seed", {}).get("steps_per_sec")
+        compiled = per_engine.get("numpy-compiled", {}).get("steps_per_sec")
         cell_speedups = {}
         if fast and ref:
             cell_speedups["numpy_fast_vs_numpy"] = fast / ref
+        if compiled and fast:
+            cell_speedups["numpy_compiled_vs_numpy_fast"] = compiled / fast
+        if compiled and ref:
+            cell_speedups["numpy_compiled_vs_numpy"] = compiled / ref
         if fast and seed:
             cell_speedups["numpy_fast_vs_seed_engine"] = fast / seed
         if ref and seed:

@@ -64,6 +64,39 @@ def throughput_suite(budget: SuiteBudget) -> Dict[str, float]:
 
 
 @register_suite(
+    "compiled-throughput",
+    "training steps/sec, numpy-fast vs the graph-captured numpy-compiled "
+    "backend, measured in drift-cancelling A-B-B-A blocks on the ResNet "
+    "and DeiT cells",
+    metrics=(
+        MetricSpec("numpy_fast_steps_per_sec", STEPS_PER_SEC),
+        MetricSpec("numpy_compiled_steps_per_sec", STEPS_PER_SEC),
+        MetricSpec("compiled_speedup", RATIO,
+                   description="numpy-compiled over numpy-fast steps/sec (ResNet cell)"),
+        MetricSpec("deit_compiled_speedup", RATIO,
+                   description="numpy-compiled over numpy-fast steps/sec (DeiT cell)"),
+    ),
+    default_backend="numpy-compiled",
+    tags=("training", "hot"),
+)
+def compiled_throughput_suite(budget: SuiteBudget) -> Dict[str, float]:
+    from repro.bench.workloads import training_step_pair
+
+    steps = budget.resolve_iters(full_default=2, tiny_default=1)
+    blocks = 2 if budget.tiny else 4
+    resnet = training_step_pair(steps=steps, blocks=blocks)
+    deit = training_step_pair("deit_micro", width_mult=None, batch_size=8,
+                              image_size=16, num_classes=8,
+                              optimizer_name="adamw", steps=steps, blocks=blocks)
+    return {
+        "numpy_fast_steps_per_sec": resnet["a_steps_per_sec"],
+        "numpy_compiled_steps_per_sec": resnet["b_steps_per_sec"],
+        "compiled_speedup": resnet["b_steps_per_sec"] / max(resnet["a_steps_per_sec"], 1e-9),
+        "deit_compiled_speedup": deit["b_steps_per_sec"] / max(deit["a_steps_per_sec"], 1e-9),
+    }
+
+
+@register_suite(
     "pipeline",
     "input-pipeline samples/sec: legacy loader vs vectorized vs prefetched",
     metrics=(

@@ -43,9 +43,39 @@ def training_step_rate(
     subprocess per measurement when full allocator isolation (or the
     historical seed engine) is wanted.
     """
+    from repro.tensor import use_backend
+
+    with use_backend(backend) as be:
+        step = _build_train_step(model_name, width_mult, batch_size, image_size,
+                                 num_classes, optimizer_name, be)
+        for _ in range(max(warmup_steps, 0)):
+            step()  # allocator, BLAS threads, im2col caches (and plan capture)
+        start = time.perf_counter()
+        final_loss = 0.0
+        for _ in range(steps):
+            final_loss = step()
+        elapsed = time.perf_counter() - start
+
+    return {
+        "steps_per_sec": steps / elapsed if elapsed > 0 else 0.0,
+        "elapsed_seconds": elapsed,
+        "final_loss": final_loss,
+        "steps": float(steps),
+    }
+
+
+def _build_train_step(model_name, width_mult, batch_size, image_size,
+                      num_classes, optimizer_name, be):
+    """One training-step closure for the *active* backend ``be``.
+
+    On a plan-compiling backend the closure drives a private
+    :class:`repro.compile.StepCompiler` (capture on first call, replay
+    after); otherwise it is the plain eager step.  Model, optimizer and
+    batch are built under fixed seeds so closures for different backends
+    perform bit-identical arithmetic.
+    """
     from repro.models import build_model
     from repro.tensor import functional as F
-    from repro.tensor import use_backend
     from repro.utils import seed_everything
 
     seed_everything(0)
@@ -67,27 +97,85 @@ def training_step_rate(
     x = rng.standard_normal((batch_size, 3, image_size, image_size)).astype(np.float32)
     y = rng.integers(0, num_classes, size=batch_size)
 
-    with use_backend(backend):
+    if getattr(be, "compiled_plans", False):
+        from repro.compile import StepCompiler
+
+        compiler = StepCompiler()
+
+        def step() -> float:
+            optimizer.zero_grad()
+            handle = compiler.forward(
+                model, (x, y), lambda: F.cross_entropy(model(x), y))
+            handle.backward()
+            optimizer.step()
+            return float(handle.loss.data)
+    else:
         def step() -> float:
             optimizer.zero_grad()
             loss = F.cross_entropy(model(x), y)
             loss.backward()
             optimizer.step()
             return float(loss.data)
+    return step
 
-        for _ in range(max(warmup_steps, 0)):
-            step()  # allocator, BLAS threads, im2col caches
-        start = time.perf_counter()
-        final_loss = 0.0
-        for _ in range(steps):
-            final_loss = step()
-        elapsed = time.perf_counter() - start
 
+def training_step_pair(
+    model_name: str = "resnet18",
+    *,
+    width_mult: Optional[float] = 0.125,
+    batch_size: int = 32,
+    image_size: int = 32,
+    num_classes: int = 10,
+    optimizer_name: str = "sgd",
+    backend_a: str = "numpy-fast",
+    backend_b: str = "numpy-compiled",
+    steps: int = 2,
+    blocks: int = 4,
+    warmup_steps: int = 2,
+) -> Dict[str, float]:
+    """Drift-cancelling paired throughput of two backends on one cell.
+
+    A sequential A-then-B measurement charges any slow host drift (thermal
+    throttling, noisy neighbours) entirely to whichever side runs second.
+    This instead alternates short timed blocks in an A-B-B-A pattern, so
+    linear drift lands evenly on both sides, and aggregates each side's
+    elapsed time across all blocks.  Both closures train their own model
+    replica from identical seeds, so their final losses must agree exactly
+    when the backends are bit-identical (reported for the caller to check).
+    """
+    from repro.tensor import use_backend
+
+    sides = []
+    for backend in (backend_a, backend_b):
+        with use_backend(backend) as be:
+            step = _build_train_step(model_name, width_mult, batch_size,
+                                     image_size, num_classes, optimizer_name, be)
+            for _ in range(max(warmup_steps, 0)):
+                step()  # warm caches; capture + record on compiling backends
+        sides.append((backend, step))
+
+    def timed_block(side):
+        backend, step = side
+        with use_backend(backend):
+            start = time.perf_counter()
+            loss = 0.0
+            for _ in range(steps):
+                loss = step()
+            return time.perf_counter() - start, loss
+
+    elapsed = [0.0, 0.0]
+    losses = [0.0, 0.0]
+    for _ in range(max(blocks, 1)):
+        for i in (0, 1, 1, 0):
+            dt, losses[i] = timed_block(sides[i])
+            elapsed[i] += dt
+    n = 2 * max(blocks, 1) * steps
     return {
-        "steps_per_sec": steps / elapsed if elapsed > 0 else 0.0,
-        "elapsed_seconds": elapsed,
-        "final_loss": final_loss,
-        "steps": float(steps),
+        "a_steps_per_sec": n / elapsed[0] if elapsed[0] > 0 else 0.0,
+        "b_steps_per_sec": n / elapsed[1] if elapsed[1] > 0 else 0.0,
+        "a_final_loss": losses[0],
+        "b_final_loss": losses[1],
+        "steps_per_side": float(n),
     }
 
 

@@ -75,6 +75,21 @@ from repro.train.trainer import Trainer
 from repro.utils import get_rng, seed_everything
 
 
+def _check_backend_name(name) -> None:
+    """Loud :class:`ValueError` for unknown backend names.
+
+    Most ``--backend`` flags are argparse-validated via ``choices``; paths
+    that accept a free-form override (``bench run``) route through this so a
+    typo reports the registered names instead of surfacing as a bare
+    ``KeyError`` from the backend registry mid-run.
+    """
+    if name is not None and name not in available_backends():
+        raise ValueError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{', '.join(available_backends())}"
+        )
+
+
 # --------------------------------------------------------------------------- #
 # Argument parsing
 # --------------------------------------------------------------------------- #
@@ -625,6 +640,7 @@ def cmd_bench(args: argparse.Namespace, stream=sys.stdout) -> int:
         json_path = args.json_path or os.path.join(out, f"{args.suite}.bench.json")
         history_path = args.history_path or os.path.join(out, "history.jsonl")
         try:
+            _check_backend_name(args.backend)
             config = bench.RunConfig(tiny=args.tiny, warmup=args.warmup,
                                      repeat=args.repeat, iters=args.iters,
                                      backend=args.backend)

@@ -1,0 +1,206 @@
+"""Op-graph capture for the ``numpy-compiled`` backend.
+
+A :class:`CaptureContext` is installed into ``repro.tensor.tensor._capture``
+while one training (or inference) step runs eagerly; every ``apply_op``
+reports the op it just executed, and the context classifies each tensor it
+sees into one of five roles:
+
+* **node** — the output of a captured op; gets a value slot written by the
+  replay executor.
+* **input** — a leaf whose backing array is one of the step's registered
+  batch arrays; its slot is fed fresh on every replay.
+* **param** — a leaf with ``requires_grad``; the live :class:`Tensor` is
+  kept and its ``.data`` re-read on every replay (so in-place optimizer
+  updates are picked up and replaced parameters invalidate the plan key).
+* **refresh** — a leaf whose value must be regenerated per replay from a
+  registered callable (dropout masks, drawn from the same persistent RNG so
+  the mask stream is bit-identical to an eager run).
+* **const** — anything else; the capture-step array is baked into the plan
+  by reference (batch-norm eval statistics enter as views of the running
+  buffers, so in-place updates still propagate).
+
+A leaf whose array *is* another node's output (``detach()``) aliases that
+node's slot instead of becoming a const, which keeps its replayed value
+fresh while still blocking gradient flow (the plan's backward was recorded
+from the live graph, where the detached edge does not exist).
+
+Observation is pure: capture never changes what the eager step computes.
+Anything the context cannot prove replayable sets :attr:`error`, and the
+step compiler falls back to eager execution for that key permanently.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor import ops as _ops
+
+
+class CaptureError(Exception):
+    """A captured graph cannot be replayed faithfully."""
+
+
+class CapturedNode:
+    """One captured op execution: ``vals[dst] = op.forward(*vals[srcs])``."""
+
+    __slots__ = ("op", "needs", "srcs", "dst", "out")
+
+    def __init__(self, op, needs, srcs: Tuple[int, ...], dst: int, out):
+        self.op = op
+        self.needs = needs
+        self.srcs = srcs
+        self.dst = dst
+        self.out = out  # the output Tensor (dropped after plan build)
+
+
+class CaptureContext:
+    """Records one step's op graph while it executes eagerly."""
+
+    def __init__(self, arrays: List[np.ndarray]):
+        self.arrays = list(arrays)
+        self.input_ids: Dict[int, int] = {id(a): i for i, a in enumerate(self.arrays)}
+        self.records: List[CapturedNode] = []
+        self.by_tensor: Dict[int, int] = {}          # id(Tensor) -> slot
+        self.node_by_tensor: Dict[int, CapturedNode] = {}
+        self.by_array: Dict[int, CapturedNode] = {}  # id(out.data) -> node
+        self.keepalive: List = []                    # pins tensor ids during capture
+        self.nslots = 0
+        self.consts: List[Tuple[int, np.ndarray]] = []
+        self.feeds: List[Tuple[int, int]] = []       # (slot, input index)
+        self.param_reads: List[Tuple[int, object]] = []
+        self.refreshes: List[Tuple[int, Callable[[], np.ndarray]]] = []
+        self.patches: List[Callable] = []            # fn(arrays) per replay
+        self.stat_hooks: List[Tuple[Callable, Tuple[np.ndarray, ...]]] = []
+        self.attr_sources: Dict[int, Tuple[object, str]] = {}
+        self._pending_refresh: Dict[int, Callable[[], np.ndarray]] = {}
+        self.matched: set = set()                    # input indices seen in-graph
+        self.error: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # apply_op hook
+    # ------------------------------------------------------------------ #
+    def on_op(self, op, inputs, out) -> None:
+        if self.error is not None:
+            return
+        srcs = tuple(self._slot_of(t) for t in inputs)
+        node = CapturedNode(op, op.needs, srcs, self._new_slot(), out)
+        self.records.append(node)
+        self.by_tensor[id(out)] = node.dst
+        self.node_by_tensor[id(out)] = node
+        self.by_array[id(out.data)] = node
+        self.keepalive.append(out)
+        self._patch_op_attrs(op)
+
+    def _slot_of(self, t) -> int:
+        slot = self.by_tensor.get(id(t))
+        if slot is not None:
+            return slot
+        self.keepalive.append(t)
+        fn = self._pending_refresh.pop(id(t), None)
+        if fn is not None:
+            slot = self._new_slot()
+            self.refreshes.append((slot, fn))
+        elif t.requires_grad:
+            slot = self._new_slot()
+            self.param_reads.append((slot, t))
+        else:
+            data = t.data
+            idx = self.input_ids.get(id(data))
+            if idx is not None:
+                slot = self._new_slot()
+                self.feeds.append((slot, idx))
+                self.matched.add(idx)
+            else:
+                node = self.by_array.get(id(data))
+                if node is not None:
+                    slot = node.dst  # detach()-style alias of a node output
+                else:
+                    slot = self._new_slot()
+                    self.consts.append((slot, data))
+        self.by_tensor[id(t)] = slot
+        return slot
+
+    def _new_slot(self) -> int:
+        slot = self.nslots
+        self.nslots += 1
+        return slot
+
+    # ------------------------------------------------------------------ #
+    # Batch-dependent op attributes
+    # ------------------------------------------------------------------ #
+    def _patch_op_attrs(self, op) -> None:
+        """Generic patches for ops that bake a batch array as an attribute."""
+        if isinstance(op, _ops.GetItemOp):
+            index = op.index
+            if isinstance(index, np.ndarray):
+                idx = self.input_ids.get(id(index))
+                if idx is not None:
+                    self.matched.add(idx)
+
+                    def _patch_index(arrays, _op=op, _i=idx):
+                        _op.index = arrays[_i]
+
+                    self.patches.append(_patch_index)
+            elif isinstance(index, tuple) and any(
+                    isinstance(e, np.ndarray) and id(e) in self.input_ids for e in index):
+                self.error = ("getitem with a batch array inside a tuple index "
+                              "cannot be patched for replay")
+            return
+        bias = getattr(op, "bias", None) if op.name == "attention_weights" else None
+        if bias is not None and isinstance(bias, np.ndarray):
+            idx = self.input_ids.get(id(bias))
+            if idx is not None:
+                self.matched.add(idx)
+
+                def _patch_bias(arrays, _op=op, _i=idx):
+                    _op.bias = arrays[_i]
+
+                self.patches.append(_patch_bias)
+
+    # ------------------------------------------------------------------ #
+    # Registration API (called from repro.tensor.functional / repro.nn)
+    # ------------------------------------------------------------------ #
+    def register_attr_patch(self, op, dep_array: np.ndarray, fn: Callable) -> None:
+        """Run ``fn(op, arrays[i])`` before each replay, where ``i`` is the
+        input index of ``dep_array``.  The dependency must be one of the
+        step's registered input arrays; otherwise the capture is rejected
+        (a derived array would silently replay stale values)."""
+        idx = self.input_ids.get(id(dep_array))
+        if idx is None:
+            self.error = (f"op {op.name!r} depends on an array that is not one "
+                          "of the step's input arrays; cannot patch for replay")
+            return
+        self.matched.add(idx)
+        self.patches.append(lambda arrays, _op=op, _i=idx, _fn=fn: _fn(_op, arrays[_i]))
+
+    def register_refresh(self, tensor, fn: Callable[[], np.ndarray]) -> None:
+        """Declare that ``tensor`` (a leaf about to be consumed) must be
+        regenerated by ``fn()`` on every replay, in registration order."""
+        self.keepalive.append(tensor)
+        self._pending_refresh[id(tensor)] = fn
+
+    def register_attr_source(self, array: np.ndarray, op, attr: str) -> None:
+        """Declare that ``array`` is ``getattr(op, attr)``, refreshed by the
+        op's forward (batch-norm statistics)."""
+        self.attr_sources[id(array)] = (op, attr)
+
+    def register_stat_hook(self, fn: Callable, *sources: np.ndarray) -> None:
+        """Run ``fn(*current_values_of(sources))`` after each replayed
+        forward (running-statistics updates)."""
+        self.stat_hooks.append((fn, sources))
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> Optional[str]:
+        """Reject captures that would bake stale batch data into the plan."""
+        if self.error is not None:
+            return self.error
+        for i, a in enumerate(self.arrays):
+            if i not in self.matched:
+                return (f"input array {i} (shape {a.shape}, dtype {a.dtype}) was "
+                        "never consumed as a graph leaf or patch dependency; a "
+                        "derived use would replay stale values")
+        return None

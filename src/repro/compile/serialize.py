@@ -1,0 +1,305 @@
+"""Serialize inference plans into artifact manifests.
+
+An inference capture (no-grad forward, every op's ``needs`` is ``None``) is a
+pure dataflow program over the model's parameters and buffers plus the batch
+input — no gradient state, no backend scratch (the conv/pool inference paths
+use the module-level geometry cache, not the arena), no RNG.  That makes it
+serializable: we store the **unfused** captured records as
+``{"op": class, "srcs", "dst", state...}`` steps, the leaf slots as symbolic
+references into the model's ``named_parameters`` / ``named_buffers`` name
+space, and any remaining constant arrays as opaque payload blobs.  The loader
+rebuilds the records against the *loaded* model's tensors and re-runs the
+same chain-fusion pass the capture path uses, so a deserialized plan replays
+exactly like a freshly captured one.
+
+Anything outside this fragment (a patch, a refresh, a stat hook, a non-empty
+take schedule, an op without a codec) raises :class:`CaptureError` — callers
+treat that as "this artifact ships without a plan", never as a hard failure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.compile.graph import CaptureContext, CapturedNode, CaptureError
+from repro.compile.plan import CompiledPlan, _fuse_chains
+from repro.tensor import functional as _func
+from repro.tensor import ops as _ops
+
+PLAN_FORMAT_VERSION = 1
+
+# ---------------------------------------------------------------------------- #
+# Per-op codecs: encode ctor-equivalent state as JSON-safe dicts.
+# Ops whose inference forward needs no state share the trivial codec.
+# ---------------------------------------------------------------------------- #
+
+
+def _tup(v):
+    """Recursively turn JSON lists back into the tuples the ops expect."""
+    if isinstance(v, list):
+        return tuple(_tup(e) for e in v)
+    return v
+
+
+_STATELESS = {
+    _ops.AddOp: "add", _ops.MulOp: "mul", _ops.NegOp: "neg", _ops.DivOp: "div",
+    _ops.ExpOp: "exp", _ops.LogOp: "log", _ops.TanhOp: "tanh",
+    _ops.SigmoidOp: "sigmoid", _ops.ReluOp: "relu", _ops.GeluOp: "gelu",
+    _ops.AbsOp: "abs", _ops.CloneOp: "clone", _ops.MatMulOp: "matmul",
+}
+
+
+def _encode_index(index, consts: List[np.ndarray]):
+    if isinstance(index, (int, np.integer)):
+        return {"int": int(index)}
+    if isinstance(index, slice):
+        return {"slice": [index.start, index.stop, index.step]}
+    if isinstance(index, np.ndarray):
+        consts.append(index)
+        return {"const": len(consts) - 1}
+    if isinstance(index, tuple):
+        return {"tuple": [_encode_index(e, consts) for e in index]}
+    if index is None:
+        return {"none": True}
+    raise CaptureError(f"getitem index {type(index).__name__} is not serializable")
+
+
+def _decode_index(enc, consts):
+    if "int" in enc:
+        return enc["int"]
+    if "slice" in enc:
+        return slice(*enc["slice"])
+    if "const" in enc:
+        return consts[enc["const"]]
+    if "tuple" in enc:
+        return tuple(_decode_index(e, consts) for e in enc["tuple"])
+    return None
+
+
+def _encode_op(op, consts: List[np.ndarray]) -> Dict:
+    cls = type(op)
+    tag = _STATELESS.get(cls)
+    if tag is not None:
+        return {"op": tag}
+    if cls is _ops.PowOp:
+        return {"op": "pow", "exponent": float(op.exponent)}
+    if cls is _ops.ClipOp:
+        return {"op": "clip", "low": float(op.low), "high": float(op.high)}
+    if cls is _ops.SumOp:
+        return {"op": "sum", "axis": op.axis, "keepdims": bool(op.keepdims)}
+    if cls is _ops.MaxOp:
+        return {"op": "max", "axis": op.axis, "keepdims": bool(op.keepdims)}
+    if cls is _ops.ReshapeOp:
+        return {"op": "reshape", "shape": list(op.shape)}
+    if cls is _ops.TransposeOp:
+        return {"op": "transpose", "axes": list(op.axes)}
+    if cls is _ops.GetItemOp:
+        return {"op": "getitem", "index": _encode_index(op.index, consts)}
+    if cls is _ops.PadOp:
+        return {"op": "pad", "pad_width": [list(p) for p in op.pad_width]}
+    if cls is _ops.ConcatOp:
+        return {"op": "concat", "axis": int(op.axis)}
+    if cls is _func.Conv2dOp:
+        return {"op": "conv2d", "stride": op.stride, "padding": op.padding}
+    if cls is _func.MaxPool2dOp:
+        return {"op": "max_pool2d", "kernel": list(op.kernel),
+                "stride": op.stride, "padding": op.padding}
+    if cls is _func.AvgPool2dOp:
+        return {"op": "avg_pool2d", "kernel": list(op.kernel),
+                "stride": op.stride, "padding": op.padding}
+    if cls is _func.SoftmaxOp:
+        return {"op": "softmax", "axis": int(op.axis)}
+    if cls is _func.LogSoftmaxOp:
+        return {"op": "log_softmax", "axis": int(op.axis)}
+    if cls is _func.LinearActOp:
+        return {"op": "linear_act", "activation": op.activation}
+    if cls is _func.AttentionWeightsOp:
+        enc = {"op": "attention_weights", "scale": float(op.scale)}
+        if op.bias is not None:
+            consts.append(np.asarray(op.bias))
+            enc["bias"] = len(consts) - 1
+        return enc
+    raise CaptureError(f"op {op.name!r} has no serialization codec")
+
+
+def _decode_op(enc: Dict, consts):
+    tag = enc["op"]
+    for cls, t in _STATELESS.items():
+        if t == tag:
+            return cls()
+    if tag == "pow":
+        return _ops.PowOp(enc["exponent"])
+    if tag == "clip":
+        return _ops.ClipOp(enc["low"], enc["high"])
+    if tag == "sum":
+        return _ops.SumOp(axis=_tup(enc["axis"]), keepdims=enc["keepdims"])
+    if tag == "max":
+        return _ops.MaxOp(axis=_tup(enc["axis"]), keepdims=enc["keepdims"])
+    if tag == "reshape":
+        return _ops.ReshapeOp(tuple(enc["shape"]))
+    if tag == "transpose":
+        return _ops.TransposeOp(tuple(enc["axes"]))
+    if tag == "getitem":
+        return _ops.GetItemOp(_decode_index(enc["index"], consts))
+    if tag == "pad":
+        return _ops.PadOp(tuple(tuple(p) for p in enc["pad_width"]))
+    if tag == "concat":
+        return _ops.ConcatOp(enc["axis"])
+    if tag == "conv2d":
+        return _func.Conv2dOp(_tup(enc["stride"]), _tup(enc["padding"]))
+    if tag == "max_pool2d":
+        return _func.MaxPool2dOp(tuple(enc["kernel"]), _tup(enc["stride"]),
+                                 _tup(enc["padding"]))
+    if tag == "avg_pool2d":
+        return _func.AvgPool2dOp(tuple(enc["kernel"]), _tup(enc["stride"]),
+                                 _tup(enc["padding"]))
+    if tag == "softmax":
+        return _func.SoftmaxOp(enc["axis"])
+    if tag == "log_softmax":
+        return _func.LogSoftmaxOp(enc["axis"])
+    if tag == "linear_act":
+        return _func.LinearActOp(enc["activation"])
+    if tag == "attention_weights":
+        bias = consts[enc["bias"]] if "bias" in enc else None
+        return _func.AttentionWeightsOp(enc["scale"], bias)
+    raise CaptureError(f"unknown serialized op tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------- #
+# Plan <-> manifest payload
+# ---------------------------------------------------------------------------- #
+
+
+def serialize_inference_plan(cap: CaptureContext, output, model,
+                             fwd_takes) -> Tuple[Dict, List[np.ndarray]]:
+    """Lower a no-grad capture to a manifest payload + constant blobs.
+
+    Returns ``(payload, const_arrays)``; ``const_arrays[i]`` must be stored
+    by the caller under a key the loader maps back to index ``i``.  Raises
+    :class:`CaptureError` when the capture falls outside the serializable
+    fragment.
+    """
+    if cap.patches or cap.refreshes or cap.stat_hooks:
+        raise CaptureError("captures with replay-time patches/refreshes/hooks "
+                           "are not serializable")
+    if fwd_takes:
+        raise CaptureError("captures with backend take schedules are not "
+                           "serializable")
+    out_slot = cap.by_tensor.get(id(output))
+    if out_slot is None or id(output) not in cap.node_by_tensor:
+        raise CaptureError("serialized output is not a captured op result")
+
+    param_paths = {id(p): path for path, p in model.named_parameters()}
+    param_data_paths = {id(p.data): path for path, p in model.named_parameters()}
+    buffer_data = {id(b.data): path for path, b in model.named_buffers()}
+
+    consts: List[np.ndarray] = []
+    leaves: List[Dict] = []
+    for slot, t in cap.param_reads:
+        path = param_paths.get(id(t)) or param_data_paths.get(id(t.data))
+        if path is None:
+            raise CaptureError("a gradient-bearing leaf is not one of the "
+                               "model's named parameters")
+        leaves.append({"slot": slot, "kind": "param", "path": path})
+    for slot, arr in cap.consts:
+        path = buffer_data.get(id(arr))
+        if path is not None:
+            leaves.append({"slot": slot, "kind": "buffer", "path": path})
+            continue
+        base = arr.base
+        path = buffer_data.get(id(base)) if base is not None else None
+        if path is not None:
+            leaves.append({"slot": slot, "kind": "buffer_view", "path": path,
+                           "reshape": list(arr.shape)})
+            continue
+        consts.append(arr)
+        leaves.append({"slot": slot, "kind": "const", "const": len(consts) - 1})
+
+    steps = []
+    for node in cap.records:
+        enc = _encode_op(node.op, consts)
+        enc["srcs"] = list(node.srcs)
+        enc["dst"] = node.dst
+        steps.append(enc)
+
+    payload = {
+        "version": PLAN_FORMAT_VERSION,
+        "input_shapes": [list(a.shape) for a in cap.arrays],
+        "nslots": cap.nslots,
+        "feeds": [list(f) for f in cap.feeds],
+        "leaves": leaves,
+        "steps": steps,
+        "output": out_slot,
+    }
+    return payload, consts
+
+
+def deserialize_inference_plan(payload: Dict, consts: List[np.ndarray],
+                               model, be) -> CompiledPlan:
+    """Rebuild a ready-to-replay :class:`CompiledPlan` from a manifest payload.
+
+    Leaf references bind to the *loaded* model's parameters and buffers, so
+    the plan tracks any later in-place weight updates exactly like a live
+    capture would.
+    """
+    if payload.get("version") != PLAN_FORMAT_VERSION:
+        raise CaptureError(f"unsupported plan format version "
+                           f"{payload.get('version')!r}")
+    params = dict(model.named_parameters())
+    buffers = dict(model.named_buffers())
+
+    param_reads = []
+    template: list = [None] * payload["nslots"]
+    for leaf in payload["leaves"]:
+        slot = leaf["slot"]
+        kind = leaf["kind"]
+        if kind == "param":
+            t = params.get(leaf["path"])
+            if t is None:
+                raise CaptureError(f"plan references unknown parameter "
+                                   f"{leaf['path']!r}")
+            param_reads.append((slot, t))
+        elif kind == "buffer":
+            b = buffers.get(leaf["path"])
+            if b is None:
+                raise CaptureError(f"plan references unknown buffer "
+                                   f"{leaf['path']!r}")
+            template[slot] = b.data
+        elif kind == "buffer_view":
+            b = buffers.get(leaf["path"])
+            if b is None:
+                raise CaptureError(f"plan references unknown buffer "
+                                   f"{leaf['path']!r}")
+            template[slot] = b.data.reshape(tuple(leaf["reshape"]))
+        elif kind == "const":
+            template[slot] = consts[leaf["const"]]
+        else:
+            raise CaptureError(f"unknown plan leaf kind {kind!r}")
+
+    records = []
+    for enc in payload["steps"]:
+        op = _decode_op(enc, consts)
+        op.needs = None
+        records.append(CapturedNode(op, None, tuple(enc["srcs"]), enc["dst"], None))
+
+    out_slot = payload["output"]
+    fwd_steps = _fuse_chains(records, {out_slot})
+
+    plan = CompiledPlan(
+        backend=be,
+        nslots=payload["nslots"],
+        template=template,
+        feeds=tuple(tuple(f) for f in payload["feeds"]),
+        param_reads=tuple(param_reads),
+        refreshes=(),
+        patches=(),
+        hooks=(),
+        fwd_steps=fwd_steps,
+        fwd_takes=[],
+        loss_slot=out_slot,
+        aux_slots={},
+    )
+    plan.ready = True
+    return plan

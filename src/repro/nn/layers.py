@@ -195,13 +195,10 @@ class BatchNorm2d(Module):
     def forward(self, x: Tensor) -> Tensor:
         if self.training:
             out, batch_mean, batch_var = F.batch_norm2d_train(x, self.weight, self.bias, self.eps)
-            with_momentum = self.momentum
-            self.running_mean.data = (
-                (1 - with_momentum) * self.running_mean.data + with_momentum * batch_mean.reshape(-1)
-            )
-            self.running_var.data = (
-                (1 - with_momentum) * self.running_var.data + with_momentum * batch_var.reshape(-1)
-            )
+            cap = F._active_capture()
+            if cap is not None:
+                cap.register_stat_hook(self._update_running_stats, batch_mean, batch_var)
+            self._update_running_stats(batch_mean, batch_var)
             return out
         mean = Tensor(self.running_mean.data.reshape(1, -1, 1, 1))
         var = Tensor(self.running_var.data.reshape(1, -1, 1, 1))
@@ -209,6 +206,15 @@ class BatchNorm2d(Module):
         gamma = self.weight.reshape((1, -1, 1, 1))
         beta = self.bias.reshape((1, -1, 1, 1))
         return x_hat * gamma + beta
+
+    def _update_running_stats(self, batch_mean: np.ndarray, batch_var: np.ndarray) -> None:
+        momentum = self.momentum
+        self.running_mean.data = (
+            (1 - momentum) * self.running_mean.data + momentum * batch_mean.reshape(-1)
+        )
+        self.running_var.data = (
+            (1 - momentum) * self.running_var.data + momentum * batch_var.reshape(-1)
+        )
 
     def extra_repr(self) -> str:
         return f"num_features={self.num_features}"
@@ -231,17 +237,24 @@ class BatchNorm1d(Module):
         if self.training:
             mean = x.mean(axis=0, keepdims=True)
             var = x.var(axis=0, keepdims=True)
-            self.running_mean.data = (
-                (1 - self.momentum) * self.running_mean.data + self.momentum * mean.data.reshape(-1)
-            )
-            self.running_var.data = (
-                (1 - self.momentum) * self.running_var.data + self.momentum * var.data.reshape(-1)
-            )
+            cap = F._active_capture()
+            if cap is not None:
+                cap.register_stat_hook(self._update_running_stats, mean.data, var.data)
+            self._update_running_stats(mean.data, var.data)
         else:
             mean = Tensor(self.running_mean.data.reshape(1, -1))
             var = Tensor(self.running_var.data.reshape(1, -1))
         x_hat = (x - mean) / ((var + self.eps) ** 0.5)
         return x_hat * self.weight + self.bias
+
+    def _update_running_stats(self, batch_mean: np.ndarray, batch_var: np.ndarray) -> None:
+        momentum = self.momentum
+        self.running_mean.data = (
+            (1 - momentum) * self.running_mean.data + momentum * batch_mean.reshape(-1)
+        )
+        self.running_var.data = (
+            (1 - momentum) * self.running_var.data + momentum * batch_var.reshape(-1)
+        )
 
     def extra_repr(self) -> str:
         return f"num_features={self.num_features}"

@@ -52,6 +52,41 @@ ARTIFACT_FORMAT_VERSION = 1
 
 _MANIFEST_KEY = "__artifact_manifest__"
 _STATE_PREFIX = "state/"
+_PLAN_CONST_PREFIX = "plan/const/"
+
+
+def _capture_inference_payload(model: nn.Module, input_shape: Sequence[int],
+                               rows: int) -> Tuple[Dict[str, Any], list]:
+    """Capture one canonical no-grad forward and lower it to a manifest payload.
+
+    Raises :class:`repro.compile.CaptureError` when the model's forward falls
+    outside the serializable fragment — callers treat that as "this artifact
+    ships without a plan".
+    """
+    from repro.compile import CaptureError, serialize_inference_plan
+    from repro.compile.graph import CaptureContext
+    from repro.compile.step import _COMPILE_LOCK
+    from repro.tensor import tensor as _tensor_core
+
+    x = np.zeros((rows, *input_shape), dtype=np.float32)
+    with _COMPILE_LOCK:
+        if _tensor_core._capture is not None:
+            raise CaptureError("another capture is already in progress")
+        cap = CaptureContext([x])
+        _tensor_core._capture = cap
+        try:
+            with no_grad():
+                out = model(x)
+        finally:
+            _tensor_core._capture = None
+    err = cap.validate()
+    if err is not None:
+        raise CaptureError(err)
+    if not isinstance(out, Tensor):
+        raise CaptureError("model output is not a tensor")
+    payload, consts = serialize_inference_plan(cap, out, model, [])
+    json.dumps(payload)  # the manifest must stay JSON-serialisable
+    return payload, consts
 
 
 class ArtifactError(RuntimeError):
@@ -138,7 +173,26 @@ def export_artifact(
         manifest["batch_invariant"] = check_batch_invariance(Predictor(model), example_batch)
         manifest["batch_invariance_checked_up_to"] = int(min(32, np.asarray(example_batch).shape[0]))
         model.train(was_training)
+    plan_consts: list = []
+    if input_shape is not None:
+        # Best effort: a model whose forward is outside the serializable
+        # fragment simply ships without a plan (the server falls back to the
+        # eager no-grad path, which is bit-identical anyway).
+        from repro.compile import CaptureError
+
+        was_training = model.training
+        model.eval()
+        try:
+            payload, plan_consts = _capture_inference_payload(
+                model, tuple(input_shape), rows=4)
+            manifest["inference_plan"] = payload
+        except (CaptureError, TypeError):
+            plan_consts = []
+        finally:
+            model.train(was_training)
     arrays = {_STATE_PREFIX + key: value for key, value in state.items()}
+    for i, const in enumerate(plan_consts):
+        arrays[_PLAN_CONST_PREFIX + str(i)] = const
     arrays[_MANIFEST_KEY] = np.frombuffer(json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
@@ -221,6 +275,9 @@ def load_artifact(
     with np.load(path) as archive:
         state = {key[len(_STATE_PREFIX):]: archive[key]
                  for key in archive.files if key.startswith(_STATE_PREFIX)}
+        plan_consts = [archive[_PLAN_CONST_PREFIX + str(i)]
+                       for i in range(sum(1 for key in archive.files
+                                          if key.startswith(_PLAN_CONST_PREFIX)))]
 
     expected = set(manifest.get("state_keys", state))
     if set(state) != expected:
@@ -236,7 +293,8 @@ def load_artifact(
             f"(Was the skeleton factorized/fused the same way as the export?)"
         )
     model.eval()
-    return Predictor(model, manifest=manifest, backend=backend)
+    return Predictor(model, manifest=manifest, backend=backend,
+                     plan_consts=plan_consts)
 
 
 class Predictor:
@@ -254,7 +312,8 @@ class Predictor:
 
     def __init__(self, model: nn.Module, manifest: Optional[Dict[str, Any]] = None,
                  backend: Optional[str] = None, canonicalize: bool = True,
-                 pad_multiple: int = 4, min_batch: int = 4):
+                 pad_multiple: int = 4, min_batch: int = 4,
+                 plan_consts: Optional[list] = None):
         self.model = model
         self.manifest = manifest or {}
         self.backend = backend
@@ -262,6 +321,15 @@ class Predictor:
         self.pad_multiple = int(pad_multiple)
         self.min_batch = int(min_batch)
         self.model.eval()
+        # Embedded inference plan (if the artifact carries one): deserialized
+        # lazily on first use, keyed by the canonical batch shape it covers.
+        self._plan_consts = plan_consts or []
+        self._plan: Optional[object] = None
+        self._plan_shape: Optional[Tuple[int, ...]] = None
+        self._plan_failed = False
+        payload = self.manifest.get("inference_plan")
+        if payload and payload.get("input_shapes"):
+            self._plan_shape = tuple(payload["input_shapes"][0])
 
     @property
     def input_shape(self) -> Optional[Tuple[int, ...]]:
@@ -290,12 +358,43 @@ class Predictor:
             batch = np.ascontiguousarray(np.concatenate([batch, pad], axis=0))
         with no_grad():
             if self.backend is not None:
-                with use_backend(self.backend):
-                    out = self.model(batch)
+                with use_backend(self.backend) as be:
+                    out = self._forward(batch, be)
             else:
-                out = self.model(batch)
+                from repro.tensor.backend import get_backend
+
+                out = self._forward(batch, get_backend())
         data = out.data if isinstance(out, Tensor) else np.asarray(out)
         return data[:n].copy() if target != n else data
+
+    def _forward(self, batch: np.ndarray, be):
+        """One no-grad forward: replay the embedded plan when it fits.
+
+        A replayed forward performs no Python graph construction (no Tensor
+        wrapping, no autograd bookkeeping) — it is the serve-side p99 win the
+        plan was exported for.  Batches outside the plan's canonical shape
+        take the ordinary eager path, which computes bit-identical results.
+        """
+        plan = self._plan_for(tuple(batch.shape), be)
+        if plan is not None:
+            vals = plan.run_forward([batch], be)
+            return vals[plan.loss_slot]
+        return self.model(batch)
+
+    def _plan_for(self, shape: Tuple[int, ...], be):
+        if shape != self._plan_shape or self._plan_failed:
+            return None
+        if self._plan is None:
+            from repro.compile import CaptureError, deserialize_inference_plan
+
+            try:
+                self._plan = deserialize_inference_plan(
+                    self.manifest["inference_plan"], self._plan_consts,
+                    self.model, be)
+            except CaptureError:
+                self._plan_failed = True
+                return None
+        return self._plan
 
 
 def check_batch_invariance(

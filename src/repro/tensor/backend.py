@@ -98,6 +98,19 @@ class Backend:
             self._counts[name] = entry = [0, 0.0]
         entry[0] += 1
 
+    def record_bulk(self, counts: Dict[str, int]) -> None:
+        """Count ``counts[name]`` executions of each op in one call.
+
+        Used by compiled-plan replay, whose op sequence is static: one bulk
+        update per replay keeps the counters identical to per-op recording
+        without per-step dictionary traffic.
+        """
+        for name, calls in counts.items():
+            entry = self._counts.get(name)
+            if entry is None:
+                self._counts[name] = entry = [0, 0.0]
+            entry[0] += calls
+
     def add_flops(self, name: str, flops: float) -> None:
         """Attribute ``flops`` floating-point operations to op ``name``."""
         entry = self._counts.get(name)
@@ -367,12 +380,123 @@ class NumpyFastBackend(Backend):
         self._arena.clear()
 
 
+@register_backend("numpy-compiled",
+                  "capture-and-replay: record the op graph once, replay a "
+                  "static dispatch-free schedule")
+class NumpyCompiledBackend(NumpyFastBackend):
+    """Graph-captured execution: numpy-fast allocation plus static replay.
+
+    Inherits every ``numpy-fast`` policy (fused kernels, pooled buffers,
+    fast gathers) and adds a *take schedule*: while :mod:`repro.compile`
+    captures a step, every buffer the ops draw from the arena is logged in
+    order; on replay the same buffers are served back positionally, so the
+    steady-state step performs no arena-key hashing at all.  Buffers owned
+    by a recorded schedule are never returned to the arena — the schedule
+    itself is their pool.  Arithmetic is untouched, so results stay
+    bit-identical to the ``numpy`` backend.
+    """
+
+    #: Marker the training/serving layers use to detect that capture-and-
+    #: replay plans should drive the step (see ``repro.compile``).
+    compiled_plans = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._sched: Optional[List[np.ndarray]] = None   # record-mode log
+        self._replay: Optional[List] = None              # [buffers, cursor]
+        self._owned: set = set()                         # id() of plan buffers
+
+    # ------------------------------------------------------------------ #
+    # Schedule control (driven by repro.compile)
+    # ------------------------------------------------------------------ #
+    def begin_record(self, log: List[np.ndarray]) -> None:
+        """Log every take into ``log`` until :meth:`end_record`."""
+        self._sched = log
+
+    def end_record(self) -> None:
+        self._sched = None
+
+    def begin_replay(self, buffers: List[np.ndarray]) -> None:
+        """Serve takes positionally from ``buffers`` until :meth:`end_replay`."""
+        self._replay = [buffers, 0]
+
+    def end_replay(self) -> None:
+        replay, self._replay = self._replay, None
+        if replay is not None and replay[1] != len(replay[0]):
+            raise RuntimeError(
+                f"compiled replay consumed {replay[1]} of {len(replay[0])} "
+                "scheduled buffers; the plan no longer matches the op "
+                "sequence (invalidate and recapture)")
+
+    def own(self, buffers) -> None:
+        """Mark plan-allocated buffers so :meth:`give` never pools them.
+
+        A plan's static gradient buffers stay bound to live tensors across
+        replays; letting the arena recycle one (``zero_grad`` →
+        ``release_grad`` → ``give``) would alias plan state with unrelated
+        scratch.
+        """
+        for buf in buffers:
+            self._owned.add(id(buf))
+
+    def disown(self, buffers) -> None:
+        """Forget schedule ownership (called when a plan is evicted)."""
+        for buf in buffers:
+            self._owned.discard(id(buf))
+
+    # ------------------------------------------------------------------ #
+    # Buffer management: record/replay aware
+    # ------------------------------------------------------------------ #
+    def take(self, shape: Tuple[int, ...], dtype=DEFAULT_DTYPE) -> np.ndarray:
+        replay = self._replay
+        if replay is not None:
+            buf = replay[0][replay[1]]
+            replay[1] += 1
+            return buf
+        buf = super().take(shape, dtype)
+        if self._sched is not None:
+            self._sched.append(buf)
+            self._owned.add(id(buf))
+        return buf
+
+    def take_zeros(self, shape: Tuple[int, ...], dtype=DEFAULT_DTYPE) -> np.ndarray:
+        replay = self._replay
+        if replay is not None:
+            buf = replay[0][replay[1]]
+            replay[1] += 1
+            buf.fill(0)
+            return buf
+        return super().take_zeros(shape, dtype)  # delegates to take(): logged there
+
+    def take_like(self, prototype: np.ndarray) -> np.ndarray:
+        replay = self._replay
+        if replay is not None:
+            buf = replay[0][replay[1]]
+            replay[1] += 1
+            return buf
+        buf = super().take_like(prototype)
+        if self._sched is not None:
+            self._sched.append(buf)
+            self._owned.add(id(buf))
+        return buf
+
+    def give(self, array: Optional[np.ndarray]) -> None:
+        if array is None:
+            return
+        if self._replay is not None or id(array) in self._owned:
+            # Plan-owned buffers are replayed positionally; letting them
+            # into the arena would hand live plan memory to unrelated takes.
+            return
+        super().give(array)
+
+
 _active: Backend = _instance("numpy")
 
 __all__ = [
     "DEFAULT_DTYPE",
     "Backend",
     "NumpyBackend",
+    "NumpyCompiledBackend",
     "NumpyFastBackend",
     "OpCount",
     "available_backends",

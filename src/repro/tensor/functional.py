@@ -32,6 +32,17 @@ import numpy as np
 from repro.tensor.backend import DEFAULT_DTYPE, get_backend
 from repro.tensor.ops import Op, _unbroadcast
 from repro.tensor.tensor import Tensor, apply_op
+from repro.tensor import tensor as _tensor_core
+
+
+def _active_capture():
+    """The installed ``repro.compile`` capture context, or ``None``.
+
+    Kernels with per-batch state (cross-entropy weights, dropout masks,
+    batch-norm statistics) report it here so a captured plan can refresh
+    that state on every replay instead of baking the capture step's values.
+    """
+    return _tensor_core._capture
 
 IntPair = Union[int, Tuple[int, int]]
 
@@ -486,6 +497,32 @@ def softmax_cross_entropy(
         raise ValueError("cross_entropy expects logits of shape (N, C)")
     n, num_classes = logits.shape
 
+    one_hot_w, count = _ce_weights(targets, n, num_classes, label_smoothing, ignore_index)
+
+    if get_backend().fuse_kernels:
+        scale = np.asarray(1.0 / count, dtype=DEFAULT_DTYPE)
+        op = SoftmaxCrossEntropyOp(one_hot_w, scale)
+        out = apply_op(op, logits)
+        cap = _active_capture()
+        if cap is not None:
+            # The one-hot weight matrix and 1/count scale depend on the batch
+            # targets; a replayed plan must recompute them from the incoming
+            # labels, so register a patch keyed on the targets array.
+            def _patch(op_, targets_, _n=n, _c=num_classes,
+                       _ls=label_smoothing, _ii=ignore_index):
+                w, cnt = _ce_weights(np.asarray(targets_), _n, _c, _ls, _ii)
+                op_.weights = w
+                op_.scale = np.asarray(1.0 / cnt, dtype=DEFAULT_DTYPE)
+            cap.register_attr_patch(op, targets, _patch)
+        return out
+
+    log_probs = log_softmax(logits, axis=-1)
+    return -(log_probs * Tensor(one_hot_w)).sum() * (1.0 / count)
+
+
+def _ce_weights(targets: np.ndarray, n: int, num_classes: int,
+                label_smoothing: float, ignore_index: Optional[int]):
+    """Per-sample one-hot weight matrix and valid count for cross-entropy."""
     if ignore_index is not None:
         valid = targets != ignore_index
         safe_targets = np.where(valid, targets, 0)
@@ -499,13 +536,7 @@ def softmax_cross_entropy(
     if label_smoothing > 0.0:
         one_hot_w = one_hot_w * (1.0 - label_smoothing) + label_smoothing / num_classes
     one_hot_w *= valid[:, None]
-
-    if get_backend().fuse_kernels:
-        scale = np.asarray(1.0 / count, dtype=DEFAULT_DTYPE)
-        return apply_op(SoftmaxCrossEntropyOp(one_hot_w, scale), logits)
-
-    log_probs = log_softmax(logits, axis=-1)
-    return -(log_probs * Tensor(one_hot_w)).sum() * (1.0 / count)
+    return one_hot_w, count
 
 
 def cross_entropy(
@@ -776,6 +807,14 @@ def batch_norm2d_train(x: Tensor, weight: Tensor, bias: Tensor, eps: float):
     if get_backend().fuse_kernels:
         op = BatchNorm2dOp(eps)
         out = apply_op(op, x, weight, bias)
+        cap = _active_capture()
+        if cap is not None:
+            # The batch statistics live as op attributes (refreshed by every
+            # forward), not as graph values; let the capture resolve the
+            # arrays we hand back so running-average hooks can re-read them
+            # on each replay.
+            cap.register_attr_source(op.mu, op, "mu")
+            cap.register_attr_source(op.var, op, "var")
         return out, op.mu, op.var
     axes = (0, 2, 3)
     mean = x.mean(axis=axes, keepdims=True)
@@ -874,7 +913,15 @@ def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generat
         return x
     rng = rng or _default_dropout_rng()
     mask = (rng.random(x.shape) >= p).astype(DEFAULT_DTYPE) / (1.0 - p)
-    return x * Tensor(mask)
+    mask_t = Tensor(mask)
+    cap = _active_capture()
+    if cap is not None:
+        # On replay a fresh mask must be drawn from the *same* generator so
+        # the mask sequence is bit-identical to an eager run.
+        def _fresh_mask(_rng=rng, _shape=x.shape, _p=p):
+            return (_rng.random(_shape) >= _p).astype(DEFAULT_DTYPE) / (1.0 - _p)
+        cap.register_refresh(mask_t, _fresh_mask)
+    return x * mask_t
 
 
 def one_hot(targets: np.ndarray, num_classes: int) -> np.ndarray:

@@ -30,6 +30,13 @@ from repro.tensor.ops import Op, _unbroadcast  # noqa: F401
 
 _GRAD_ENABLED = True
 
+# Active graph-capture context (a ``repro.compile.graph.CaptureContext``) or
+# ``None``.  When set, every ``apply_op`` reports the op it just executed so
+# the compile layer can record a replayable schedule.  Installed/removed only
+# by ``repro.compile``; observation is pure — capture never changes what the
+# eager step computes.
+_capture = None
+
 
 @contextlib.contextmanager
 def no_grad():
@@ -73,11 +80,16 @@ def apply_op(op: Op, *inputs: "Tensor") -> "Tensor":
         be.record(op.name)
         out = Tensor(data, requires_grad=True, _children=inputs, _op=op.name)
         out._op_obj = op
+        if _capture is not None:
+            _capture.on_op(op, inputs, out)
         return out
     op.needs = None
     data = op.forward(be, *[t.data for t in inputs])
     be.record(op.name)
-    return Tensor(data)
+    out = Tensor(data)
+    if _capture is not None:
+        _capture.on_op(op, inputs, out)
+    return out
 
 
 class Tensor:

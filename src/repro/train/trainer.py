@@ -181,6 +181,9 @@ class Trainer:
         # Logits of the most recent training batch, recorded by the default
         # loss path so train_epoch can report a real running accuracy.
         self._last_train_logits: Optional[Tensor] = None
+        # Lazily created when the active backend asks for compiled plans
+        # (``numpy-compiled``); holds one replayable plan per step signature.
+        self._compiler = None
 
         if loss_fn is None:
             def loss_fn(model, batch):
@@ -194,6 +197,26 @@ class Trainer:
     # ------------------------------------------------------------------ #
     # Single epoch
     # ------------------------------------------------------------------ #
+    def _loss_with_hook(self, batch) -> Tensor:
+        loss = self.loss_fn(self.model, batch)
+        if self.loss_hook is not None:
+            extra = self.loss_hook(self.model)
+            if extra is not None:
+                loss = loss + extra
+        return loss
+
+    def _step_compiler(self):
+        """The step compiler, when the active backend wants compiled plans."""
+        from repro.tensor.backend import get_backend
+
+        if not getattr(get_backend(), "compiled_plans", False):
+            return None
+        if self._compiler is None:
+            from repro.compile import StepCompiler
+
+            self._compiler = StepCompiler()
+        return self._compiler
+
     def train_epoch(self) -> Dict[str, float]:
         self.model.train()
         epoch = self.epochs_completed
@@ -202,6 +225,7 @@ class Trainer:
             set_epoch(epoch)
         stats = PipelineStats()
         loss_meter, acc_meter = AverageMeter(), AverageMeter()
+        compiler = self._step_compiler()
         iterator = iter(self.train_loader)
         batch_index = 0
         try:
@@ -228,15 +252,24 @@ class Trainer:
                 for callback in self.callbacks:
                     callback.on_batch_begin(self, batch_index, batch)
                 self._last_train_logits = None
-                loss = self.loss_fn(self.model, batch)
-                if self.loss_hook is not None:
-                    extra = self.loss_hook(self.model)
-                    if extra is not None:
-                        loss = loss + extra
+                if compiler is not None:
+                    handle = compiler.forward(
+                        self.model, batch,
+                        lambda: self._loss_with_hook(batch),
+                        aux=lambda: {"logits": self._last_train_logits})
+                    loss = handle.loss
+                    if handle.was_replay:
+                        self._last_train_logits = handle.aux.get("logits")
+                else:
+                    handle = None
+                    loss = self._loss_with_hook(batch)
                 if traced:
                     forward_end = time.perf_counter()
                 self.optimizer.zero_grad()
-                loss.backward()
+                if handle is not None:
+                    handle.backward()
+                else:
+                    loss.backward()
                 if self.grad_hook is not None:
                     self.grad_hook(self.model)
                 if traced:
