@@ -241,3 +241,38 @@ def serving_suite(budget: SuiteBudget) -> Dict[str, float]:
         "batching_speedup": float(result["batching_speedup"]),
         "batched_p99_ms": float(result["batched_p99_ms"]),
     }
+
+
+@register_suite(
+    "serving-pool",
+    "replicated predictor-pool scaling: requests/sec at pool sizes 1/2/4",
+    metrics=(
+        MetricSpec("pool1_rps", REQUESTS_PER_SEC),
+        MetricSpec("pool2_rps", REQUESTS_PER_SEC),
+        MetricSpec("pool4_rps", REQUESTS_PER_SEC),
+        MetricSpec("pool4_scaling", RATIO,
+                   description="pool-4 over pool-1 requests/sec, same policy "
+                               "and execution mode"),
+        MetricSpec("pool4_p99_ms", MILLISECONDS, higher_is_better=False,
+                   description="p99 end-to-end latency at pool size 4"),
+    ),
+    default_backend="numpy-fast",
+    tags=("serving", "pool"),
+)
+def serving_pool_suite(budget: SuiteBudget) -> Dict[str, float]:
+    from repro.bench.workloads import serving_pool_throughput
+
+    duration = float(budget.resolve_iters(full_default=3, tiny_default=1))
+    result = serving_pool_throughput(
+        duration_s=duration,
+        concurrency=8 if budget.tiny else 32,
+        backend=budget.backend or "numpy-fast",
+        warmup_s=0.25 if budget.tiny else 0.5,
+    )
+    return {
+        "pool1_rps": float(result["pool1_rps"]),
+        "pool2_rps": float(result["pool2_rps"]),
+        "pool4_rps": float(result["pool4_rps"]),
+        "pool4_scaling": float(result["pool4_scaling"]),
+        "pool4_p99_ms": float(result["pool4_p99_ms"]),
+    }

@@ -467,3 +467,74 @@ def serving_throughput(
         return run(artifact_path)
     with tempfile.TemporaryDirectory(prefix="bench-serving-") as tmpdir:
         return run(export_serving_artifact(os.path.join(tmpdir, "dense.npz")))
+
+
+def serving_pool_throughput(
+    *,
+    pool_sizes: Sequence[int] = (1, 2, 4),
+    duration_s: float = 1.0,
+    concurrency: int = 16,
+    max_batch_size: int = 16,
+    max_wait_ms: float = 1.0,
+    backend: Optional[str] = "numpy-fast",
+    warmup_s: float = 0.25,
+    mode: str = "auto",
+    artifact_path: Optional[str] = None,
+) -> Dict[str, object]:
+    """Closed-loop engine-transport scaling curve across predictor-pool sizes.
+
+    Every pool size runs the *same* batching policy and the *same* execution
+    mode (``auto`` resolves to ``process`` when fork is available), so the
+    pool-N over pool-1 ratio isolates what worker replication buys on top of
+    micro-batching.  Bit-invariance across pool sizes is asserted per run:
+    one probe batch must come back byte-identical from every configuration.
+    """
+    from repro.distributed.process import fork_available
+    from repro.serve import BatchingPolicy, DynamicBatcher, load_artifact
+    from repro.serve.loadgen import bench_engine
+    from repro.utils import get_rng
+
+    if mode == "auto":
+        mode = "process" if fork_available() else "thread"
+
+    def run(path: str) -> Dict[str, object]:
+        per_size: Dict[int, Dict[str, object]] = {}
+        probe_outputs: Dict[int, np.ndarray] = {}
+        for size in pool_sizes:
+            predictor = load_artifact(path, backend=backend)
+            shape = predictor.input_shape
+            samples = get_rng(offset=7).standard_normal(
+                (max(64, 2 * concurrency),) + shape).astype(np.float32)
+            probe = samples[:5]
+            policy = BatchingPolicy(max_batch_size=max_batch_size,
+                                    max_wait_ms=max_wait_ms)
+            batcher = DynamicBatcher(predictor, policy=policy,
+                                     name=f"pool{size}", workers=size, mode=mode)
+            try:
+                probe_outputs[size] = batcher.submit_batch(probe).result(timeout=60.0)
+                result = bench_engine(batcher, samples, concurrency=concurrency,
+                                      duration_s=duration_s, warmup_s=warmup_s)
+            finally:
+                batcher.close(drain=True)
+            per_size[size] = result.as_dict()
+        reference = probe_outputs[pool_sizes[0]]
+        for size, outputs in probe_outputs.items():
+            if not np.array_equal(reference, outputs):
+                raise AssertionError(
+                    f"pool size {size} ({mode} mode) changed predictions "
+                    f"vs pool size {pool_sizes[0]} — bit-invariance broken")
+        base = per_size[pool_sizes[0]]["throughput_rps"]
+        top = pool_sizes[-1]
+        return {
+            "mode": mode,
+            **{f"pool{size}_rps": per_size[size]["throughput_rps"]
+               for size in pool_sizes},
+            f"pool{top}_scaling": per_size[top]["throughput_rps"] / max(base, 1e-9),
+            f"pool{top}_p99_ms": per_size[top]["latency_ms"]["p99"],
+            "raw": {str(size): per_size[size] for size in pool_sizes},
+        }
+
+    if artifact_path is not None:
+        return run(artifact_path)
+    with tempfile.TemporaryDirectory(prefix="bench-serving-pool-") as tmpdir:
+        return run(export_serving_artifact(os.path.join(tmpdir, "dense.npz")))

@@ -203,6 +203,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-batch-size", type=int, default=32)
     serve.add_argument("--max-wait-ms", type=float, default=2.0)
     serve.add_argument("--max-queue", type=int, default=256)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="predictor-pool size (replicated inference workers)")
+    serve.add_argument("--mode", default="thread", choices=["thread", "process", "auto"],
+                       help="pool execution mode; 'auto' picks process when "
+                            "fork is available, thread otherwise")
+    serve.add_argument("--admission", default="reject",
+                       choices=["reject", "block", "priority"],
+                       help="admission policy when the request queue is full")
+    serve.add_argument("--cache-size", type=int, default=0,
+                       help="response-cache capacity in batches (0 disables)")
+    serve.add_argument("--slo-p99-ms", type=float, default=None,
+                       help="enable the SLO controller with this p99 latency "
+                            "target; it tunes max_batch_size/max_wait_ms live")
     serve.add_argument("--trace", default=None, metavar="PATH",
                        help="record request/batch/inference spans; the trace "
                             "is written when the server shuts down")
@@ -216,6 +229,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--max-wait-ms", type=float, default=2.0)
     bench_serve.add_argument("--transports", nargs="+", default=["engine", "http"],
                              choices=["engine", "http"])
+    bench_serve.add_argument("--workers", type=int, default=1,
+                             help="predictor-pool size for the batched policy")
+    bench_serve.add_argument("--mode", default="thread",
+                             choices=["thread", "process", "auto"],
+                             help="pool execution mode for the batched policy")
     bench_serve.add_argument("--backend", default=None, choices=available_backends())
     bench_serve.add_argument("--trace", default=None, metavar="PATH",
                              help="record serve-path spans across the load test")
@@ -563,16 +581,32 @@ def cmd_export(args: argparse.Namespace, stream=sys.stdout) -> int:
     return 0
 
 
+def _resolve_pool_mode(mode: str) -> str:
+    """Map the CLI's thread|process|auto to a concrete pool mode."""
+    if mode != "auto":
+        return mode
+    from repro.distributed.process import fork_available
+
+    return "process" if fork_available() else "thread"
+
+
 def cmd_serve(args: argparse.Namespace, stream=sys.stdout) -> int:
-    from repro.serve import BatchingPolicy, ModelServer
+    from repro.serve import AdmissionPolicy, BatchingPolicy, ModelServer
 
     policy = BatchingPolicy(max_batch_size=args.max_batch_size,
                             max_wait_ms=args.max_wait_ms, max_queue=args.max_queue)
+    mode = _resolve_pool_mode(args.mode)
     traced = _start_trace(args, "server")
     server = ModelServer(args.artifact, policy=policy, host=args.host, port=args.port,
-                         backend=args.backend)
+                         backend=args.backend,
+                         workers=args.workers, mode=mode,
+                         admission=AdmissionPolicy(kind=args.admission),
+                         cache_size=args.cache_size, slo=args.slo_p99_ms)
+    slo_note = f", slo_p99_ms={args.slo_p99_ms}" if args.slo_p99_ms else ""
     stream.write(f"serving {server.model_name} on {server.url} "
-                 f"(max_batch_size={args.max_batch_size}, max_wait_ms={args.max_wait_ms})\n")
+                 f"(max_batch_size={args.max_batch_size}, max_wait_ms={args.max_wait_ms}, "
+                 f"workers={args.workers}, mode={mode}, "
+                 f"admission={args.admission}{slo_note})\n")
     stream.flush()
     try:
         server.serve_forever()
@@ -595,6 +629,8 @@ def cmd_bench_serve(args: argparse.Namespace, stream=sys.stdout) -> int:
             concurrency=args.concurrency,
             transports=args.transports,
             backend=args.backend,
+            workers=args.workers,
+            mode=_resolve_pool_mode(args.mode),
         )
     finally:
         if traced:

@@ -1,4 +1,4 @@
-"""Model serving: artifact export/load, dynamic micro-batching, HTTP frontend.
+"""Model serving: artifact export/load, predictor pool, HTTP frontend.
 
 The deployment path for trained (and factorized) models:
 
@@ -7,15 +7,30 @@ The deployment path for trained (and factorized) models:
 2. :func:`load_artifact` rebuilds the model without the training stack and
    returns a :class:`Predictor` (graph-free ``no_grad`` inference).
 3. :class:`DynamicBatcher` coalesces single-sample requests into micro
-   batches under a max-batch-size / max-wait-ms policy with backpressure.
-4. :class:`ModelServer` exposes ``/predict``, ``/healthz`` and ``/metrics``
-   over a stdlib ``ThreadingHTTPServer``; :class:`ServeClient` talks to it.
-5. :mod:`repro.serve.loadgen` drives closed-loop load for benchmarking.
+   batches under a max-batch-size / max-wait-ms policy and feeds them to a
+   replicated predictor pool: N workers, each owning an execution engine
+   (same-thread :class:`InlineEngine` or forked :class:`ProcessEngine` with
+   shared-memory weights).  Admission control (:class:`AdmissionPolicy`),
+   a response cache, and an SLO controller (:class:`SLOPolicy`) layer on
+   top.
+4. :class:`ModelServer` exposes ``/predict``, ``/healthz``, ``/metrics``
+   and ``/respawn`` over a stdlib ``ThreadingHTTPServer``;
+   :class:`ServeClient` talks to it with jittered-backoff retries.
+5. :mod:`repro.serve.loadgen` drives closed-loop load for benchmarking and
+   open-loop load (:class:`TrafficShape` / :func:`run_open_loop`) for
+   SLO-attainment studies.
 
-See DESIGN.md §9 for the artifact format, the batching policy, and the
-determinism guarantee (predictions independent of batch composition).
+See DESIGN.md §9 for the artifact format and the determinism guarantee
+(predictions independent of batch composition), and §16 for the pool
+architecture, admission policy, and SLO control loop.
 """
 
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    LoadShedError,
+    QueueFullError,
+)
 from repro.serve.artifact import (
     ARTIFACT_FORMAT_VERSION,
     ArtifactError,
@@ -30,20 +45,33 @@ from repro.serve.batcher import (
     BatcherClosedError,
     BatchingPolicy,
     DynamicBatcher,
-    QueueFullError,
 )
+from repro.serve.cache import ResponseCache, batch_cache_key
 from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.engine import (
+    InlineEngine,
+    ProcessEngine,
+    SharedModelWeights,
+    WorkerDiedError,
+)
 from repro.serve.loadgen import (
     LoadgenResult,
+    TrafficShape,
+    arrival_times,
     bench_artifact,
     bench_engine,
     bench_http,
     run_closed_loop,
+    run_open_loop,
 )
+from repro.serve.pool import PredictorPool
 from repro.serve.server import ModelServer
+from repro.serve.slo import SLOController, SLOPolicy
 
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
+    "AdmissionController",
+    "AdmissionPolicy",
     "ArtifactError",
     "Predictor",
     "artifact_size_bytes",
@@ -54,13 +82,26 @@ __all__ = [
     "BatcherClosedError",
     "BatchingPolicy",
     "DynamicBatcher",
+    "InlineEngine",
+    "LoadShedError",
+    "ProcessEngine",
+    "PredictorPool",
     "QueueFullError",
+    "ResponseCache",
+    "SLOController",
+    "SLOPolicy",
     "ServeClient",
     "ServeClientError",
+    "SharedModelWeights",
+    "WorkerDiedError",
+    "batch_cache_key",
     "LoadgenResult",
+    "TrafficShape",
+    "arrival_times",
     "bench_artifact",
     "bench_engine",
     "bench_http",
     "run_closed_loop",
+    "run_open_loop",
     "ModelServer",
 ]

@@ -336,6 +336,19 @@ class Predictor:
         shape = self.manifest.get("input_shape")
         return tuple(shape) if shape else None
 
+    def clone(self) -> "Predictor":
+        """A sibling predictor sharing the model/weights but no replay state.
+
+        The embedded inference plan's value table is mutated during every
+        replay, so a plan must never be shared across threads.  Thread-mode
+        predictor pools give each worker a clone: same model object, same
+        manifest and plan constants (read-only), private lazily-built plan.
+        """
+        return Predictor(self.model, manifest=self.manifest,
+                         backend=self.backend, canonicalize=self.canonicalize,
+                         pad_multiple=self.pad_multiple, min_batch=self.min_batch,
+                         plan_consts=self._plan_consts)
+
     def _canonical_rows(self, n: int) -> int:
         multiple = self.pad_multiple
         return max(self.min_batch, ((n + multiple - 1) // multiple) * multiple)

@@ -1,55 +1,72 @@
-"""Dynamic micro-batching: coalesce single-sample requests into batches.
+"""Dynamic micro-batching over a replicated predictor pool.
 
-The engine is a bounded request queue plus one inference worker thread:
+``DynamicBatcher`` is the serving engine's facade.  PR 3 fused queueing,
+batching policy, execution and lifecycle into one class with one hardcoded
+worker thread; those concerns are now separate layers that this class only
+wires together:
 
-* Producers (HTTP handler threads, benchmark clients) call
-  :meth:`DynamicBatcher.submit` and receive a ``concurrent.futures.Future``.
-  When the queue is full the submit fails fast with :class:`QueueFullError`
-  — backpressure instead of unbounded memory growth.
-* The worker blocks for the first request, then keeps draining the queue
-  until either ``max_batch_size`` samples are collected or ``max_wait_ms``
-  has elapsed since the *first* request of the batch arrived (so the wait
-  bound is a latency bound, not a rate bound).  The coalesced batch runs
-  through the model once, graph-free, and each future receives its slice.
-* Requests may carry several samples; one carrying more than
-  ``max_batch_size`` is executed alone, chunked into max-batch-size pieces.
-* :meth:`close` stops intake, optionally drains queued work, and fails any
-  futures that remain after a non-draining shutdown.
+* **admission** (:mod:`repro.serve.admission`) — a policy object in front
+  of the bounded queue: fail-fast reject (the default, bit-compatible with
+  the original backpressure), blocking, or priority-aware load shedding.
+* **batching** — the coalescing loop itself lives in
+  :class:`repro.serve.pool.PoolWorker`: block for the first request, drain
+  companions until ``max_batch_size`` samples or ``max_wait_ms`` since the
+  *first* request (a latency bound, not a rate bound), run the batch once,
+  give each future its slice.
+* **execution** (:mod:`repro.serve.engine`) — where the forward runs: on
+  the worker thread (``mode="thread"``) or in a forked child over shared
+  memory (``mode="process"``), with artifact weights mapped once into a
+  pool-wide read-only segment.
+* **replication** (:mod:`repro.serve.pool`) — ``workers=N`` such loops
+  share the queue.  Pool size 1 in thread mode is byte-for-byte the
+  pre-pool engine; outputs are bit-invariant across pool sizes because the
+  :class:`~repro.serve.artifact.Predictor` padding rule makes predictions a
+  pure function of each request's samples (DESIGN.md §9, §16).
+* **adaptation** (:mod:`repro.serve.slo`) — an optional controller tunes
+  ``max_batch_size``/``max_wait_ms`` live against a p99 target; an optional
+  :class:`~repro.serve.cache.ResponseCache` answers byte-identical repeat
+  requests without a forward.
 
-Only the worker thread ever runs the model, so the engine needs no locking
-around model state and is safe with backends that keep global scratch (the
-``numpy-fast`` arena).  Determinism under batching comes from the
-:class:`~repro.serve.artifact.Predictor` padding rule — results are
-bit-identical no matter how requests happen to be grouped (DESIGN.md §9).
-
-The bounded queue, shutdown sentinel and pending-request sweep are the
-shared :mod:`repro.utils.concurrency` primitives — the same machinery the
-data pipeline's prefetcher runs on — and the worker keeps a stall-vs-compute
-split (:class:`~repro.profiling.pipeline.PipelineStats`) that ``/metrics``
-surfaces as engine utilization.
+Requests may carry several samples; one carrying more than
+``max_batch_size`` is executed alone, chunked into max-batch-size pieces.
+:meth:`close` stops intake, optionally drains queued work, and fails any
+futures that remain.  A worker that dies (killed child process, escaping
+non-``Exception``) fails its in-flight futures loudly, degrades
+``/healthz`` and can be replaced with :meth:`respawn_workers`.
 """
 
 from __future__ import annotations
 
-import queue
 import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro import nn
-from repro.profiling.pipeline import PipelineStats
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    LoadShedError,
+    QueueFullError,
+)
 from repro.serve.artifact import Predictor
+from repro.serve.cache import ResponseCache
+from repro.serve.engine import (
+    InlineEngine,
+    ProcessEngine,
+    SharedModelWeights,
+    WorkerDiedError,
+    probe_output_shape,
+)
+from repro.serve.pool import PredictorPool, WorkerContext
+from repro.serve.slo import SLOController, SLOPolicy
 from repro.telemetry import MetricsRegistry
-from repro.telemetry import tracing as _tracing
-from repro.utils.concurrency import CLOSED, ClosableQueue
+from repro.utils.concurrency import ClosableQueue
 
-
-class QueueFullError(RuntimeError):
-    """The request queue is at capacity; the caller should retry or shed load."""
+_MODES = ("thread", "process")
 
 
 class BatcherClosedError(RuntimeError):
@@ -64,6 +81,9 @@ class BatchingPolicy:
     ``max_wait_ms``     — longest a request may sit waiting for companions,
                           measured from its enqueue time.
     ``max_queue``       — bound on queued requests (backpressure).
+
+    ``max_batch_size`` and ``max_wait_ms`` may be mutated on a live policy
+    (the SLO controller does); workers read them every coalescing cycle.
     """
 
     max_batch_size: int = 32
@@ -80,17 +100,18 @@ class BatchingPolicy:
 
 
 class _Request:
-    __slots__ = ("samples", "n", "future", "enqueued_at")
+    __slots__ = ("samples", "n", "priority", "future", "enqueued_at")
 
-    def __init__(self, samples: np.ndarray):
+    def __init__(self, samples: np.ndarray, priority: int = 0):
         self.samples = samples                   # always (n, *sample_shape)
         self.n = samples.shape[0]
+        self.priority = int(priority)
         self.future: Future = Future()
         self.enqueued_at = time.perf_counter()
 
 
 class DynamicBatcher:
-    """Thread-safe request coalescing in front of a single-threaded predictor."""
+    """Thread-safe request coalescing in front of a predictor pool."""
 
     def __init__(
         self,
@@ -98,12 +119,25 @@ class DynamicBatcher:
         policy: Optional[BatchingPolicy] = None,
         name: str = "batcher",
         registry: Optional[MetricsRegistry] = None,
+        *,
+        workers: int = 1,
+        mode: str = "thread",
+        admission: Optional[AdmissionPolicy] = None,
+        cache_size: int = 0,
+        slo: Optional[Union[SLOPolicy, float]] = None,
+        input_shape: Optional[Sequence[int]] = None,
     ):
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         if isinstance(predictor, nn.Module):
             predictor = Predictor(predictor)
         self.predict = predictor
         self.policy = policy or BatchingPolicy()
         self.name = name
+        self.mode = mode
+        self.workers = int(workers)
         self._queue = ClosableQueue(maxsize=self.policy.max_queue)
         self._closed = False
         self._lock = threading.Lock()
@@ -115,15 +149,91 @@ class DynamicBatcher:
         self.queue_latency = self.metrics.latency("queue_wait")        # enqueue → batch start
         self.compute_latency = self.metrics.latency("compute")         # forward pass per batch
         self.request_latency = self.metrics.latency("request_latency")  # enqueue → future resolved
-        self.batch_sizes = self.metrics.histogram(
-            "batch_sizes", max_batch_size=self.policy.max_batch_size)
-        self.worker_stats = PipelineStats()       # worker stall vs inference time
         self._requests = self.metrics.counter("requests_total")
         self._errors = self.metrics.counter("errors_total")
         self.metrics.register_collector("batcher_worker", self._worker_snapshot)
 
-        self._worker = threading.Thread(target=self._run, name=f"{name}-worker", daemon=True)
-        self._worker.start()
+        # Optional adaptation layer.  The controller resolves its knob
+        # ceilings before the pool sizes any shared-memory slabs.
+        if isinstance(slo, (int, float)):
+            slo = SLOPolicy(target_p99_ms=float(slo))
+        self.slo = SLOController(self.policy, slo, registry=self.metrics,
+                                 name=name) if slo is not None else None
+        batch_ceiling = self.slo.slo.max_batch_size if self.slo is not None \
+            else self.policy.max_batch_size
+        self.batch_sizes = self.metrics.histogram(
+            "batch_sizes", max_batch_size=batch_ceiling)
+
+        self.admission = AdmissionController(
+            self._queue, self.policy.max_queue, admission,
+            registry=self.metrics, name=name)
+        self.cache = ResponseCache(cache_size, registry=self.metrics) \
+            if cache_size > 0 else None
+
+        self._shared_weights: Optional[SharedModelWeights] = None
+        engine_factory = self._build_engine_factory(input_shape, batch_ceiling)
+        context = WorkerContext(
+            name=name,
+            queue=self._queue,
+            policy=self.policy,
+            queue_latency=self.queue_latency,
+            compute_latency=self.compute_latency,
+            request_latency=self.request_latency,
+            batch_sizes=self.batch_sizes,
+            errors=self._errors,
+            cache=self.cache,
+            slo=self.slo,
+        )
+        self.pool = PredictorPool(engine_factory, self.workers, context,
+                                  registry=self.metrics)
+        self.pool.start()
+        if self.slo is not None:
+            self.slo.start()
+
+    # ------------------------------------------------------------------ #
+    def _build_engine_factory(self, input_shape, batch_ceiling: int):
+        if self.mode == "thread":
+            def thread_factory(index: int) -> InlineEngine:
+                # Worker 0 runs the caller's predictor untouched (pool size 1
+                # must be byte-identical to the single-worker engine);
+                # siblings get clones so the lazily-built inference plan —
+                # single-threaded replay state — is never shared.
+                if index == 0 or not isinstance(self.predict, Predictor):
+                    return InlineEngine(self.predict)
+                return InlineEngine(self.predict.clone())
+
+            return thread_factory
+
+        from repro.distributed.process import fork_available
+
+        if not fork_available():  # pragma: no cover — all target platforms fork
+            raise ValueError(
+                f"{self.name}: mode='process' requires the fork start method; "
+                f"use mode='thread' on this platform")
+        shape = tuple(input_shape) if input_shape is not None else (
+            self.predict.input_shape if isinstance(self.predict, Predictor)
+            else None)
+        if shape is None:
+            raise ValueError(
+                f"{self.name}: mode='process' needs the per-sample input shape "
+                f"to size its shared-memory slabs — serve an artifact exported "
+                f"with input_shape=..., or pass input_shape= explicitly")
+        if isinstance(self.predict, Predictor):
+            # Map the weights into one read-only segment *before* forking so
+            # every child addresses the same physical pages, then drop any
+            # already-built plan: the probe below rebuilds it against the
+            # shared views, and children inherit it pre-built via fork.
+            self._shared_weights = SharedModelWeights(self.predict.model)
+            self.predict._plan = None
+            self.predict._plan_failed = False
+        output_shape = probe_output_shape(self.predict, shape)
+
+        def process_factory(index: int) -> ProcessEngine:
+            return ProcessEngine(self.predict, shape, output_shape,
+                                 max_rows=batch_ceiling,
+                                 name=f"{self.name}-engine{index}")
+
+        return process_factory
 
     # ------------------------------------------------------------------ #
     # Liveness / load signals (consumed by /healthz and load shedding)
@@ -142,12 +252,22 @@ class DynamicBatcher:
 
     @property
     def worker_alive(self) -> bool:
-        return self._worker.is_alive()
+        """``True`` iff the pool is at full strength (every worker alive)."""
+        return self.pool.alive_workers == self.workers
+
+    @property
+    def alive_workers(self) -> int:
+        return self.pool.alive_workers
+
+    def worker_pids(self) -> List[Optional[int]]:
+        """Child PIDs per pool worker (``None`` in thread mode)."""
+        return self.pool.worker_pids()
 
     def _worker_snapshot(self) -> Dict[str, Any]:
+        aggregate = self.pool.aggregate_stats()
         return {
-            **self.worker_stats.as_dict(),
-            "utilization": 1.0 - self.worker_stats.stall_fraction,
+            **aggregate.as_dict(),
+            "utilization": 1.0 - aggregate.stall_fraction,
             "queue_depth": self.queue_depth,
             "alive": self.worker_alive,
         }
@@ -155,17 +275,20 @@ class DynamicBatcher:
     # ------------------------------------------------------------------ #
     # Producer side
     # ------------------------------------------------------------------ #
-    def submit(self, sample: np.ndarray, timeout: Optional[float] = 0.0) -> Future:
+    def submit(self, sample: np.ndarray, timeout: Optional[float] = 0.0,
+               priority: int = 0) -> Future:
         """Enqueue one sample (shape ``sample_shape``); returns its future.
 
         ``timeout`` bounds how long to wait for queue space: ``0`` fails
         immediately when full (the server's behaviour — shed load), ``None``
-        blocks until space frees up.
+        blocks until space frees up.  ``priority`` feeds the admission
+        policy (higher = more important; only the ``priority`` kind uses it).
         """
         array = np.asarray(sample, dtype=np.float32)
-        return self._enqueue(array[None, ...], timeout)
+        return self._enqueue(array[None, ...], timeout, priority)
 
-    def submit_batch(self, samples: np.ndarray, timeout: Optional[float] = 0.0) -> Future:
+    def submit_batch(self, samples: np.ndarray, timeout: Optional[float] = 0.0,
+                     priority: int = 0) -> Future:
         """Enqueue a multi-sample request of shape ``(n, *sample_shape)``.
 
         The whole request resolves through one future; requests wider than
@@ -174,135 +297,44 @@ class DynamicBatcher:
         array = np.asarray(samples, dtype=np.float32)
         if array.ndim < 1 or array.shape[0] < 1:
             raise ValueError("submit_batch expects at least one sample")
-        return self._enqueue(array, timeout)
+        return self._enqueue(array, timeout, priority)
 
-    def _enqueue(self, samples: np.ndarray, timeout: Optional[float]) -> Future:
+    def _enqueue(self, samples: np.ndarray, timeout: Optional[float],
+                 priority: int = 0) -> Future:
         with self._lock:
             if self._closed:
                 raise BatcherClosedError(f"{self.name} is shut down")
         self._requests.inc()
-        request = _Request(samples)
+        request = _Request(samples, priority)
+        if self.cache is not None:
+            hit = self.cache.get(samples)
+            if hit is not None:
+                self.request_latency.observe(
+                    time.perf_counter() - request.enqueued_at)
+                request.future.set_result(hit)
+                return request.future
         try:
-            if timeout == 0.0:
-                self._queue.put_nowait(request)
-            else:
-                self._queue.put(request, timeout=timeout)
-        except queue.Full:
+            self.admission.admit(request, timeout)
+        except QueueFullError:
             self._errors.inc()
-            raise QueueFullError(
-                f"{self.name}: request queue is full "
-                f"({self.policy.max_queue} pending requests)"
-            ) from None
-        # close() may have raced us between the _closed check and the put: if
-        # the worker is already gone, nothing will ever drain this request —
-        # sweep the queue so the future fails instead of hanging its caller.
-        if self._closed and not self._worker.is_alive():
-            self._fail_pending(BatcherClosedError(f"{self.name} is shut down"))
+            raise
+        # close() — or the death of the last worker — may have raced us
+        # between the _closed check and the put: if no worker remains,
+        # nothing will ever drain this request — sweep the queue so the
+        # future fails instead of hanging its caller.
+        if self.pool.alive_workers == 0:
+            if self._closed:
+                self._fail_pending(BatcherClosedError(f"{self.name} is shut down"))
+            elif self.pool.any_failed:
+                self._fail_pending(WorkerDiedError(
+                    f"{self.name}: all {self.workers} inference workers are "
+                    f"dead; call respawn_workers() to recover"))
         return request.future
 
     def __call__(self, samples: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
         """Synchronous convenience: submit and wait for the result."""
         future = self.submit_batch(samples, timeout=None)
         return future.result(timeout=timeout)
-
-    # ------------------------------------------------------------------ #
-    # Worker side
-    # ------------------------------------------------------------------ #
-    def _collect(self, first: _Request) -> List[_Request]:
-        """Coalesce up to ``max_batch_size`` samples, bounded by max_wait_ms."""
-        batch = [first]
-        total = first.n
-        deadline = first.enqueued_at + self.policy.max_wait_ms / 1e3
-        while total < self.policy.max_batch_size:
-            remaining = deadline - time.perf_counter()
-            try:
-                item = self._queue.get_nowait() if remaining <= 0 else \
-                    self._queue.get(timeout=remaining)
-            except queue.Empty:
-                break
-            if item is CLOSED:
-                # Hand the sentinel to the outer loop via the carry slot —
-                # re-queueing could block on a full bounded queue.
-                self._carry = item
-                break
-            if total + item.n > self.policy.max_batch_size:
-                # Would overflow the batch: run it in the next cycle.  Re-queueing
-                # would reorder requests, so handle it immediately after this
-                # batch via the carry slot.
-                self._carry = item
-                break
-            batch.append(item)
-            total += item.n
-        return batch
-
-    def _run(self) -> None:
-        self._carry: Optional[Any] = None
-        while True:
-            waited_from = time.perf_counter()
-            if self._carry is not None:
-                item, self._carry = self._carry, None
-            else:
-                item = self._queue.get()
-            if item is CLOSED:
-                break
-            first = item
-            if first.n >= self.policy.max_batch_size:
-                batch = [first]
-            else:
-                batch = self._collect(first)
-            # Idle-plus-coalescing wait is "stall", the forward pass is
-            # "compute" — the serving twin of the trainer's data-stall split.
-            executing_from = time.perf_counter()
-            self.worker_stats.observe_stall(executing_from - waited_from)
-            if _tracing.enabled():
-                _tracing.record_span("batch_assembly", waited_from,
-                                     executing_from, cat="serve",
-                                     requests=len(batch))
-            self._execute(batch)
-            self.worker_stats.observe_compute(time.perf_counter() - executing_from,
-                                              samples=sum(r.n for r in batch))
-        self._fail_pending(BatcherClosedError(f"{self.name} shut down before execution"))
-
-    def _execute(self, batch: List[_Request]) -> None:
-        started = time.perf_counter()
-        for request in batch:
-            self.queue_latency.observe(started - request.enqueued_at)
-        total = sum(request.n for request in batch)
-        self.batch_sizes.observe(total)
-        try:
-            stacked = batch[0].samples if len(batch) == 1 else \
-                np.concatenate([request.samples for request in batch], axis=0)
-            if total > self.policy.max_batch_size:
-                # A single oversized request: chunk it so memory stays bounded.
-                step = self.policy.max_batch_size
-                outputs = np.concatenate(
-                    [self.predict(stacked[i:i + step]) for i in range(0, total, step)],
-                    axis=0,
-                )
-            else:
-                outputs = self.predict(stacked)
-        except Exception as error:  # noqa: BLE001 — forwarded to the callers
-            self._errors.inc(len(batch))
-            for request in batch:
-                if not request.future.set_running_or_notify_cancel():
-                    continue
-                request.future.set_exception(error)
-            return
-        compute_end = time.perf_counter()
-        self.compute_latency.observe(compute_end - started)
-        offset = 0
-        done = compute_end
-        for request in batch:
-            slice_ = outputs[offset:offset + request.n]
-            offset += request.n
-            self.request_latency.observe(done - request.enqueued_at)
-            if request.future.set_running_or_notify_cancel():
-                request.future.set_result(slice_)
-        if _tracing.enabled():
-            _tracing.record_span("inference", started, compute_end,
-                                 cat="serve", samples=total)
-            _tracing.record_span("respond", compute_end, time.perf_counter(),
-                                 cat="serve")
 
     def _fail_pending(self, error: Exception) -> None:
         def fail(item) -> None:
@@ -314,8 +346,16 @@ class DynamicBatcher:
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
+    def respawn_workers(self) -> int:
+        """Replace dead pool workers (re-forking process engines); returns
+        how many were respawned.  No-op on a closed batcher."""
+        with self._lock:
+            if self._closed:
+                return 0
+        return self.pool.respawn_dead()
+
     def close(self, drain: bool = True, timeout: Optional[float] = 30.0) -> None:
-        """Stop accepting requests and shut the worker down.
+        """Stop accepting requests and shut the pool down.
 
         ``drain=True`` lets every queued request finish first; ``False``
         fails queued-but-unstarted requests with :class:`BatcherClosedError`.
@@ -325,15 +365,19 @@ class DynamicBatcher:
             if self._closed:
                 return
             self._closed = True
+        if self.slo is not None:
+            self.slo.stop()
         if not drain:
             self._fail_pending(BatcherClosedError(f"{self.name} closed without draining"))
-        self._queue.close()
-        self._worker.join(timeout=timeout)
-        if self._worker.is_alive():
+        self.pool.request_stop()
+        if not self.pool.join(timeout=timeout):
             raise RuntimeError(f"{self.name}: worker did not stop within {timeout}s")
         # Final sweep: fail anything a racing submit slipped in after the
-        # worker drained past the sentinel (see _enqueue).
+        # workers drained past their sentinels (see _enqueue).
         self._fail_pending(BatcherClosedError(f"{self.name} is shut down"))
+        if self._shared_weights is not None:
+            self._shared_weights.restore()
+            self._shared_weights = None
 
     @property
     def closed(self) -> bool:
@@ -349,7 +393,8 @@ class DynamicBatcher:
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, Any]:
         """Snapshot of the engine counters (feeds the /metrics endpoint)."""
-        return {
+        aggregate = self.pool.aggregate_stats()
+        stats: Dict[str, Any] = {
             "requests_total": self.requests_total,
             "errors_total": self.errors_total,
             "queue_depth": self.queue_depth,
@@ -361,14 +406,36 @@ class DynamicBatcher:
             "compute_ms": self.compute_latency.summary(unit="ms"),
             "request_latency_ms": self.request_latency.summary(unit="ms"),
             "worker": {
-                **self.worker_stats.as_dict(),
-                "utilization": 1.0 - self.worker_stats.stall_fraction,
+                **aggregate.as_dict(),
+                "utilization": 1.0 - aggregate.stall_fraction,
             },
+            "pool": {
+                "size": self.workers,
+                "mode": self.mode,
+                "alive": self.pool.alive_workers,
+                "respawns_total": self.pool.respawns_total,
+            },
+            "workers": [worker.snapshot() for worker in self.pool.workers],
+            "admission": self.admission.stats(),
         }
+        if self.cache is not None:
+            stats["cache"] = self.cache.stats()
+        if self.slo is not None:
+            stats["slo"] = self.slo.stats()
+        return stats
 
     def snapshot(self) -> Dict[str, Any]:
         """The unified versioned snapshot (see :mod:`repro.telemetry`)."""
         return self.metrics.snapshot()
 
 
-__all__ = ["BatchingPolicy", "DynamicBatcher", "QueueFullError", "BatcherClosedError"]
+__all__ = [
+    "AdmissionPolicy",
+    "BatcherClosedError",
+    "BatchingPolicy",
+    "DynamicBatcher",
+    "LoadShedError",
+    "QueueFullError",
+    "SLOPolicy",
+    "WorkerDiedError",
+]

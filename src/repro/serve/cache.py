@@ -1,0 +1,105 @@
+"""Response cache keyed on canonicalized input batches.
+
+Batch canonicalization (DESIGN.md §9) makes predictions a *pure function of
+the request's samples* — the whole point of the padding rule is that the
+answer does not depend on which other requests shared the forward pass.
+That purity is exactly the precondition for caching: two byte-identical
+requests are guaranteed byte-identical answers, so serving the second one
+from memory is indistinguishable from recomputing it.  The cache therefore
+cannot change any output bit — it only removes forwards.
+
+Keys are ``(shape, dtype, sha1(bytes))`` of the request's sample array —
+content-addressed, so callers hit regardless of how they built the array.
+Values are defensive copies both ways (the cache never aliases caller or
+worker memory).  Eviction is plain LRU under one lock; the default capacity
+is 0 (disabled) so the hot path pays nothing unless a deployment opts in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.telemetry import MetricsRegistry
+
+
+def batch_cache_key(samples: np.ndarray) -> Tuple:
+    """Content hash of one request's sample array."""
+    array = np.ascontiguousarray(samples, dtype=np.float32)
+    return (array.shape, hashlib.sha1(array.tobytes()).hexdigest())
+
+
+class ResponseCache:
+    """Thread-safe LRU of request-samples → predictions."""
+
+    def __init__(self, capacity: int,
+                 registry: Optional[MetricsRegistry] = None):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        registry = registry or MetricsRegistry("serve")
+        self._hits = registry.counter("cache_hits_total")
+        self._misses = registry.counter("cache_misses_total")
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def get(self, samples: np.ndarray) -> Optional[np.ndarray]:
+        if not self.enabled:
+            return None
+        key = batch_cache_key(samples)
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self._misses.inc()
+                return None
+            self._entries.move_to_end(key)
+            self._hits.inc()
+            return value.copy()
+
+    def put(self, samples: np.ndarray, outputs: np.ndarray) -> None:
+        if not self.enabled:
+            return
+        key = batch_cache_key(samples)
+        value = np.array(outputs, dtype=np.float32, copy=True)
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hits_total(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses_total(self) -> int:
+        return self._misses.value
+
+    def stats(self) -> Dict[str, Any]:
+        total = self.hits_total + self.misses_total
+        return {
+            "capacity": self.capacity,
+            "entries": len(self),
+            "hits_total": self.hits_total,
+            "misses_total": self.misses_total,
+            "hit_rate": self.hits_total / total if total else 0.0,
+        }
+
+
+__all__ = ["ResponseCache", "batch_cache_key"]

@@ -3,14 +3,25 @@
 Used by the closed-loop load generator, the CI smoke job and the quickstart
 example; downstream users can talk to the server with any HTTP client — the
 wire format is plain JSON.
+
+Transient failures are retried with jittered exponential backoff: transport
+errors (connection refused/reset while a pool worker restarts, status 0)
+and retryable 503s (queue full, shed load, degraded pool) back off and try
+again up to ``retries`` times; a 503 whose body says ``"retry": false``
+(the server is shutting down for good) fails immediately.  When the retry
+budget runs out the final error is loud — it says how many attempts were
+made and over how long — so a dead server reads as a dead server, not as a
+one-line connection error from the middle of a load test.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -20,23 +31,41 @@ class ServeClientError(RuntimeError):
 
     ``status`` is the HTTP code, or 0 for transport-level failures
     (connection reset/refused, timeout) so closed-loop clients can treat
-    both uniformly as retryable errors.
+    both uniformly as retryable errors.  ``attempts`` counts how many times
+    the request was tried before giving up.
     """
 
-    def __init__(self, status: int, body: Dict[str, Any]):
+    def __init__(self, status: int, body: Dict[str, Any], attempts: int = 1):
         super().__init__(f"HTTP {status}: {body.get('error', body)}")
         self.status = status
         self.body = body
+        self.attempts = attempts
 
 
 class ServeClient:
-    """Blocking JSON client: ``predict``, ``healthz``, ``metrics``."""
+    """Blocking JSON client: ``predict``, ``healthz``, ``metrics``.
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    ``retries`` bounds how many times a *retryable* failure is retried
+    (total attempts = retries + 1); the sleep before attempt ``k`` is
+    ``backoff_base_s * 2**k`` capped at ``backoff_max_s``, scaled by a
+    uniform jitter in ``[1, 2)`` so a restarted server is not greeted by a
+    synchronized thundering herd of waiting clients.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 retries: int = 2, backoff_base_s: float = 0.05,
+                 backoff_max_s: float = 2.0,
+                 retry_statuses: Sequence[int] = (0, 503)):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self.retry_statuses = tuple(retry_statuses)
 
-    def _request(self, path: str, payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    # ------------------------------------------------------------------ #
+    def _request_once(self, path: str,
+                      payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         url = f"{self.base_url}{path}"
         data = json.dumps(payload).encode("utf-8") if payload is not None else None
         request = urllib.request.Request(
@@ -58,15 +87,52 @@ class ServeClient:
             # transport error instead of leaking raw socket exceptions.
             raise ServeClientError(0, {"error": str(error)}) from None
 
+    def _retryable(self, error: ServeClientError) -> bool:
+        if error.status not in self.retry_statuses:
+            return False
+        # A server that says it is closed for good ("retry": false) will not
+        # get better; respect it and fail fast.
+        return error.body.get("retry", True) is not False
+
+    def _request(self, path: str,
+                 payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        started = time.perf_counter()
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(path, payload)
+            except ServeClientError as error:
+                if attempt >= self.retries or not self._retryable(error):
+                    if attempt:
+                        elapsed = time.perf_counter() - started
+                        body = dict(error.body)
+                        body["error"] = (
+                            f"{body.get('error', body)} "
+                            f"(gave up after {attempt + 1} attempts over "
+                            f"{elapsed:.2f}s against {self.base_url})")
+                        raise ServeClientError(error.status, body,
+                                               attempts=attempt + 1) from None
+                    raise
+                delay = min(self.backoff_max_s,
+                            self.backoff_base_s * (2.0 ** attempt))
+                time.sleep(delay * (1.0 + random.random()))
+                attempt += 1
+
     # ------------------------------------------------------------------ #
-    def predict(self, inputs: np.ndarray) -> np.ndarray:
+    def predict(self, inputs: np.ndarray, priority: int = 0) -> np.ndarray:
         """Send a batch ``(n, *sample_shape)``; returns outputs ``(n, ...)``."""
-        payload = {"inputs": np.asarray(inputs, dtype=np.float32).tolist()}
+        payload: Dict[str, Any] = {
+            "inputs": np.asarray(inputs, dtype=np.float32).tolist()}
+        if priority:
+            payload["priority"] = int(priority)
         return np.asarray(self._request("/predict", payload)["outputs"], dtype=np.float32)
 
-    def predict_one(self, sample: np.ndarray) -> np.ndarray:
+    def predict_one(self, sample: np.ndarray, priority: int = 0) -> np.ndarray:
         """Send a single sample (no batch axis); returns its output vector."""
-        payload = {"input": np.asarray(sample, dtype=np.float32).tolist()}
+        payload: Dict[str, Any] = {
+            "input": np.asarray(sample, dtype=np.float32).tolist()}
+        if priority:
+            payload["priority"] = int(priority)
         return np.asarray(self._request("/predict", payload)["outputs"], dtype=np.float32)
 
     def healthz(self) -> Dict[str, Any]:
@@ -74,6 +140,10 @@ class ServeClient:
 
     def metrics(self) -> Dict[str, Any]:
         return self._request("/metrics")
+
+    def respawn(self) -> Dict[str, Any]:
+        """Ask the server to replace dead pool workers (``POST /respawn``)."""
+        return self._request("/respawn", {})
 
 
 __all__ = ["ServeClient", "ServeClientError"]

@@ -34,8 +34,11 @@ from urllib.parse import parse_qs, urlsplit
 import numpy as np
 
 from repro import nn
+from repro.serve.admission import AdmissionPolicy
 from repro.serve.artifact import Predictor, load_artifact
 from repro.serve.batcher import BatcherClosedError, BatchingPolicy, DynamicBatcher, QueueFullError
+from repro.serve.engine import WorkerDiedError
+from repro.serve.slo import SLOPolicy
 from repro.telemetry import MetricsRegistry
 from repro.telemetry import tracing as _tracing
 from repro.utils import get_logger
@@ -64,6 +67,12 @@ class ModelServer:
         port: int = 8080,
         backend: Optional[str] = None,
         name: Optional[str] = None,
+        *,
+        workers: int = 1,
+        mode: str = "thread",
+        admission: Optional[AdmissionPolicy] = None,
+        cache_size: int = 0,
+        slo: Optional[Union[SLOPolicy, float]] = None,
     ):
         if isinstance(model, str):
             predictor = load_artifact(model, backend=backend)
@@ -81,7 +90,10 @@ class ModelServer:
         self.metrics = MetricsRegistry("serve")
         self.batcher = DynamicBatcher(predictor, policy=policy,
                                       name=f"{self.model_name}-engine",
-                                      registry=self.metrics)
+                                      registry=self.metrics,
+                                      workers=workers, mode=mode,
+                                      admission=admission,
+                                      cache_size=cache_size, slo=slo)
         self.e2e_latency = self.metrics.latency("e2e_latency")
         self.started_at = time.time()
         self._http_requests = self.metrics.counter("http_requests_total")
@@ -177,9 +189,19 @@ class ModelServer:
             return 400, {"error": f"each sample must have shape {list(expected)}, "
                                   f"got {list(batch.shape[1:])}"}
         try:
-            future = self.batcher.submit_batch(batch)
+            priority = int(payload.get("priority", 0))
+        except (TypeError, ValueError):
+            return 400, {"error": "priority must be an integer"}
+        try:
+            future = self.batcher.submit_batch(batch, priority=priority)
             outputs = future.result(timeout=_PREDICT_TIMEOUT_S)
         except QueueFullError as error:
+            # Covers load shedding too (LoadShedError subclasses it): both
+            # are transient overload, so the client may retry with backoff.
+            return 503, {"error": str(error), "retry": True}
+        except WorkerDiedError as error:
+            # Degraded pool: retryable once an operator (or the CI smoke)
+            # respawns the dead workers.
             return 503, {"error": str(error), "retry": True}
         except BatcherClosedError as error:
             return 503, {"error": str(error), "retry": False}
@@ -204,8 +226,10 @@ class ModelServer:
     def handle_healthz(self) -> Tuple[int, Dict[str, Any]]:
         worker_alive = self.batcher.worker_alive
         return 200, {
-            # A dead inference worker means every /predict will time out:
-            # degraded, so load balancers can stop routing here.
+            # Any dead inference worker degrades the replica: at zero alive
+            # workers every /predict fails, below full strength throughput
+            # is reduced — either way load balancers should back off until
+            # /respawn (or an operator) restores the pool.
             "status": "ok" if worker_alive else "degraded",
             "model": self.model_name,
             "uptime_s": time.time() - self.started_at,
@@ -213,6 +237,17 @@ class ModelServer:
             "format_version": self.predictor.manifest.get("format_version"),
             "queue_depth": self.batcher.queue_depth,
             "worker_alive": worker_alive,
+            "workers": self.batcher.workers,
+            "workers_alive": self.batcher.alive_workers,
+        }
+
+    def handle_respawn(self) -> Tuple[int, Dict[str, Any]]:
+        """Replace dead pool workers; the recovery half of the kill smoke."""
+        respawned = self.batcher.respawn_workers()
+        return 200, {
+            "respawned": respawned,
+            "workers": self.batcher.workers,
+            "workers_alive": self.batcher.alive_workers,
         }
 
     def handle_metrics(self) -> Tuple[int, Dict[str, Any]]:
@@ -271,6 +306,12 @@ def _make_handler(server: ModelServer):
                                              f"endpoints: /predict /healthz /metrics"})
 
         def do_POST(self) -> None:  # noqa: N802 - http.server API
+            if self.path == "/respawn":
+                # Drain the (ignored) body so a keep-alive connection stays
+                # framed correctly for its next request.
+                self.rfile.read(int(self.headers.get("Content-Length", 0)))
+                self._respond(*server.handle_respawn())
+                return
             if self.path != "/predict":
                 self._respond(404, {"error": f"unknown path {self.path!r}"})
                 return

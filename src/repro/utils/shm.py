@@ -244,6 +244,20 @@ class ShmArena:
         self._offset = offset + nbytes
         return self.segment.view(shape, dtype, offset=offset)
 
+    def put(self, array: np.ndarray) -> Optional[np.ndarray]:
+        """Allocate a view shaped like ``array`` and copy it in.
+
+        The one-call idiom for publishing read-only data (e.g. a predictor
+        pool's model weights) into shared memory; returns ``None`` — like
+        :meth:`alloc` — when the segment cannot hold it.
+        """
+        array = np.asarray(array)
+        view = self.alloc(array.shape, array.dtype)
+        if view is None:
+            return None
+        np.copyto(view, array)
+        return view
+
     def owns(self, array: np.ndarray) -> bool:
         """Does ``array``'s memory live inside this arena's segment?
 

@@ -261,3 +261,71 @@ class TestLifecycle:
             assert ServeClient(instance.url).healthz()["status"] == "ok"
         with ModelServer(model, port=0, name="inmem") as instance:
             assert ServeClient(instance.url).healthz()["model"] == "inmem"
+
+
+class TestPoolServing:
+    def test_healthz_reports_pool_size_and_liveness(self, mlp_artifact):
+        path, _ = mlp_artifact
+        with ModelServer(path, port=0, workers=2) as instance:
+            health = ServeClient(instance.url).healthz()
+            assert health["workers"] == 2
+            assert health["workers_alive"] == 2
+            assert health["status"] == "ok"
+
+    def test_pooled_predictions_bit_identical_to_single(self, mlp_artifact):
+        path, model = mlp_artifact
+        x = get_rng(offset=5).standard_normal((12, 20)).astype(np.float32)
+        with no_grad():
+            direct = model(x).data
+        with ModelServer(path, port=0, workers=3,
+                         policy=BatchingPolicy(max_batch_size=4,
+                                               max_wait_ms=1.0)) as instance:
+            out = ServeClient(instance.url).predict(x)
+        assert np.array_equal(out, direct)
+
+    def test_priority_field_accepted_and_bad_priority_400(self, mlp_artifact):
+        path, _ = mlp_artifact
+        with ModelServer(path, port=0) as instance:
+            client = ServeClient(instance.url)
+            out = client.predict_one(np.zeros(20, dtype=np.float32), priority=3)
+            assert out.shape == (6,)
+            status, body = instance.handle_predict(
+                {"input": [0.0] * 20, "priority": "urgent"})
+            assert status == 400
+            assert "priority" in body["error"]
+
+    def test_dead_pool_returns_retryable_503_and_respawn_recovers(self, mlp_artifact):
+        path, _ = mlp_artifact
+        instance = ModelServer(path, port=0).start()
+        try:
+            client = ServeClient(instance.url, retries=0)
+            client.predict_one(np.zeros(20, dtype=np.float32))
+            # Simulate worker death without closing the batcher: poison the
+            # engine so the next batch raises WorkerDiedError in the worker.
+            from repro.serve import WorkerDiedError
+
+            worker = instance.batcher.pool.workers[0]
+            original = worker.engine._predict
+
+            def poisoned(batch):
+                # One-shot: the engine heals before dying, so the respawned
+                # worker (which reuses the still-alive inline engine) serves.
+                worker.engine._predict = original
+                raise WorkerDiedError("injected death")
+
+            worker.engine._predict = poisoned
+            with pytest.raises(ServeClientError) as excinfo:
+                client.predict_one(np.zeros(20, dtype=np.float32))
+            assert excinfo.value.status == 503
+            assert excinfo.value.body.get("retry") is True
+            health = client.healthz()
+            assert health["status"] == "degraded"
+            assert health["workers_alive"] == 0
+            respawned = client.respawn()
+            assert respawned["respawned"] == 1
+            assert respawned["workers_alive"] == 1
+            out = client.predict_one(np.zeros(20, dtype=np.float32))
+            assert out.shape == (6,)
+            assert client.healthz()["status"] == "ok"
+        finally:
+            instance.stop()
